@@ -1,0 +1,79 @@
+// Ablation: conflict-detection granularity — word (TinySTM) vs cache line
+// (RTM). §III-B's contention analysis notes that the same workload yields
+// higher *effective* contention for RTM because it detects at 64 B.
+//
+// This bench constructs a workload with adjustable false sharing: threads
+// write disjoint words that are either spread across lines (no false
+// sharing) or packed into shared lines (pure false sharing). Word-granular
+// TinySTM never aborts on packed-disjoint words; RTM does.
+
+#include "bench/bench_common.h"
+#include "stamp/apps/app.h"
+
+using namespace tsx;
+using namespace tsx::bench;
+
+namespace {
+
+struct Point {
+  double wall_mcycles;
+  double abort_rate;
+};
+
+Point run_false_sharing(core::Backend backend, bool packed, int iters,
+                        uint64_t seed) {
+  core::RunConfig cfg;
+  cfg.backend = backend;
+  cfg.threads = 4;
+  cfg.machine.seed = seed;
+  core::TxRuntime rt(cfg);
+  // 4 words: either all in one line (packed) or one per line (spread).
+  sim::Addr base = rt.heap().host_alloc(4 * 64, 64);
+  rt.run([&](core::TxCtx& ctx) {
+    uint64_t stride = packed ? 8 : 64;
+    sim::Addr mine = base + ctx.id() * stride;
+    stamp::measured_region_begin(ctx);
+    for (int i = 0; i < iters; ++i) {
+      ctx.transaction([&] {
+        sim::Word v = ctx.load(mine);
+        ctx.compute(40);
+        ctx.store(mine, v + 1);
+      });
+      ctx.compute(80);
+    }
+  });
+  auto r = rt.report();
+  return {r.wall_cycles / 1e6,
+          backend == core::Backend::kRtm ? r.rtm.abort_rate()
+                                         : r.stm.abort_rate()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  print_header("Ablation", "conflict granularity: word (STM) vs line (RTM)",
+               "disjoint words in one line: RTM aborts (false sharing), "
+               "TinySTM does not");
+
+  int iters = args.fast ? 400 : 1500;
+  util::Table t({"layout", "system", "Mcycles", "abort rate"});
+  for (bool packed : {false, true}) {
+    for (core::Backend b : {core::Backend::kRtm, core::Backend::kTinyStm}) {
+      std::vector<double> wall, ar;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        Point p = run_false_sharing(b, packed, iters, 9500 + rep);
+        wall.push_back(p.wall_mcycles);
+        ar.push_back(p.abort_rate);
+      }
+      t.add_row({packed ? "packed (1 line)" : "spread (4 lines)",
+                 core::backend_name(b),
+                 util::Table::fmt(util::mean(wall), 2),
+                 util::Table::fmt(util::mean(ar), 3)});
+    }
+  }
+  emit(t, args);
+  std::cout << "Note: STAMP's tm.h-style padding exists precisely to avoid\n"
+               "the packed case under line-granularity HTM.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: the fallback retry budget (the paper fixes MAX_RETRIES = 8).
+//
+// Sweeps MAX_RETRIES on a contended STAMP-like workload (intruder) and on a
+// capacity-doomed one (labyrinth). Expected: small budgets serialize too
+// eagerly under contention (lock aborts snowball); large budgets waste
+// cycles re-attempting hopeless capacity overflows; 4-16 is the sweet spot
+// for conflict-dominated workloads while capacity-dominated ones want the
+// smallest budget.
+
+#include "bench/bench_common.h"
+#include "stamp/apps/intruder.h"
+#include "stamp/apps/labyrinth.h"
+
+using namespace tsx;
+using namespace tsx::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  print_header("Ablation", "RTM fallback retry budget (MAX_RETRIES)",
+               "paper uses 8; conflict workloads tolerate larger budgets, "
+               "capacity workloads want small ones");
+
+  std::vector<int> budgets = {1, 2, 4, 8, 16, 64};
+  if (args.fast) budgets = {1, 8, 64};
+
+  util::Table t({"MAX_RETRIES", "intruder Mcycles", "intruder fallback rate",
+                 "labyrinth Mcycles", "labyrinth fallback rate"});
+  for (int budget : budgets) {
+    core::RunConfig cfg;
+    cfg.backend = core::Backend::kRtm;
+    cfg.threads = 4;
+    cfg.rtm.max_retries = budget;
+
+    stamp::IntruderConfig iapp;
+    iapp.flows = args.fast ? 128 : 384;
+    iapp.max_fragments = 10;
+    std::vector<double> it, ifb, lt, lfb;
+    for (int rep = 0; rep < args.reps; ++rep) {
+      cfg.machine.seed = 9300 + rep;
+      cfg.seed = cfg.machine.seed;
+      auto ires = stamp::run_intruder(cfg, iapp);
+      if (!ires.valid) {
+        std::cerr << "intruder invalid: " << ires.validation_message << "\n";
+        return 1;
+      }
+      it.push_back(ires.report.wall_cycles / 1e6);
+      ifb.push_back(ires.report.rtm.fallback_rate());
+
+      stamp::LabyrinthConfig lapp;
+      lapp.width = 32;
+      lapp.height = 32;
+      lapp.paths = args.fast ? 8 : 16;
+      auto lres = stamp::run_labyrinth(cfg, lapp);
+      if (!lres.valid) {
+        std::cerr << "labyrinth invalid: " << lres.validation_message << "\n";
+        return 1;
+      }
+      lt.push_back(lres.report.wall_cycles / 1e6);
+      lfb.push_back(lres.report.rtm.fallback_rate());
+    }
+    t.add_row({std::to_string(budget), util::Table::fmt(util::mean(it), 2),
+               util::Table::fmt(util::mean(ifb), 3),
+               util::Table::fmt(util::mean(lt), 2),
+               util::Table::fmt(util::mean(lfb), 3)});
+  }
+  emit(t, args);
+  return 0;
+}

@@ -1,0 +1,54 @@
+#pragma once
+// Shared plumbing for the figure/table reproduction drivers in bench/.
+// Every driver prints (a) the paper's reference shape, (b) a table of
+// simulated measurements, and (c) optionally CSV for post-processing.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "util/flags.h"
+#include "util/summary.h"
+#include "util/table.h"
+
+namespace tsx::bench {
+
+// Standard bench flags: --reps (seeds averaged), --csv, --fast (smaller
+// workloads for smoke runs).
+struct BenchArgs {
+  int reps = 2;
+  bool csv = false;
+  bool fast = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    util::Flags flags(argc, argv);
+    BenchArgs a;
+    a.reps = static_cast<int>(flags.get_int("reps", 2));
+    a.csv = flags.get_bool("csv", false);
+    a.fast = flags.get_bool("fast", false);
+    auto un = flags.unconsumed();
+    if (!un.empty()) {
+      std::string msg = "unknown flag --" + un[0];
+      throw std::invalid_argument(msg);
+    }
+    return a;
+  }
+};
+
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& paper_reference) {
+  std::cout << "==== " << id << ": " << title << " ====\n";
+  std::cout << "Paper reference: " << paper_reference << "\n\n";
+}
+
+inline void emit(const util::Table& t, const BenchArgs& args) {
+  t.print(std::cout);
+  if (args.csv) {
+    std::cout << "\nCSV:\n";
+    t.print_csv(std::cout);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace tsx::bench

@@ -1,0 +1,97 @@
+#pragma once
+// Shared driver for the Eigenbench figure reproductions (Figs. 3-9).
+// Each figure sweeps one characteristic and reports, per backend:
+// speedup over the sequential run of the same configuration, energy
+// efficiency over the sequential run, and the abort rate — the three panels
+// (a)/(b)/(c) of every Eigenbench figure in the paper.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eigenbench/eigenbench.h"
+
+namespace tsx::bench {
+
+struct EigenPoint {
+  double speedup = 0;
+  double energy_eff = 0;
+  double abort_rate = 0;
+};
+
+inline core::RunConfig eigen_run_cfg(core::Backend b, uint32_t threads,
+                                     uint64_t seed) {
+  core::RunConfig cfg;
+  cfg.backend = b;
+  cfg.threads = threads;
+  cfg.machine.seed = seed;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Runs `eb` under `backend`/`threads` and under SEQ/1-thread with the same
+// per-thread workload, averaged over `reps` seeds.
+inline EigenPoint eigen_point(core::Backend backend, uint32_t threads,
+                              const eigenbench::EigenConfig& eb, int reps,
+                              uint64_t seed0 = 7000) {
+  std::vector<double> sp, ee, ar;
+  for (int rep = 0; rep < reps; ++rep) {
+    uint64_t seed = seed0 + rep;
+    auto seq = eigenbench::run(
+        eigen_run_cfg(core::Backend::kSeq, 1, seed), eb);
+    auto run = eigenbench::run(eigen_run_cfg(backend, threads, seed), eb);
+    // The parallel run does `threads` times the sequential per-thread work,
+    // so speedup = threads * t_seq / t_par (the paper normalizes to the
+    // sequential execution of the same total work).
+    double work_ratio = static_cast<double>(threads);
+    sp.push_back(work_ratio *
+                 static_cast<double>(seq.report.wall_cycles) /
+                 static_cast<double>(run.report.wall_cycles));
+    ee.push_back(work_ratio * seq.report.joules() / run.report.joules());
+    ar.push_back(backend == core::Backend::kRtm
+                     ? run.report.rtm.abort_rate()
+                     : run.report.stm.abort_rate());
+  }
+  return {util::mean(sp), util::mean(ee), util::mean(ar)};
+}
+
+// The paper's default eigenbench setup (§III-B): 100 accesses per tx
+// (90 reads / 10 writes), 4 threads, measured over 10 runs.
+inline eigenbench::EigenConfig paper_default_eb(uint64_t loops = 300) {
+  eigenbench::EigenConfig eb;
+  eb.loops = loops;
+  eb.reads_mild = 90;
+  eb.writes_mild = 10;
+  eb.ws_bytes = 16 * 1024;
+  return eb;
+}
+
+// Standard three-config comparison: RTM small WS, RTM medium WS, TinySTM
+// small WS (the paper only shows TinySTM for the small working set).
+struct EigenRow {
+  std::string x_label;
+  EigenPoint rtm_small, rtm_medium, stm_small;
+};
+
+inline void print_eigen_table(const std::string& x_name,
+                              const std::vector<EigenRow>& rows,
+                              const BenchArgs& args) {
+  util::Table t({x_name, "RTM-16K speedup", "RTM-256K speedup",
+                 "TinySTM speedup", "RTM-16K energy-eff", "RTM-256K energy-eff",
+                 "TinySTM energy-eff", "RTM-16K aborts", "RTM-256K aborts",
+                 "TinySTM aborts"});
+  for (const auto& r : rows) {
+    t.add_row({r.x_label, util::Table::fmt(r.rtm_small.speedup, 2),
+               util::Table::fmt(r.rtm_medium.speedup, 2),
+               util::Table::fmt(r.stm_small.speedup, 2),
+               util::Table::fmt(r.rtm_small.energy_eff, 2),
+               util::Table::fmt(r.rtm_medium.energy_eff, 2),
+               util::Table::fmt(r.stm_small.energy_eff, 2),
+               util::Table::fmt(r.rtm_small.abort_rate, 3),
+               util::Table::fmt(r.rtm_medium.abort_rate, 3),
+               util::Table::fmt(r.stm_small.abort_rate, 3)});
+  }
+  emit(t, args);
+}
+
+}  // namespace tsx::bench

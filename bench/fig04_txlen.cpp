@@ -1,0 +1,40 @@
+// Fig. 4: Eigenbench transaction-length sweep (10 .. 520 accesses).
+//
+// Paper shape: with a 16K working set RTM beats TinySTM at every length;
+// with 256K, RTM drops sharply past ~100 accesses (write-set evictions from
+// L1) while TinySTM is length-insensitive; the xbegin/xend overhead hurts
+// RTM only for very short transactions; RTM burns more energy than
+// sequential for 256K transactions longer than ~120 accesses.
+
+#include "bench/eigen_driver.h"
+
+using namespace tsx;
+using namespace tsx::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  print_header("Fig. 4", "Eigenbench transaction-length sweep",
+               "RTM-16K wins everywhere; RTM-256K collapses past ~100 "
+               "accesses; TinySTM flat in length");
+
+  std::vector<uint32_t> lengths = {10, 40, 100, 160, 280, 400, 520};
+  if (args.fast) lengths = {10, 100, 280, 520};
+
+  std::vector<EigenRow> rows;
+  for (uint32_t len : lengths) {
+    eigenbench::EigenConfig eb = paper_default_eb(args.fast ? 100 : 200);
+    eb.reads_mild = len * 9 / 10;
+    eb.writes_mild = len - eb.reads_mild;
+
+    EigenRow row;
+    row.x_label = std::to_string(len);
+    eb.ws_bytes = 16 * 1024;
+    row.rtm_small = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
+    row.stm_small = eigen_point(core::Backend::kTinyStm, 4, eb, args.reps);
+    eb.ws_bytes = 256 * 1024;
+    row.rtm_medium = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
+    rows.push_back(row);
+  }
+  print_eigen_table("tx length", rows, args);
+  return 0;
+}

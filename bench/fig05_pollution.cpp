@@ -1,0 +1,42 @@
+// Fig. 5: Eigenbench pollution (write-fraction) sweep, 0.0 .. 1.0.
+//
+// Paper shape: with a 16K working set RTM is symmetric in read/write mix;
+// with 256K, RTM speedup decays as pollution rises (write-sets are bounded
+// by L1, read-sets by L3) and TinySTM overtakes it past ~0.4.
+
+#include "bench/eigen_driver.h"
+
+using namespace tsx;
+using namespace tsx::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  print_header("Fig. 5", "Eigenbench pollution sweep",
+               "RTM-16K flat; RTM-256K decays with write fraction, TinySTM "
+               "wins beyond pollution ~0.4");
+
+  std::vector<double> pollution = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  if (args.fast) pollution = {0.0, 0.4, 1.0};
+
+  std::vector<EigenRow> rows;
+  for (double p : pollution) {
+    eigenbench::EigenConfig eb = paper_default_eb(args.fast ? 100 : 200);
+    // 280 accesses: at the 256K working set this sits at the L1-pressure
+    // edge (Fig. 4), where the write fraction visibly controls how many
+    // tx-written lines get evicted — the paper's asymmetry mechanism.
+    uint32_t len = 280;
+    eb.writes_mild = static_cast<uint32_t>(len * p + 0.5);
+    eb.reads_mild = len - eb.writes_mild;
+
+    EigenRow row;
+    row.x_label = util::Table::fmt(p, 1);
+    eb.ws_bytes = 16 * 1024;
+    row.rtm_small = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
+    row.stm_small = eigen_point(core::Backend::kTinyStm, 4, eb, args.reps);
+    eb.ws_bytes = 256 * 1024;
+    row.rtm_medium = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
+    rows.push_back(row);
+  }
+  print_eigen_table("pollution", rows, args);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 9: Eigenbench concurrency sweep (1 .. 8 threads; beyond 4 threads
+// hyper-threading pairs share a core, and crucially an L1 — halving RTM's
+// effective write-set capacity).
+//
+// Paper shape: RTM scales to 4 threads and then suffers at 8 (more for the
+// 256K working set); TinySTM keeps scaling to 8; RTM-16K is the energy
+// winner.
+
+#include "bench/eigen_driver.h"
+
+using namespace tsx;
+using namespace tsx::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  print_header("Fig. 9", "Eigenbench concurrency sweep",
+               "RTM scales to 4 threads, dips at 8 (SMT halves L1 capacity); "
+               "TinySTM scales to 8");
+
+  std::vector<uint32_t> threads = {1, 2, 4, 8};
+
+  std::vector<EigenRow> rows;
+  for (uint32_t n : threads) {
+    eigenbench::EigenConfig eb = paper_default_eb(args.fast ? 100 : 200);
+
+    EigenRow row;
+    row.x_label = std::to_string(n);
+    eb.ws_bytes = 16 * 1024;
+    row.rtm_small = eigen_point(core::Backend::kRtm, n, eb, args.reps);
+    row.stm_small = eigen_point(core::Backend::kTinyStm, n, eb, args.reps);
+    eb.ws_bytes = 256 * 1024;
+    row.rtm_medium = eigen_point(core::Backend::kRtm, n, eb, args.reps);
+    rows.push_back(row);
+  }
+  print_eigen_table("threads", rows, args);
+  return 0;
+}

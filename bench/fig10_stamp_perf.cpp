@@ -1,0 +1,33 @@
+// Fig. 10: STAMP execution time, RTM vs TinySTM, 1/2/4/8 threads,
+// normalized to a sequential (non-TM) run.
+//
+// Paper shapes per app (§IV): bayes/yada — TinySTM wins at all counts;
+// genome/vacation — tie to 4 threads, RTM drops at 8; intruder — RTM scales
+// to 4, tie at 8; kmeans/ssca2 — RTM ahead; labyrinth — RTM serializes.
+
+#include "bench/stamp_driver.h"
+
+using namespace tsx;
+using namespace tsx::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  print_header("Fig. 10", "STAMP execution time (normalized to sequential)",
+               "lower is better; see per-app shapes in the paper's §IV");
+
+  std::vector<uint32_t> threads = {1, 2, 4, 8};
+  util::Table t({"app", "system", "1t", "2t", "4t", "8t"});
+  for (const auto& app : stamp_apps()) {
+    for (core::Backend b : {core::Backend::kRtm, core::Backend::kTinyStm}) {
+      std::vector<std::string> row{app.name, core::backend_name(b)};
+      for (uint32_t n : threads) {
+        StampCell cell = stamp_cell(app, b, n, args);
+        row.push_back(util::Table::fmt(cell.norm_time, 2));
+      }
+      t.add_row(row);
+    }
+  }
+  emit(t, args);
+  std::cout << "All runs validated their final application state.\n";
+  return 0;
+}

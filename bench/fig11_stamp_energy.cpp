@@ -1,0 +1,34 @@
+// Fig. 11: STAMP energy expenditure, RTM vs TinySTM, 1/2/4/8 threads,
+// normalized to the sequential run's energy.
+//
+// Paper shapes: kmeans — only RTM saves energy vs sequential; labyrinth —
+// RTM energy grows with threads (wasted doomed speculation); bayes /
+// labyrinth / yada — energy trends decouple from performance trends as
+// threads scale (cache/bus activity).
+
+#include "bench/stamp_driver.h"
+
+using namespace tsx;
+using namespace tsx::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  print_header("Fig. 11", "STAMP energy (normalized to sequential)",
+               "lower is better; kmeans: only RTM < 1.0; labyrinth RTM grows "
+               "with threads");
+
+  std::vector<uint32_t> threads = {1, 2, 4, 8};
+  util::Table t({"app", "system", "1t", "2t", "4t", "8t"});
+  for (const auto& app : stamp_apps()) {
+    for (core::Backend b : {core::Backend::kRtm, core::Backend::kTinyStm}) {
+      std::vector<std::string> row{app.name, core::backend_name(b)};
+      for (uint32_t n : threads) {
+        StampCell cell = stamp_cell(app, b, n, args);
+        row.push_back(util::Table::fmt(cell.norm_energy, 2));
+      }
+      t.add_row(row);
+    }
+  }
+  emit(t, args);
+  return 0;
+}

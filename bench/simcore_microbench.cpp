@@ -1,0 +1,101 @@
+// Host-level google-benchmark microbenchmarks of the simulator itself:
+// simulated-ops throughput for the hot paths (cache-hit loads, fiber
+// round-trips, RTM attempt overhead, STM read instrumentation). Useful when
+// optimizing tsxsim — these numbers bound how large the reproduced
+// experiments can be.
+
+#include <benchmark/benchmark.h>
+
+#include "core/runtime.h"
+#include "htm/rtm.h"
+#include "sim/fiber.h"
+
+using namespace tsx;
+
+namespace {
+
+sim::MachineConfig quiet() {
+  sim::MachineConfig cfg;
+  cfg.interrupts_enabled = false;
+  return cfg;
+}
+
+void BM_FiberSwitch(benchmark::State& state) {
+  sim::Fiber* self = nullptr;
+  bool stop = false;
+  sim::Fiber f(64 * 1024, [&] {
+    while (!stop) self->yield();
+  });
+  self = &f;
+  for (auto _ : state) {
+    f.resume();
+  }
+  stop = true;
+  f.resume();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_SimLoadL1Hit(benchmark::State& state) {
+  // Each iteration runs a fresh machine executing a fixed batch of L1-hit
+  // loads; construction happens outside the timed section.
+  constexpr int kBatch = 4096;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Machine mm(quiet(), 1);
+    mm.prefault(0x1000, 4096);
+    mm.set_thread(0, [&mm] {
+      for (int i = 0; i < kBatch; ++i) mm.load(0x1000);
+    });
+    state.ResumeTiming();
+    mm.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SimLoadL1Hit);
+
+void BM_RtmAttemptCommit(benchmark::State& state) {
+  constexpr int kBatch = 512;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Machine mm(quiet(), 1);
+    mm.prefault(0x1000, 4096);
+    mm.set_thread(0, [&mm] {
+      for (int i = 0; i < kBatch; ++i) {
+        htm::attempt(mm, [&mm] { mm.store(0x1000, 1); });
+      }
+    });
+    state.ResumeTiming();
+    mm.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_RtmAttemptCommit);
+
+void BM_TinyStmReadTx(benchmark::State& state) {
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::RunConfig cfg;
+    cfg.backend = core::Backend::kTinyStm;
+    cfg.threads = 1;
+    cfg.machine.interrupts_enabled = false;
+    cfg.stm.lock_table_entries = 1u << 14;
+    core::TxRuntime rt(cfg);
+    sim::Addr a = rt.heap().host_alloc(4096, 64);
+    state.ResumeTiming();
+    rt.run([&](core::TxCtx& ctx) {
+      for (int i = 0; i < kBatch; ++i) {
+        ctx.transaction([&] {
+          for (int w = 0; w < 16; ++w) ctx.load(a + w * 8);
+          ctx.store(a, i);
+        });
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_TinyStmReadTx);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+#pragma once
+// Concurrency-control backends the runtime can execute atomic blocks with.
+
+#include <string>
+
+namespace tsx::core {
+
+enum class Backend {
+  kSeq = 0,   // no synchronization (sequential baseline / "None" in Table I)
+  kLock,      // one global ticket spinlock around every atomic block
+  kRtm,       // hardware transactions with serial-lock fallback (Algorithm 1)
+  kTinyStm,   // TinySTM-style time-based STM
+  kTl2,       // TL2 commit-time-locking STM
+};
+
+inline const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kSeq: return "SEQ";
+    case Backend::kLock: return "Lock";
+    case Backend::kRtm: return "RTM";
+    case Backend::kTinyStm: return "TinySTM";
+    case Backend::kTl2: return "TL2";
+  }
+  return "?";
+}
+
+inline bool backend_is_stm(Backend b) {
+  return b == Backend::kTinyStm || b == Backend::kTl2;
+}
+
+}  // namespace tsx::core

@@ -1,0 +1,50 @@
+#pragma once
+// Per-run measurement report: time, energy, abort statistics. Benches
+// compare reports across backends/thread counts to build the paper's
+// figures (speedup and energy efficiency are ratios of reports).
+
+#include "htm/rtm.h"
+#include "sim/energy_model.h"
+#include "sim/stats.h"
+#include "stm/common.h"
+
+namespace tsx::core {
+
+struct RunReport {
+  sim::Cycles wall_cycles = 0;
+  double seconds = 0;
+  sim::EnergyBreakdown energy;
+  sim::MachineStats machine;  // deltas over the measured region
+  htm::RtmStats rtm;          // zero unless backend == kRtm
+  stm::StmStats stm;          // zero unless an STM backend
+  // Per-transaction-site RTM statistics (whole run, not window-diffed);
+  // used for the paper's TID-level tables (IV, V).
+  std::vector<std::pair<uint32_t, htm::RtmStats>> rtm_sites;
+
+  htm::RtmStats site_stats(uint32_t site) const {
+    for (const auto& [id, st] : rtm_sites) {
+      if (id == site) return st;
+    }
+    return htm::RtmStats{};
+  }
+
+  double joules() const { return energy.total_j(); }
+
+  // Abort rate of whichever TM system ran (0 for SEQ/Lock).
+  double abort_rate(bool is_rtm) const {
+    return is_rtm ? rtm.abort_rate() : stm.abort_rate();
+  }
+};
+
+inline double speedup(const RunReport& baseline, const RunReport& run) {
+  return static_cast<double>(baseline.wall_cycles) /
+         static_cast<double>(run.wall_cycles);
+}
+
+// "Energy efficiency" in the paper's figures: baseline energy / run energy
+// (> 1 means the run spends less energy than the sequential baseline).
+inline double energy_efficiency(const RunReport& baseline, const RunReport& run) {
+  return baseline.joules() / run.joules();
+}
+
+}  // namespace tsx::core

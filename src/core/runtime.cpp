@@ -1,0 +1,275 @@
+#include "core/runtime.h"
+
+#include <stdexcept>
+
+#include "mem/layout.h"
+
+namespace tsx::core {
+
+namespace {
+
+sim::MemStats diff(const sim::MemStats& a, const sim::MemStats& b) {
+  sim::MemStats d;
+  d.loads = a.loads - b.loads;
+  d.stores = a.stores - b.stores;
+  d.l1_hits = a.l1_hits - b.l1_hits;
+  d.l2_hits = a.l2_hits - b.l2_hits;
+  d.l3_hits = a.l3_hits - b.l3_hits;
+  d.mem_accesses = a.mem_accesses - b.mem_accesses;
+  d.c2c_transfers = a.c2c_transfers - b.c2c_transfers;
+  d.invalidations = a.invalidations - b.invalidations;
+  d.writebacks = a.writebacks - b.writebacks;
+  d.page_faults = a.page_faults - b.page_faults;
+  return d;
+}
+
+sim::TxStats diff(const sim::TxStats& a, const sim::TxStats& b) {
+  sim::TxStats d;
+  d.started = a.started - b.started;
+  d.committed = a.committed - b.committed;
+  for (size_t i = 0; i < d.aborts_by_reason.size(); ++i) {
+    d.aborts_by_reason[i] = a.aborts_by_reason[i] - b.aborts_by_reason[i];
+  }
+  for (size_t i = 0; i < d.aborts_by_misc.size(); ++i) {
+    d.aborts_by_misc[i] = a.aborts_by_misc[i] - b.aborts_by_misc[i];
+  }
+  return d;
+}
+
+sim::MachineStats diff(const sim::MachineStats& a, const sim::MachineStats& b) {
+  sim::MachineStats d;
+  d.mem = diff(a.mem, b.mem);
+  d.tx = diff(a.tx, b.tx);
+  d.ops = a.ops - b.ops;
+  d.interrupts = a.interrupts - b.interrupts;
+  d.core_busy_cycles = a.core_busy_cycles - b.core_busy_cycles;
+  return d;
+}
+
+htm::RtmStats diff(const htm::RtmStats& a, const htm::RtmStats& b) {
+  htm::RtmStats d;
+  d.transactions = a.transactions - b.transactions;
+  d.attempts = a.attempts - b.attempts;
+  d.commits = a.commits - b.commits;
+  d.fallbacks = a.fallbacks - b.fallbacks;
+  for (size_t i = 0; i < d.aborts_by_class.size(); ++i) {
+    d.aborts_by_class[i] = a.aborts_by_class[i] - b.aborts_by_class[i];
+  }
+  for (size_t i = 0; i < d.aborts_by_reason.size(); ++i) {
+    d.aborts_by_reason[i] = a.aborts_by_reason[i] - b.aborts_by_reason[i];
+  }
+  d.cycles_committed = a.cycles_committed - b.cycles_committed;
+  d.cycles_aborted = a.cycles_aborted - b.cycles_aborted;
+  d.cycles_fallback = a.cycles_fallback - b.cycles_fallback;
+  return d;
+}
+
+stm::StmStats diff(const stm::StmStats& a, const stm::StmStats& b) {
+  stm::StmStats d;
+  d.transactions = a.transactions - b.transactions;
+  d.starts = a.starts - b.starts;
+  d.commits = a.commits - b.commits;
+  for (size_t i = 0; i < d.aborts_by_cause.size(); ++i) {
+    d.aborts_by_cause[i] = a.aborts_by_cause[i] - b.aborts_by_cause[i];
+  }
+  d.extensions = a.extensions - b.extensions;
+  return d;
+}
+
+}  // namespace
+
+TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
+  machine_ = std::make_unique<sim::Machine>(cfg_.machine, cfg_.threads);
+  heap_ = std::make_unique<mem::SimHeap>(*machine_, cfg_.heap);
+
+  // Runtime region: global lock (line 0), RTM serial lock (line 1).
+  machine_->prefault(mem::kRuntimeRegionBase, sim::kPageBytes);
+  global_lock_ = std::make_unique<sync::TicketSpinLock>(*machine_,
+                                                        mem::kRuntimeRegionBase);
+  global_lock_->init();
+
+  htm::ScopeHooks rtm_hooks{
+      [this] { heap_->tx_scope_begin(machine_->current_ctx()); },
+      [this] { heap_->tx_scope_commit(machine_->current_ctx()); },
+      [this] { heap_->tx_scope_abort(machine_->current_ctx()); },
+  };
+  rtm_ = std::make_unique<htm::RtmExecutor>(
+      *machine_, mem::kRuntimeRegionBase + sim::kLineBytes, cfg_.rtm);
+  rtm_->init();
+  rtm_->set_scope_hooks(rtm_hooks);
+
+  if (cfg_.backend == Backend::kTinyStm) {
+    stm_ = std::make_unique<stm::TinyStm>(*machine_, mem::kStmRegionBase,
+                                          cfg_.stm);
+  } else if (cfg_.backend == Backend::kTl2) {
+    stm_ = std::make_unique<stm::Tl2>(*machine_, mem::kStmRegionBase, cfg_.stm);
+  }
+  if (stm_) {
+    stm_->init();
+    stm_exec_ = std::make_unique<stm::StmExecutor>(*machine_, *stm_, cfg_.stm);
+    stm_exec_->set_scope_hooks(stm::ScopeHooks{
+        [this] { heap_->tx_scope_begin(machine_->current_ctx()); },
+        [this] { heap_->tx_scope_commit(machine_->current_ctx()); },
+        [this] { heap_->tx_scope_abort(machine_->current_ctx()); },
+    });
+  }
+
+  for (CtxId i = 0; i < cfg_.threads; ++i) {
+    // Distinct, deterministic per-thread workload seeds.
+    ctxs_.emplace_back(new TxCtx(*this, i, cfg_.seed * 1000003ull + i));
+  }
+}
+
+TxRuntime::~TxRuntime() = default;
+
+void TxRuntime::run(const std::function<void(TxCtx&)>& worker) {
+  std::vector<std::function<void(TxCtx&)>> workers(cfg_.threads, worker);
+  run(std::move(workers));
+}
+
+void TxRuntime::run(std::vector<std::function<void(TxCtx&)>> workers) {
+  if (ran_) throw std::logic_error("TxRuntime::run called twice");
+  if (workers.size() != cfg_.threads) {
+    throw std::invalid_argument("worker count != thread count");
+  }
+  ran_ = true;
+  for (CtxId i = 0; i < cfg_.threads; ++i) {
+    TxCtx* ctx = ctxs_[i].get();
+    auto fn = std::move(workers[i]);
+    machine_->set_thread(i, [ctx, fn = std::move(fn)] { fn(*ctx); });
+  }
+  machine_->run();
+}
+
+void TxRuntime::mark_measurement_start() {
+  mark_stats_ = machine_->snapshot();
+  mark_wall_ = machine_->wall();
+  mark_core_busy_ = machine_->core_busy_cycles();
+  mark_rtm_ = rtm_->stats();
+  if (stm_) mark_stm_ = stm_->stats();
+}
+
+RunReport TxRuntime::report() const {
+  RunReport r;
+  sim::MachineStats end = machine_->snapshot();
+  end.core_busy_cycles = machine_->core_busy_cycles();
+  sim::Cycles end_wall = machine_->wall();
+
+  if (mark_stats_) {
+    sim::MachineStats m0 = *mark_stats_;
+    m0.core_busy_cycles = mark_core_busy_;
+    r.machine = diff(end, m0);
+    r.wall_cycles = end_wall - mark_wall_;
+    r.rtm = diff(rtm_->stats(), mark_rtm_);
+    if (stm_) r.stm = diff(stm_->stats(), mark_stm_);
+  } else {
+    r.machine = end;
+    r.wall_cycles = end_wall;
+    r.rtm = rtm_->stats();
+    if (stm_) r.stm = stm_->stats();
+  }
+
+  r.rtm_sites = rtm_->all_site_stats();
+
+  sim::EnergyModel em(cfg_.machine.energy, cfg_.machine.freq_ghz);
+  r.seconds = em.seconds(r.wall_cycles);
+  const sim::MemStats& ms = r.machine.mem;
+  r.energy = em.compute(r.machine.ops, ms.l1_accesses(), ms.l2_accesses(),
+                        ms.l3_accesses(), ms.mem_accesses,
+                        ms.invalidations + ms.c2c_transfers, ms.writebacks,
+                        r.machine.core_busy_cycles, r.wall_cycles);
+  return r;
+}
+
+void TxRuntime::execute_atomic(TxCtx& ctx, const std::function<void()>& body,
+                               uint32_t site) {
+  if (ctx.in_atomic_) {  // flat nesting
+    body();
+    return;
+  }
+  struct Guard {
+    bool* flag;
+    ~Guard() { *flag = false; }
+  } guard{&ctx.in_atomic_};
+  ctx.in_atomic_ = true;
+
+  switch (cfg_.backend) {
+    case Backend::kSeq:
+      body();
+      return;
+    case Backend::kLock: {
+      global_lock_->lock();
+      try {
+        body();
+      } catch (...) {
+        global_lock_->unlock();
+        throw;
+      }
+      global_lock_->unlock();
+      return;
+    }
+    case Backend::kRtm:
+      rtm_->execute(body, site);
+      return;
+    case Backend::kTinyStm:
+    case Backend::kTl2:
+      stm_exec_->execute(body);
+      return;
+  }
+}
+
+// ---- TxCtx ----
+
+Word TxCtx::load(Addr a) {
+  if (in_atomic_ && rt_.stm_ && rt_.stm_->tx_active(id_)) {
+    return rt_.stm_->tx_read(id_, a);
+  }
+  return rt_.machine_->load(a);
+}
+
+void TxCtx::store(Addr a, Word v) {
+  if (in_atomic_ && rt_.stm_ && rt_.stm_->tx_active(id_)) {
+    rt_.stm_->tx_write(id_, a, v);
+    return;
+  }
+  rt_.machine_->store(a, v);
+}
+
+bool TxCtx::cas(Addr a, Word expected, Word desired) {
+  if (in_atomic_ && rt_.stm_ && rt_.stm_->tx_active(id_)) {
+    throw std::logic_error("raw CAS inside an STM transaction");
+  }
+  return rt_.machine_->cas(a, expected, desired);
+}
+
+Word TxCtx::fetch_add(Addr a, Word delta) {
+  if (in_atomic_ && rt_.stm_ && rt_.stm_->tx_active(id_)) {
+    throw std::logic_error("raw fetch_add inside an STM transaction");
+  }
+  return rt_.machine_->fetch_add(a, delta);
+}
+
+void TxCtx::compute(Cycles c) { rt_.machine_->compute(c); }
+void TxCtx::pause() { rt_.machine_->pause(); }
+
+void TxCtx::transaction(const std::function<void()>& body, uint32_t site) {
+  rt_.execute_atomic(*this, body, site);
+}
+
+Addr TxCtx::malloc(uint64_t bytes, uint64_t align) {
+  return rt_.heap_->alloc(bytes, align);
+}
+
+void TxCtx::free(Addr a) { rt_.heap_->free(a); }
+
+void TxCtx::barrier() { rt_.machine_->barrier(); }
+
+Cycles TxCtx::now() const { return rt_.machine_->now(); }
+
+uint32_t TxCtx::threads() const { return rt_.cfg_.threads; }
+
+bool TxCtx::in_rtm_fallback() const {
+  return rt_.cfg_.backend == Backend::kRtm && rt_.rtm_->in_fallback();
+}
+
+}  // namespace tsx::core

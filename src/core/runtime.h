@@ -1,0 +1,159 @@
+#pragma once
+// TxRuntime: the public façade of the library. It assembles a simulated
+// machine, a heap, and the selected concurrency-control backend, runs worker
+// functions on simulated hardware threads, and produces a RunReport for the
+// measured region.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   core::RunConfig cfg;
+//   cfg.backend = core::Backend::kRtm;
+//   cfg.threads = 4;
+//   core::TxRuntime rt(cfg);
+//   rt.run([&](core::TxCtx& ctx) {
+//     ctx.transaction([&] {
+//       Word v = ctx.load(counter);
+//       ctx.store(counter, v + 1);
+//     });
+//   });
+//   core::RunReport r = rt.report();
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/report.h"
+#include "htm/rtm.h"
+#include "mem/sim_heap.h"
+#include "sim/config.h"
+#include "sim/machine.h"
+#include "sim/rng.h"
+#include "stm/common.h"
+#include "stm/tinystm.h"
+#include "stm/tl2.h"
+#include "sync/spinlock.h"
+
+namespace tsx::core {
+
+using sim::Addr;
+using sim::CtxId;
+using sim::Cycles;
+using sim::Word;
+
+struct RunConfig {
+  Backend backend = Backend::kSeq;
+  uint32_t threads = 1;
+  sim::MachineConfig machine{};
+  htm::ExecutorConfig rtm{};
+  stm::StmConfig stm{};
+  mem::HeapConfig heap{};
+  uint64_t seed = 42;  // workload-level seed (distinct from machine.seed)
+};
+
+class TxRuntime;
+
+// Per-thread handle passed to worker functions. All simulated work of a
+// worker must go through its TxCtx.
+class TxCtx {
+ public:
+  // Shared-memory access: inside transaction() these are transactional
+  // (routed to RTM tracking or the STM algorithm); outside they are plain.
+  Word load(Addr a);
+  void store(Addr a, Word v);
+
+  // Non-transactional atomics (Table I's CAS variant and workload plumbing).
+  // Calling them inside an STM transaction is a programming error.
+  bool cas(Addr a, Word expected, Word desired);
+  Word fetch_add(Addr a, Word delta);
+
+  void compute(Cycles c);
+  void pause();
+
+  // Runs `body` atomically under the configured backend. `site` labels the
+  // static transaction site for per-site RTM statistics.
+  void transaction(const std::function<void()>& body, uint32_t site = 0);
+
+  // Simulated heap (transaction-scope aware).
+  Addr malloc(uint64_t bytes, uint64_t align = 8);
+  void free(Addr a);
+
+  void barrier();
+  Cycles now() const;
+
+  CtxId id() const { return id_; }
+  uint32_t threads() const;
+  sim::Rng& rng() { return rng_; }
+  TxRuntime& runtime() { return rt_; }
+
+  // True while executing a transaction() body.
+  bool in_atomic() const { return in_atomic_; }
+  // True if the current atomic block runs under the RTM serial fallback
+  // (i.e. non-speculatively).
+  bool in_rtm_fallback() const;
+
+ private:
+  friend class TxRuntime;
+  TxCtx(TxRuntime& rt, CtxId id, uint64_t seed) : rt_(rt), id_(id), rng_(seed) {}
+
+  TxRuntime& rt_;
+  CtxId id_;
+  sim::Rng rng_;
+  bool in_atomic_ = false;
+};
+
+class TxRuntime {
+ public:
+  explicit TxRuntime(RunConfig cfg);
+  ~TxRuntime();
+
+  TxRuntime(const TxRuntime&) = delete;
+  TxRuntime& operator=(const TxRuntime&) = delete;
+
+  const RunConfig& config() const { return cfg_; }
+
+  // Runs `worker` on every simulated thread to completion.
+  void run(const std::function<void(TxCtx&)>& worker);
+  // Heterogeneous variant: one function per thread (size must equal the
+  // thread count).
+  void run(std::vector<std::function<void(TxCtx&)>> workers);
+
+  // Called from worker code (typically thread 0 after a setup barrier):
+  // starts the measured region. If never called, the region is the whole
+  // run.
+  void mark_measurement_start();
+
+  RunReport report() const;
+
+  sim::Machine& machine() { return *machine_; }
+  mem::SimHeap& heap() { return *heap_; }
+  htm::RtmExecutor* rtm() { return rtm_.get(); }
+  stm::StmSystem* stm() { return stm_.get(); }
+
+ private:
+  friend class TxCtx;
+
+  void execute_atomic(TxCtx& ctx, const std::function<void()>& body,
+                      uint32_t site);
+
+  RunConfig cfg_;
+  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<mem::SimHeap> heap_;
+  std::unique_ptr<sync::TicketSpinLock> global_lock_;
+  std::unique_ptr<htm::RtmExecutor> rtm_;
+  std::unique_ptr<stm::StmSystem> stm_;
+  std::unique_ptr<stm::StmExecutor> stm_exec_;
+  std::vector<std::unique_ptr<TxCtx>> ctxs_;
+  bool ran_ = false;
+
+  // Measurement window.
+  std::optional<sim::MachineStats> mark_stats_;
+  sim::Cycles mark_wall_ = 0;
+  double mark_core_busy_ = 0;
+  htm::RtmStats mark_rtm_;
+  stm::StmStats mark_stm_;
+};
+
+}  // namespace tsx::core

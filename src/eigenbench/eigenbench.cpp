@@ -1,0 +1,218 @@
+#include "eigenbench/eigenbench.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsx::eigenbench {
+
+namespace {
+
+constexpr uint32_t kHistory = 16;
+
+// Per-thread address generator with a temporal-locality knob.
+class AddrGen {
+ public:
+  AddrGen(sim::Rng& rng, Addr base, uint64_t words, double locality)
+      : rng_(rng), base_(base), words_(words), locality_(locality) {}
+
+  Addr next() {
+    if (hist_size_ > 0 && locality_ > 0 && rng_.chance(locality_)) {
+      return hist_[rng_.below(hist_size_)];
+    }
+    Addr a = base_ + rng_.below(words_) * sim::kWordBytes;
+    hist_[hist_pos_] = a;
+    hist_pos_ = (hist_pos_ + 1) % kHistory;
+    hist_size_ = std::min<uint32_t>(hist_size_ + 1, kHistory);
+    return a;
+  }
+
+ private:
+  sim::Rng& rng_;
+  Addr base_;
+  uint64_t words_;
+  double locality_;
+  Addr hist_[kHistory] = {};
+  uint32_t hist_pos_ = 0;
+  uint32_t hist_size_ = 0;
+};
+
+struct ThreadTotals {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t checksum = 0;
+};
+
+}  // namespace
+
+double conflict_probability(uint32_t threads, uint32_t reads_hot,
+                            uint32_t writes_hot, uint64_t hot_words) {
+  // Hong et al.'s approximation: a transaction conflicts if any of its hot
+  // accesses collides with another concurrent transaction's writes. With
+  // n-1 other transactions each writing w words of a W-word array, a single
+  // access collides with probability (n-1)*w/W; a transaction makes r+w
+  // independent hot accesses.
+  if (threads <= 1 || hot_words == 0) return 0.0;
+  double per_access =
+      std::min(1.0, static_cast<double>(threads - 1) *
+                        static_cast<double>(writes_hot) /
+                        static_cast<double>(hot_words));
+  double accesses = static_cast<double>(reads_hot + writes_hot);
+  return 1.0 - std::pow(1.0 - per_access, accesses);
+}
+
+double conflict_probability_lines(uint32_t threads, uint32_t reads_hot,
+                                  uint32_t writes_hot, uint64_t hot_bytes) {
+  return conflict_probability(threads, reads_hot, writes_hot,
+                              hot_bytes / sim::kLineBytes);
+}
+
+EigenResult run(const core::RunConfig& run_cfg, const EigenConfig& eb) {
+  if (eb.ws_bytes < sim::kWordBytes || eb.hot_bytes < sim::kWordBytes) {
+    throw std::invalid_argument("eigenbench arrays too small");
+  }
+  TxRuntime rt(run_cfg);
+  uint32_t n = run_cfg.threads;
+
+  // Setup (host-side): one hot array, per-thread mild and cold arrays.
+  // Arrays are prefaulted: the paper's runs are warmed up and its Fig. 3
+  // working-set effects come from cache capacity, not page faults.
+  auto& heap = rt.heap();
+  Addr hot = heap.host_alloc(eb.hot_bytes, sim::kLineBytes);
+  std::vector<Addr> mild(n), cold(n);
+  for (uint32_t t = 0; t < n; ++t) {
+    mild[t] = heap.host_alloc(eb.ws_bytes, sim::kLineBytes);
+    cold[t] = heap.host_alloc(std::max<uint64_t>(eb.cold_bytes, 64),
+                              sim::kLineBytes);
+  }
+
+  std::vector<ThreadTotals> totals(n);
+
+  rt.run([&](TxCtx& ctx) {
+    uint32_t t = ctx.id();
+    sim::Rng& rng = ctx.rng();
+    AddrGen gen_mild(rng, mild[t], eb.ws_bytes / sim::kWordBytes, eb.locality);
+    AddrGen gen_hot(rng, hot, eb.hot_bytes / sim::kWordBytes, eb.locality);
+    AddrGen gen_cold(rng, cold[t],
+                     std::max<uint64_t>(eb.cold_bytes, 64) / sim::kWordBytes,
+                     eb.locality);
+    ThreadTotals& tt = totals[t];
+
+    // Warm the private working set (outside the measured region) so the
+    // first measured transactions don't pay compulsory misses. The warm
+    // reads run inside transactions so TM metadata (STM lock stripes) warms
+    // up too — the paper's runs average full executions over millions of
+    // transactions, amortizing exactly these compulsory misses.
+    for (Addr chunk = mild[t]; chunk < mild[t] + eb.ws_bytes;
+         chunk += 64 * sim::kLineBytes) {
+      Addr end = std::min(chunk + 64 * sim::kLineBytes, mild[t] + eb.ws_bytes);
+      ctx.transaction([&] {
+        for (Addr a = chunk; a < end; a += sim::kLineBytes) ctx.load(a);
+      });
+    }
+    ctx.barrier();
+    if (t == 0) ctx.runtime().mark_measurement_start();
+    ctx.barrier();
+
+    // The per-transaction access schedule interleaves reads and writes in a
+    // deterministic shuffled order, as eigenbench does, so writes are not
+    // clustered at the end.
+    uint32_t tx_ops = eb.reads_mild + eb.writes_mild + eb.reads_hot +
+                      eb.writes_hot;
+    std::vector<uint8_t> schedule;
+    schedule.reserve(tx_ops);
+    // 0 = mild read, 1 = mild write, 2 = hot read, 3 = hot write
+    for (uint32_t i = 0; i < eb.reads_mild; ++i) schedule.push_back(0);
+    for (uint32_t i = 0; i < eb.writes_mild; ++i) schedule.push_back(1);
+    for (uint32_t i = 0; i < eb.reads_hot; ++i) schedule.push_back(2);
+    for (uint32_t i = 0; i < eb.writes_hot; ++i) schedule.push_back(3);
+    for (size_t i = schedule.size(); i > 1; --i) {
+      std::swap(schedule[i - 1], schedule[rng.below(i)]);
+    }
+
+    uint64_t payload = (static_cast<uint64_t>(t) << 32) + 1;
+    for (uint64_t loop = 0; loop < eb.loops; ++loop) {
+      // Reset at each attempt and folded into the totals only after the
+      // transaction commits, so aborted attempts don't skew checksums.
+      uint64_t reads = 0, writes = 0, checksum = 0;
+      ctx.transaction([&] {
+        reads = 0;
+        writes = 0;
+        checksum = 0;
+        for (uint8_t op : schedule) {
+          switch (op) {
+            case 0:
+              checksum += ctx.load(gen_mild.next());
+              ++reads;
+              break;
+            case 1: {
+              Addr a = gen_mild.next();
+              if (eb.verify_increments) {
+                ctx.store(a, ctx.load(a) + 1);
+              } else {
+                ctx.store(a, payload++);
+              }
+              ++writes;
+              break;
+            }
+            case 2:
+              checksum += ctx.load(gen_hot.next());
+              ++reads;
+              break;
+            case 3: {
+              Addr a = gen_hot.next();
+              if (eb.verify_increments) {
+                ctx.store(a, ctx.load(a) + 1);
+              } else {
+                ctx.store(a, payload++);
+              }
+              ++writes;
+              break;
+            }
+          }
+        }
+        if (eb.nops_in_tx) ctx.compute(eb.nops_in_tx);
+      });
+      tt.reads += reads;
+      tt.writes += writes;
+      tt.checksum += checksum;
+      // Non-transactional phase: cold accesses + compute.
+      for (uint32_t i = 0; i < eb.reads_cold; ++i) {
+        tt.checksum += ctx.load(gen_cold.next());
+        ++tt.reads;
+      }
+      for (uint32_t i = 0; i < eb.writes_cold; ++i) {
+        Addr a = gen_cold.next();
+        ctx.store(a, eb.verify_increments ? ctx.load(a) + 1 : payload++);
+        ++tt.writes;
+      }
+      if (eb.nops_out_tx) ctx.compute(eb.nops_out_tx);
+    }
+  });
+
+  EigenResult res;
+  res.report = rt.report();
+  for (const auto& tt : totals) {
+    res.total_reads += tt.reads;
+    res.total_writes += tt.writes;
+    res.read_checksum += tt.checksum;
+  }
+  if (eb.verify_increments) {
+    auto sum_array = [&](Addr base, uint64_t bytes) {
+      uint64_t s = 0;
+      for (Addr a = base; a < base + bytes; a += sim::kWordBytes) {
+        s += rt.machine().peek(a);
+      }
+      return s;
+    };
+    res.increment_sum = sum_array(hot, eb.hot_bytes);
+    for (uint32_t t = 0; t < n; ++t) {
+      res.increment_sum += sum_array(mild[t], eb.ws_bytes);
+      res.increment_sum +=
+          sum_array(cold[t], std::max<uint64_t>(eb.cold_bytes, 64));
+    }
+  }
+  return res;
+}
+
+}  // namespace tsx::eigenbench

@@ -1,0 +1,81 @@
+#pragma once
+// Eigenbench (Hong, Oguntebi, Casper, Bronson, Kozyrakis, Olukotun,
+// IISWC 2010): a microbenchmark that explores TM behaviour along orthogonal
+// characteristics. This reimplementation follows the paper's three-array
+// structure:
+//
+//   * hot  — one array shared by all threads, accessed transactionally;
+//            the contention knob (Fig. 7).
+//   * mild — a per-thread array accessed transactionally; its size is the
+//            per-thread working set (Fig. 3), and the number of accesses per
+//            transaction is the transaction length (Fig. 4).
+//   * cold — a per-thread array accessed outside transactions; together with
+//            non-tx compute it sets predominance (Fig. 8).
+//
+// The seven characteristics of the paper's Table II map to EigenConfig
+// fields as documented below.
+
+#include <cstdint>
+
+#include "core/runtime.h"
+
+namespace tsx::eigenbench {
+
+using core::TxCtx;
+using core::TxRuntime;
+using sim::Addr;
+
+struct EigenConfig {
+  uint64_t loops = 1000;  // transactions per thread
+
+  // Transaction length & pollution: reads/writes per tx on the mild array.
+  uint32_t reads_mild = 90;
+  uint32_t writes_mild = 10;
+  // Working-set size: bytes of the per-thread mild array.
+  uint64_t ws_bytes = 16 * 1024;
+
+  // Contention: accesses to the shared hot array (0 = no contention).
+  uint32_t reads_hot = 0;
+  uint32_t writes_hot = 0;
+  uint64_t hot_bytes = 64 * 1024;
+
+  // Predominance: non-transactional work per loop iteration.
+  uint32_t reads_cold = 0;
+  uint32_t writes_cold = 0;
+  uint64_t cold_bytes = 64 * 1024;
+  uint32_t nops_in_tx = 0;   // compute cycles inside the transaction
+  uint32_t nops_out_tx = 0;  // compute cycles outside
+
+  // Temporal locality: probability that an access repeats one of the last
+  // kHistory addresses instead of drawing a fresh random one.
+  double locality = 0.0;
+
+  // Verification mode: writes increment their target word (instead of
+  // storing a payload), so the grand total over all arrays must equal the
+  // number of writes performed — an atomicity check used by the tests.
+  bool verify_increments = false;
+};
+
+struct EigenResult {
+  core::RunReport report;
+  uint64_t total_reads = 0;
+  uint64_t total_writes = 0;
+  uint64_t read_checksum = 0;   // sum of values read (forces real dataflow)
+  // Only meaningful with verify_increments: sum over every array word.
+  uint64_t increment_sum = 0;
+};
+
+// Approximate per-transaction conflict probability at word granularity, the
+// metric the paper plots on Fig. 7's x-axis (valid for the STM; RTM's
+// effective contention is higher because it detects at line granularity).
+double conflict_probability(uint32_t threads, uint32_t reads_hot,
+                            uint32_t writes_hot, uint64_t hot_words);
+// Same formula evaluated at cache-line granularity (RTM's view).
+double conflict_probability_lines(uint32_t threads, uint32_t reads_hot,
+                                  uint32_t writes_hot, uint64_t hot_bytes);
+
+// Runs eigenbench under the backend/threads in `run_cfg` and returns the
+// measured-region report (setup is excluded via mark_measurement_start).
+EigenResult run(const core::RunConfig& run_cfg, const EigenConfig& eb);
+
+}  // namespace tsx::eigenbench

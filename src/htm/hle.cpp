@@ -1,0 +1,42 @@
+#include "htm/hle.h"
+
+#include "htm/rtm.h"
+
+namespace tsx::htm {
+
+bool HleLock::try_elided(const std::function<void()>& body) {
+  AttemptResult r = attempt(m_, [&] {
+    // The elided acquisition: the lock word joins the read-set and must
+    // look free (a held lock means someone is inside non-speculatively).
+    if (lock_.is_locked()) m_.tx_abort(kAbortCodeLockBusy);
+    body();
+    // XRELEASE: the elided release touches nothing (the lock was never
+    // written), so the commit ends the section.
+  });
+  if (r.committed) {
+    ++stats_.elided_commits;
+    return true;
+  }
+  ++stats_.elision_aborts;
+  return false;
+}
+
+void HleLock::critical_section(const std::function<void()>& body) {
+  ++stats_.sections;
+  for (uint32_t a = 0; a < attempts_; ++a) {
+    if (try_elided(body)) return;
+  }
+  // Hardware falls back to the real acquisition: the lock word write
+  // conflicts with every concurrent elided section, aborting them all.
+  ++stats_.lock_acquisitions;
+  lock_.lock();
+  try {
+    body();
+  } catch (...) {
+    lock_.unlock();
+    throw;
+  }
+  lock_.unlock();
+}
+
+}  // namespace tsx::htm

@@ -1,0 +1,171 @@
+#pragma once
+// RTM programming interface on top of the simulated TSX machine.
+//
+// Two levels:
+//   * attempt(): one hardware transaction attempt around a body — the moral
+//     equivalent of _xbegin()/_xend() with the body in between. Returns the
+//     commit/abort outcome instead of longjmp-style control flow.
+//   * RtmExecutor: the paper's Algorithm 1 — retry with a serial
+//     reader/writer-lock fallback, subscribing to the lock inside the
+//     transaction so fallback acquisitions abort all running transactions
+//     ("lock aborts").
+//
+// Abort classification matches the paper's Fig. 12 buckets (Table III):
+// data-conflict/read-capacity (merged, as on real hardware), write-capacity,
+// lock, misc3 (explicit/page-fault/unsupported-insn), misc5 (interrupts &c).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/types.h"
+#include "sync/spinlock.h"
+
+namespace tsx::htm {
+
+using sim::AbortReason;
+using sim::Addr;
+using sim::Cycles;
+using sim::Machine;
+
+// The explicit abort code Algorithm 1 uses when it finds the serial lock
+// held after starting a transaction.
+inline constexpr uint8_t kAbortCodeLockBusy = 0xff;
+
+struct AttemptResult {
+  bool committed = false;
+  uint32_t status = sim::xstatus::kStarted;
+  AbortReason reason = AbortReason::kNone;
+  uint64_t conflict_line = ~0ull;
+  Cycles cycles = 0;  // duration of this attempt (begin..commit/abort)
+};
+
+// Runs `body` inside one hardware transaction attempt. The body performs its
+// work through Machine ops; any abort (self- or remotely-initiated) unwinds
+// the body via sim::TxAborted, which attempt() absorbs into the result.
+// The body must keep host-side state transactional-safe: only locals, with
+// all shared data in simulated memory (rolled back by the hardware model).
+AttemptResult attempt(Machine& m, const std::function<void()>& body);
+
+// Reporting buckets used by the paper.
+enum class AbortClass : uint8_t {
+  kConflictOrReadCap = 0,  // hardware cannot tell these apart
+  kWriteCapacity,
+  kLock,   // aborts caused by a fallback lock acquisition
+  kMisc3,  // explicit (non-lock), page fault, unsupported instruction
+  kMisc5,  // interrupts / uncategorized
+  kCount,
+};
+const char* abort_class_name(AbortClass c);
+
+struct RtmStats {
+  uint64_t transactions = 0;  // execute() calls
+  uint64_t attempts = 0;
+  uint64_t commits = 0;
+  uint64_t fallbacks = 0;  // executions that took the serial lock
+  std::array<uint64_t, static_cast<size_t>(AbortClass::kCount)> aborts_by_class{};
+  std::array<uint64_t, static_cast<size_t>(AbortReason::kCount)> aborts_by_reason{};
+  Cycles cycles_committed = 0;  // in committing attempts
+  Cycles cycles_aborted = 0;    // wasted in aborting attempts
+  Cycles cycles_fallback = 0;   // in serial sections (incl. lock wait)
+
+  uint64_t aborts() const {
+    uint64_t s = 0;
+    for (uint64_t a : aborts_by_class) s += a;
+    return s;
+  }
+  // Aborts per attempt, the paper's "abort rate".
+  double abort_rate() const {
+    return attempts ? static_cast<double>(aborts()) / static_cast<double>(attempts)
+                    : 0.0;
+  }
+  double fallback_rate() const {
+    return transactions
+               ? static_cast<double>(fallbacks) / static_cast<double>(transactions)
+               : 0.0;
+  }
+
+  void merge(const RtmStats& o);
+};
+
+// Hooks bracketing every speculative attempt and the fallback execution,
+// used by the simulated heap to undo allocations of aborted attempts.
+struct ScopeHooks {
+  std::function<void()> begin;
+  std::function<void()> commit;
+  std::function<void()> abort;
+
+  void on_begin() const { if (begin) begin(); }
+  void on_commit() const { if (commit) commit(); }
+  void on_abort() const { if (abort) abort(); }
+};
+
+// Lock-subscription policies for the fallback (ablation study).
+enum class SubscriptionPolicy : uint8_t {
+  kSubscribeInTx = 0,  // paper's Algorithm 1: read lock inside the tx
+  kWaitThenSubscribe,  // spin for lock-free before xbegin, then subscribe
+  kNoSubscription,     // unsafe in general; provided for the ablation only
+};
+
+struct ExecutorConfig {
+  int max_retries = 8;  // the paper's MAX_RETRIES
+  SubscriptionPolicy policy = SubscriptionPolicy::kSubscribeInTx;
+};
+
+// Algorithm 1: transactional execution with serial-lock fallback. One
+// executor per Machine; all threads share it (its mutable statistics are
+// per-context, merged on demand, so fibers never race on counters — not
+// that they could, single host thread).
+class RtmExecutor {
+ public:
+  // `lock_base` must point at SerialRwLock::kFootprintBytes of simulated
+  // memory, line-aligned so the subscription line is exclusive to the lock.
+  RtmExecutor(Machine& m, Addr lock_base, ExecutorConfig cfg = {});
+
+  // Host-side initialization of the lock words.
+  void init();
+
+  void set_scope_hooks(ScopeHooks hooks) { hooks_ = std::move(hooks); }
+
+  // Executes `body` atomically: hardware transaction with retry, then
+  // serial fallback. `site` identifies the static transaction site for
+  // per-site statistics (Table IV's TID1-style breakdowns); pass 0 if
+  // unneeded.
+  void execute(const std::function<void()>& body, uint32_t site = 0);
+
+  // True while the calling context holds the serial lock (body code can
+  // check this to know it runs non-speculatively).
+  bool in_fallback() const;
+
+  sync::SerialRwLock& lock() { return lock_; }
+
+  // Aggregate statistics across all contexts / sites.
+  RtmStats stats() const;
+  // Per-site view (sites not seen return zeroed stats).
+  RtmStats site_stats(uint32_t site) const;
+  const std::vector<std::pair<uint32_t, RtmStats>>& all_site_stats() const {
+    return sites_;
+  }
+
+  static AbortClass classify(const AttemptResult& r, uint64_t lock_line);
+
+ private:
+  struct PerCtx {
+    bool in_fallback = false;
+  };
+
+  void record(RtmStats& s, const AttemptResult& r, uint64_t lock_line);
+
+  Machine& m_;
+  sync::SerialRwLock lock_;
+  ExecutorConfig cfg_;
+  ScopeHooks hooks_;
+  uint64_t lock_line_;
+  std::array<PerCtx, sim::kMaxCtxs> per_ctx_{};
+  RtmStats total_;
+  std::vector<std::pair<uint32_t, RtmStats>> sites_;
+};
+
+}  // namespace tsx::htm

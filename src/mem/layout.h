@@ -1,0 +1,20 @@
+#pragma once
+// Fixed simulated-address-space layout. Regions are far apart so aliasing
+// between runtime metadata and application data is impossible.
+
+#include "sim/types.h"
+
+namespace tsx::mem {
+
+// STM metadata: global clock line, stripe lock table, per-thread log rings.
+inline constexpr sim::Addr kStmRegionBase = 0x0001'0000'0000ull;
+
+// Runtime region: RTM serial fallback lock, global spinlock for the LOCK
+// backend, and other core-runtime words. Each object gets its own line.
+inline constexpr sim::Addr kRuntimeRegionBase = 0x0002'0000'0000ull;
+
+// Application heap.
+inline constexpr sim::Addr kHeapBase = 0x0004'0000'0000ull;
+inline constexpr uint64_t kHeapBytes = 1ull << 36;  // 64 GiB of address space
+
+}  // namespace tsx::mem

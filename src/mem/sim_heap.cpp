@@ -1,0 +1,135 @@
+#include "mem/sim_heap.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace tsx::mem {
+
+SimHeap::SimHeap(Machine& m, HeapConfig cfg)
+    : m_(m), cfg_(cfg), bump_(kHeapBase) {}
+
+uint64_t SimHeap::size_class(uint64_t bytes) const {
+  // Round to the next power of two, minimum one word. STAMP apps allocate a
+  // handful of node sizes, so classes stay few and reuse is high.
+  uint64_t b = std::max<uint64_t>(bytes, sim::kWordBytes);
+  return std::bit_ceil(b);
+}
+
+Addr SimHeap::take_from_pool(PerCtx& pc, uint64_t csize, bool simulate_cost) {
+  auto& fl = pc.free_lists[csize];
+  if (fl.empty()) {
+    // Refill: carve a chunk from the global bump region.
+    ++stats_.refills;
+    uint64_t chunk = std::max(cfg_.chunk_bytes, csize);
+    if (bump_ + chunk > kHeapBase + kHeapBytes) {
+      throw std::runtime_error("simulated heap exhausted");
+    }
+    Addr base = bump_;
+    bump_ += chunk;
+    if (cfg_.prefault_on_refill) {
+      // The optimized allocator touches every page of the new pool before
+      // handing memory out. The touches themselves must not be speculative
+      // (a refill can be triggered from inside a transaction, and faulting
+      // there would defeat the optimization), so pages are marked present
+      // directly and the fault-service time is charged as plain cycles.
+      m_.prefault(base, chunk);
+      if (simulate_cost) {
+        m_.compute((chunk / sim::kPageBytes) * cfg_.touch_page_cycles);
+      }
+    }
+    for (Addr a = base; a + csize <= base + chunk; a += csize) {
+      fl.push_back(a);
+    }
+    // Hand blocks out in address order.
+    std::reverse(fl.begin(), fl.end());
+  }
+  Addr a = fl.back();
+  fl.pop_back();
+  return a;
+}
+
+Addr SimHeap::alloc(uint64_t bytes, uint64_t align) {
+  if (align < 8 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("bad alignment");
+  }
+  CtxId ctx = m_.current_ctx();
+  PerCtx& pc = per_ctx_[ctx];
+  uint64_t csize = size_class(std::max(bytes, align));
+  m_.compute(cfg_.alloc_cycles);
+  Addr a = take_from_pool(pc, csize, /*simulate_cost=*/true);
+  blocks_[a] = {csize, &pc};
+  ++stats_.allocs;
+  stats_.bytes_live += csize;
+  stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+  if (pc.scope_open) pc.scope_allocs.push_back(a);
+  return a;
+}
+
+Addr SimHeap::host_alloc(uint64_t bytes, uint64_t align) {
+  if (align < 8 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("bad alignment");
+  }
+  uint64_t csize = size_class(std::max(bytes, align));
+  Addr a = take_from_pool(host_ctx_, csize, /*simulate_cost=*/false);
+  m_.prefault(a, csize);
+  blocks_[a] = {csize, &host_ctx_};
+  ++stats_.allocs;
+  stats_.bytes_live += csize;
+  stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+  return a;
+}
+
+void SimHeap::release(Addr addr) {
+  auto it = blocks_.find(addr);
+  if (it == blocks_.end()) throw std::invalid_argument("free of unknown block");
+  auto [csize, owner] = it->second;
+  blocks_.erase(it);
+  stats_.bytes_live -= csize;
+  ++stats_.frees;
+  owner->free_lists[csize].push_back(addr);
+}
+
+void SimHeap::free(Addr addr) {
+  CtxId ctx = m_.current_ctx();
+  PerCtx& pc = per_ctx_[ctx];
+  m_.compute(cfg_.free_cycles);
+  if (pc.scope_open) {
+    // Defer: an aborted attempt must not have freed anything.
+    pc.scope_frees.push_back(addr);
+    return;
+  }
+  release(addr);
+}
+
+void SimHeap::tx_scope_begin(CtxId ctx) {
+  PerCtx& pc = per_ctx_[ctx];
+  if (pc.scope_open) throw std::logic_error("nested heap tx scope");
+  pc.scope_open = true;
+  pc.scope_allocs.clear();
+  pc.scope_frees.clear();
+}
+
+void SimHeap::tx_scope_commit(CtxId ctx) {
+  PerCtx& pc = per_ctx_[ctx];
+  pc.scope_open = false;
+  for (Addr a : pc.scope_frees) release(a);
+  pc.scope_allocs.clear();
+  pc.scope_frees.clear();
+}
+
+void SimHeap::tx_scope_abort(CtxId ctx) {
+  PerCtx& pc = per_ctx_[ctx];
+  pc.scope_open = false;
+  // Undo speculative allocations; drop deferred frees.
+  for (Addr a : pc.scope_allocs) release(a);
+  pc.scope_allocs.clear();
+  pc.scope_frees.clear();
+}
+
+uint64_t SimHeap::block_size(Addr addr) const {
+  auto it = blocks_.find(addr);
+  return it == blocks_.end() ? 0 : it->second.first;
+}
+
+}  // namespace tsx::mem

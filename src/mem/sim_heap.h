@@ -1,0 +1,93 @@
+#pragma once
+// Simulated-memory allocator in the style of STAMP's thread-local memory
+// manager: per-thread segregated free lists refilled in chunks from a global
+// bump region, so parallel allocation needs no synchronization.
+//
+// Two properties matter for the paper's experiments:
+//   * Lazily-faulted pages: freshly obtained chunks are NOT present; the
+//     first touch faults — and a fault inside a hardware transaction aborts
+//     it (misc3). This is the vacation §V-B pathology.
+//   * `prefault_on_refill`: the optimized allocator touches chunk pages when
+//     the pool grows (simulated non-tx stores), eliminating in-tx faults.
+//
+// Transactional scopes: allocations made inside a speculative attempt are
+// registered and released again if the attempt aborts; frees are deferred to
+// commit (an aborted attempt must not release memory the old state uses).
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/layout.h"
+#include "sim/machine.h"
+#include "sim/types.h"
+
+namespace tsx::mem {
+
+using sim::Addr;
+using sim::CtxId;
+using sim::Machine;
+
+struct HeapConfig {
+  bool prefault_on_refill = false;
+  uint64_t chunk_bytes = 64 * 1024;
+  sim::Cycles alloc_cycles = 28;  // malloc fast-path cost
+  sim::Cycles free_cycles = 20;
+  sim::Cycles touch_page_cycles = 900;  // pre-touch cost per page on refill
+};
+
+struct HeapStats {
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t refills = 0;
+  uint64_t bytes_live = 0;
+  uint64_t bytes_peak = 0;
+};
+
+class SimHeap {
+ public:
+  SimHeap(Machine& m, HeapConfig cfg = {});
+
+  // Allocates from the calling context's pool. Must be called from a fiber.
+  // `align` must be a power of two >= 8.
+  Addr alloc(uint64_t bytes, uint64_t align = 8);
+  void free(Addr addr);
+
+  // Host-side allocation for setup code running outside the simulation
+  // (no cost, pages prefaulted). Freeable with free() only from a fiber.
+  Addr host_alloc(uint64_t bytes, uint64_t align = 8);
+
+  // Transactional scopes (wired into the RTM/STM executors per context).
+  void tx_scope_begin(CtxId ctx);
+  void tx_scope_commit(CtxId ctx);
+  void tx_scope_abort(CtxId ctx);
+
+  const HeapStats& stats() const { return stats_; }
+
+  // Testing: size of the block owning `addr`, 0 if unknown.
+  uint64_t block_size(Addr addr) const;
+
+ private:
+  struct PerCtx {
+    // size-class -> free addresses
+    std::unordered_map<uint64_t, std::vector<Addr>> free_lists;
+    bool scope_open = false;
+    std::vector<Addr> scope_allocs;
+    std::vector<Addr> scope_frees;
+  };
+
+  uint64_t size_class(uint64_t bytes) const;
+  Addr take_from_pool(PerCtx& pc, uint64_t csize, bool simulate_cost);
+  void release(Addr addr);
+
+  Machine& m_;
+  HeapConfig cfg_;
+  Addr bump_;
+  std::array<PerCtx, sim::kMaxCtxs> per_ctx_;
+  PerCtx host_ctx_;
+  std::unordered_map<Addr, std::pair<uint64_t, PerCtx*>> blocks_;
+  HeapStats stats_;
+};
+
+}  // namespace tsx::mem

@@ -1,0 +1,46 @@
+#include "sim/backing_store.h"
+
+#include <stdexcept>
+
+namespace tsx::sim {
+
+BackingStore::Page& BackingStore::page_for(Addr addr) {
+  auto& slot = pages_[page_of(addr)];
+  if (!slot) slot = std::make_unique<Page>();
+  return *slot;
+}
+
+const BackingStore::Page* BackingStore::find_page(Addr addr) const {
+  auto it = pages_.find(page_of(addr));
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Word BackingStore::peek(Addr addr) const {
+  if (addr % kWordBytes != 0) throw std::invalid_argument("unaligned peek");
+  const Page* p = find_page(addr);
+  if (!p) return 0;
+  return p->words[(addr % kPageBytes) / kWordBytes];
+}
+
+void BackingStore::poke(Addr addr, Word value) {
+  if (addr % kWordBytes != 0) throw std::invalid_argument("unaligned poke");
+  page_for(addr).words[(addr % kPageBytes) / kWordBytes] = value;
+}
+
+bool BackingStore::present(Addr addr) const {
+  const Page* p = find_page(addr);
+  return p && p->present;
+}
+
+void BackingStore::make_present(Addr addr) { page_for(addr).present = true; }
+
+void BackingStore::prefault(Addr addr, uint64_t bytes) {
+  if (bytes == 0) return;
+  uint64_t first = page_of(addr);
+  uint64_t last = page_of(addr + bytes - 1);
+  for (uint64_t p = first; p <= last; ++p) {
+    page_for(p * kPageBytes).present = true;
+  }
+}
+
+}  // namespace tsx::sim

@@ -1,0 +1,48 @@
+#pragma once
+// Paged word-granular backing store for the simulated physical address space,
+// plus the page-table "present" bits used for the minor-fault model.
+//
+// Values live here exclusively; caches model timing/presence only. Pages are
+// materialized lazily (zero-filled). A page starts *not present*: the first
+// access from simulated code raises a minor fault (serviced in non-tx mode,
+// aborting any enclosing hardware transaction — the behaviour behind the
+// paper's misc3 aborts in vacation).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.h"
+
+namespace tsx::sim {
+
+class BackingStore {
+ public:
+  struct Page {
+    bool present = false;
+    std::array<Word, kWordsPerPage> words{};
+  };
+
+  // Host-side value access (no timing, no faults). Used by the machine for
+  // the actual data movement and by tests/validators for inspection.
+  Word peek(Addr addr) const;
+  void poke(Addr addr, Word value);
+
+  bool present(Addr addr) const;
+  void make_present(Addr addr);
+
+  // Marks [addr, addr+bytes) present without cost: models memory that was
+  // touched before the measured region (or by a pre-faulting allocator).
+  void prefault(Addr addr, uint64_t bytes);
+
+  uint64_t pages_allocated() const { return pages_.size(); }
+
+ private:
+  Page& page_for(Addr addr);
+  const Page* find_page(Addr addr) const;
+
+  mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace tsx::sim

@@ -1,0 +1,85 @@
+#pragma once
+// Set-associative cache with true-LRU replacement. Caches track presence and
+// per-line transactional flags; data values live in the BackingStore.
+//
+// Flag usage by level:
+//   * L1: tx_write_mask — which hw threads have this line in their tx
+//     write-set. Evicting such a line is a write-capacity abort.
+//   * L3: tx_read_mask — which hw threads have this line in their tx
+//     read-set (the L3 is inclusive, so an L3 eviction means the line left
+//     the whole cache hierarchy: read-capacity abort). L3 lines also carry
+//     the directory state: which cores' private caches hold the line, and
+//     which core (if any) holds it modified.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace tsx::sim {
+
+struct CacheLine {
+  uint64_t tag = 0;  // full line address (addr / 64)
+  uint64_t lru = 0;
+  bool valid = false;
+  bool dirty = false;
+  uint8_t tx_write_mask = 0;  // L1 only
+  uint8_t tx_read_mask = 0;   // L3 only
+  uint8_t sharers = 0;        // L3 only: cores whose private caches hold it
+  int8_t dirty_owner = -1;    // L3 only: core holding it modified, or -1
+
+  void reset(uint64_t line_addr) {
+    tag = line_addr;
+    valid = true;
+    dirty = false;
+    tx_write_mask = 0;
+    tx_read_mask = 0;
+    sharers = 0;
+    dirty_owner = -1;
+  }
+};
+
+class Cache {
+ public:
+  Cache(const CacheGeometry& geom, const char* name);
+
+  // Looks up without touching replacement state.
+  CacheLine* probe(uint64_t line_addr);
+  const CacheLine* probe(uint64_t line_addr) const;
+
+  // Looks up and, on hit, refreshes LRU.
+  CacheLine* touch(uint64_t line_addr);
+
+  // Allocates a slot for `line_addr` (which must not be present), invoking
+  // `on_evict` with the victim line first if a valid line is displaced.
+  // Returns the (re-initialized) line.
+  CacheLine* fill(uint64_t line_addr,
+                  const std::function<void(const CacheLine&)>& on_evict);
+
+  // Drops the line if present (no writeback — caller decides what the
+  // invalidation means).
+  void invalidate(uint64_t line_addr);
+
+  uint32_t sets() const { return sets_; }
+  uint32_t ways() const { return ways_; }
+  const char* name() const { return name_; }
+
+  // Counts currently-valid lines (tests / debugging).
+  uint64_t valid_lines() const;
+
+ private:
+  uint32_t set_index(uint64_t line_addr) const {
+    return static_cast<uint32_t>(line_addr % sets_);
+  }
+  CacheLine* set_begin(uint32_t set) { return &lines_[set * ways_]; }
+
+  uint32_t sets_;
+  uint32_t ways_;
+  uint64_t tick_ = 0;
+  std::vector<CacheLine> lines_;
+  const char* name_;
+};
+
+}  // namespace tsx::sim

@@ -1,0 +1,24 @@
+#include "sim/energy_model.h"
+
+namespace tsx::sim {
+
+EnergyBreakdown EnergyModel::compute(uint64_t ops, uint64_t l1, uint64_t l2,
+                                     uint64_t l3, uint64_t mem,
+                                     uint64_t coherence, uint64_t writebacks,
+                                     double core_busy_cycles,
+                                     Cycles wall_cycles) const {
+  EnergyBreakdown e;
+  e.dynamic_j = 1e-9 * (static_cast<double>(ops) * p_.nj_per_op +
+                        static_cast<double>(l1) * p_.nj_per_l1 +
+                        static_cast<double>(l2) * p_.nj_per_l2 +
+                        static_cast<double>(l3) * p_.nj_per_l3 +
+                        static_cast<double>(mem) * p_.nj_per_mem +
+                        static_cast<double>(coherence) * p_.nj_per_coherence +
+                        static_cast<double>(writebacks) * p_.nj_per_writeback);
+  e.core_active_j = p_.w_core_active * (core_busy_cycles / freq_hz_);
+  e.package_idle_j =
+      p_.w_package_idle * (static_cast<double>(wall_cycles) / freq_hz_);
+  return e;
+}
+
+}  // namespace tsx::sim

@@ -1,0 +1,68 @@
+#include "sim/fiber.h"
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace tsx::sim {
+
+struct Fiber::Impl {
+  ucontext_t self{};
+  ucontext_t scheduler{};
+  std::vector<char> stack;
+  std::function<void()> fn;
+  bool finished = false;
+  bool running = false;
+  std::exception_ptr error;
+
+  static void trampoline(unsigned hi, unsigned lo) {
+    auto* impl = reinterpret_cast<Impl*>(
+        (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo));
+    try {
+      impl->fn();
+    } catch (...) {
+      impl->error = std::current_exception();
+    }
+    impl->finished = true;
+    // Never return from a makecontext entry: swap back to the scheduler
+    // forever.
+    swapcontext(&impl->self, &impl->scheduler);
+  }
+};
+
+Fiber::Fiber(size_t stack_bytes, std::function<void()> fn)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->fn = std::move(fn);
+  impl_->stack.resize(stack_bytes);
+  if (getcontext(&impl_->self) != 0) {
+    throw std::runtime_error("getcontext failed");
+  }
+  impl_->self.uc_stack.ss_sp = impl_->stack.data();
+  impl_->self.uc_stack.ss_size = impl_->stack.size();
+  impl_->self.uc_link = nullptr;
+  auto ptr = reinterpret_cast<uintptr_t>(impl_.get());
+  makecontext(&impl_->self, reinterpret_cast<void (*)()>(&Impl::trampoline), 2,
+              static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xffffffffu));
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::resume() {
+  if (impl_->finished) throw std::logic_error("resume of finished fiber");
+  impl_->running = true;
+  swapcontext(&impl_->scheduler, &impl_->self);
+  impl_->running = false;
+}
+
+void Fiber::yield() {
+  swapcontext(&impl_->self, &impl_->scheduler);
+}
+
+bool Fiber::finished() const { return impl_->finished; }
+
+std::exception_ptr Fiber::error() const { return impl_->error; }
+
+}  // namespace tsx::sim

@@ -1,0 +1,45 @@
+#pragma once
+// Cooperative fibers over POSIX ucontext. Each simulated hardware thread runs
+// its workload on a fiber; the Machine scheduler resumes the fiber whose
+// local clock is globally minimal, so memory events are totally ordered and
+// the whole simulation is deterministic and single-OS-threaded (no data
+// races by construction; cf. Core Guidelines CP.2).
+//
+// Exceptions may be thrown and caught *within* a fiber; they must never
+// propagate out of the fiber entry function (the entry traps them) and
+// unwinding never crosses a context switch.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace tsx::sim {
+
+class Fiber {
+ public:
+  // `fn` runs on the fiber's own stack at first resume().
+  Fiber(size_t stack_bytes, std::function<void()> fn);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Switches from the scheduler into the fiber. Returns when the fiber
+  // yields or finishes. Must not be called on a finished fiber.
+  void resume();
+
+  // Switches from inside the fiber back to the scheduler.
+  void yield();
+
+  bool finished() const;
+
+  // Set if fn terminated with an exception (a bug in workload code); the
+  // scheduler rethrows it on the main context so tests see the failure.
+  std::exception_ptr error() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tsx::sim

@@ -1,0 +1,385 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+namespace tsx::sim {
+
+Machine::Machine(const MachineConfig& cfg, uint32_t num_threads)
+    : cfg_(cfg), num_threads_(num_threads), setup_rng_(cfg.seed ^ 0xabcdef) {
+  if (num_threads == 0 || num_threads > kMaxCtxs) {
+    throw std::invalid_argument("thread count must be 1..8");
+  }
+  mem_ = std::make_unique<MemorySystem>(
+      cfg_, num_threads, &stats_.mem,
+      [this](CtxId victim, AbortReason r, uint64_t line) {
+        abort_tx(victim, r, line, 0);
+      });
+  for (CtxId i = 0; i < num_threads; ++i) {
+    auto c = std::make_unique<SimContext>();
+    c->id = i;
+    c->core = mem_->core_of(i);
+    c->rng.reseed(cfg_.seed * 0x9e3779b97f4a7c15ull + i + 1);
+    c->next_interrupt = cfg_.interrupts_enabled
+                            ? c->rng.exponential(cfg_.interrupt_mean_cycles)
+                            : 0;
+    ctxs_.push_back(std::move(c));
+  }
+}
+
+Machine::~Machine() = default;
+
+void Machine::set_thread(CtxId ctx, ThreadFn fn) {
+  if (ctx >= num_threads_) throw std::invalid_argument("bad ctx id");
+  if (ctxs_[ctx]->fiber) throw std::logic_error("thread already set");
+  ctxs_[ctx]->fiber =
+      std::make_unique<Fiber>(cfg_.fiber_stack_bytes, std::move(fn));
+}
+
+Machine::SimContext& Machine::cur() {
+  if (!current_) throw std::logic_error("simulation op outside a fiber");
+  return *current_;
+}
+
+const Machine::SimContext& Machine::cur() const {
+  if (!current_) throw std::logic_error("simulation op outside a fiber");
+  return *current_;
+}
+
+CtxId Machine::current_ctx() const { return cur().id; }
+
+Cycles Machine::now() const { return cur().clock; }
+
+Cycles Machine::wall() const {
+  Cycles w = 0;
+  for (const auto& c : ctxs_) w = std::max(w, c->clock);
+  return w;
+}
+
+Cycles Machine::ctx_finish(CtxId ctx) const { return ctxs_[ctx]->clock; }
+
+double Machine::core_busy_cycles() const {
+  // A core is modeled busy for as long as its busiest context.
+  std::vector<double> core_busy(cfg_.cores, 0.0);
+  for (const auto& c : ctxs_) {
+    core_busy[c->core] =
+        std::max(core_busy[c->core], static_cast<double>(c->busy));
+  }
+  double total = 0;
+  for (double b : core_busy) total += b;
+  return total;
+}
+
+bool Machine::sibling_active(const SimContext& c) const {
+  for (const auto& other : ctxs_) {
+    if (other->id != c.id && other->core == c.core &&
+        !other->fiber->finished()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Machine::advance(Cycles core_cycles, Cycles mem_cycles) {
+  SimContext& c = cur();
+  Cycles adj_core = core_cycles;
+  if (num_threads_ > cfg_.cores && sibling_active(c)) {
+    adj_core = static_cast<Cycles>(
+        static_cast<double>(core_cycles) * cfg_.smt_slowdown + 0.5);
+  }
+  c.clock += adj_core + mem_cycles;
+  c.busy += adj_core + mem_cycles;
+}
+
+void Machine::maybe_yield() {
+  if (num_threads_ == 1) return;
+  SimContext& c = cur();
+  for (const auto& other : ctxs_) {
+    if (other->id == c.id || other->fiber->finished() || other->waiting) {
+      continue;
+    }
+    if (other->clock < c.clock ||
+        (other->clock == c.clock && other->id < c.id)) {
+      c.fiber->yield();
+      return;
+    }
+  }
+}
+
+Machine::SimContext* Machine::pick_next() {
+  SimContext* best = nullptr;
+  bool any_waiting = false;
+  for (auto& c : ctxs_) {
+    if (c->fiber->finished()) continue;
+    if (c->waiting) {
+      any_waiting = true;
+      continue;
+    }
+    if (!best || c->clock < best->clock ||
+        (c->clock == best->clock && c->id < best->id)) {
+      best = c.get();
+    }
+  }
+  if (!best && any_waiting) {
+    throw std::logic_error("barrier deadlock: all runnable contexts waiting");
+  }
+  return best;
+}
+
+void Machine::run() {
+  if (ran_) throw std::logic_error("Machine::run called twice");
+  for (auto& c : ctxs_) {
+    if (!c->fiber) throw std::logic_error("unset thread function");
+  }
+  ran_ = true;
+  while (SimContext* next = pick_next()) {
+    current_ = next;
+    next->fiber->resume();
+    current_ = nullptr;
+    if (next->fiber->finished() && next->fiber->error()) {
+      std::rethrow_exception(next->fiber->error());
+    }
+  }
+}
+
+void Machine::op_prologue() {
+  SimContext& c = cur();
+  if (cfg_.interrupts_enabled) {
+    while (static_cast<double>(c.clock) >= c.next_interrupt) {
+      ++stats_.interrupts;
+      if (c.tx.active && !c.tx.doomed) {
+        abort_tx(c.id, AbortReason::kInterrupt, ~0ull, 0);
+      }
+      c.clock += cfg_.interrupt_handler_cycles;
+      c.busy += cfg_.interrupt_handler_cycles;
+      c.next_interrupt = static_cast<double>(c.clock) +
+                         c.rng.exponential(cfg_.interrupt_mean_cycles);
+    }
+  }
+  check_doomed();
+}
+
+void Machine::check_doomed() {
+  SimContext& c = cur();
+  if (c.tx.doomed) deliver_abort(c);
+}
+
+void Machine::deliver_abort(SimContext& c) {
+  advance(cfg_.tx_abort_cycles, 0);
+  TxAborted ex{c.tx.status, c.tx.reason, c.tx.conflict_line};
+  c.tx.doomed = false;
+  c.tx.active = false;
+  c.tx.depth = 0;
+  maybe_yield();
+  throw ex;
+}
+
+void Machine::abort_tx(CtxId victim, AbortReason reason, uint64_t line,
+                       uint8_t code) {
+  SimContext& v = *ctxs_[victim];
+  if (!v.tx.active || v.tx.doomed) return;
+  // Roll back speculative values (newest first).
+  for (auto it = v.tx.undo.rbegin(); it != v.tx.undo.rend(); ++it) {
+    mem_->backing().poke(it->first, it->second);
+  }
+  v.tx.undo.clear();
+  mem_->tx_clear(victim);
+  v.tx.doomed = true;
+  v.tx.reason = reason;
+  v.tx.conflict_line = line;
+  v.tx.status = status_for_abort(reason, code);
+  if (v.tx.depth > 1) v.tx.status |= xstatus::kNested;
+  ++stats_.tx.aborts_by_reason[static_cast<size_t>(reason)];
+  ++stats_.tx.aborts_by_misc[static_cast<size_t>(misc_bucket_for(reason))];
+}
+
+Cycles Machine::mem_access(Addr addr, bool is_write) {
+  SimContext& c = cur();
+  bool tx = c.tx.active && !c.tx.doomed;
+  // Page-fault model: faults are suppressed inside transactions (the tx
+  // aborts and the page stays absent, as on real TSX hardware).
+  if (!mem_->backing().present(addr)) {
+    if (tx) {
+      abort_tx(c.id, AbortReason::kPageFault, line_of(addr), 0);
+      deliver_abort(c);
+    }
+    ++stats_.mem.page_faults;
+    advance(cfg_.page_fault_cycles, 0);
+    mem_->backing().make_present(addr);
+  }
+  Cycles lat = mem_->access(c.id, addr, is_write, tx);
+  ++stats_.ops;
+  // Issue and L1-hit cycles are core-bound (the L1 ports are shared by the
+  // hyper-thread pair and scale with smt_slowdown); anything beyond the L1
+  // is latency in the uncore and overlaps freely.
+  Cycles core_part = std::min(lat, cfg_.lat_issue + cfg_.lat_l1);
+  advance(core_part, lat - core_part);
+  return lat;
+}
+
+Word Machine::load(Addr addr) {
+  op_prologue();
+  mem_access(addr, /*is_write=*/false);
+  check_doomed();
+  Word v = mem_->backing().peek(addr);
+  maybe_yield();
+  return v;
+}
+
+void Machine::store(Addr addr, Word value) {
+  op_prologue();
+  mem_access(addr, /*is_write=*/true);
+  check_doomed();
+  SimContext& c = cur();
+  if (c.tx.active) {
+    c.tx.undo.emplace_back(addr, mem_->backing().peek(addr));
+  }
+  mem_->backing().poke(addr, value);
+  maybe_yield();
+}
+
+bool Machine::cas(Addr addr, Word expected, Word desired) {
+  op_prologue();
+  mem_access(addr, /*is_write=*/true);
+  check_doomed();
+  SimContext& c = cur();
+  advance(4, 0);  // lock-prefixed op overhead beyond the exclusive access
+  Word old = mem_->backing().peek(addr);
+  if (old != expected) {
+    maybe_yield();
+    return false;
+  }
+  if (c.tx.active) c.tx.undo.emplace_back(addr, old);
+  mem_->backing().poke(addr, desired);
+  maybe_yield();
+  return true;
+}
+
+Word Machine::fetch_add(Addr addr, Word delta) {
+  op_prologue();
+  mem_access(addr, /*is_write=*/true);
+  check_doomed();
+  SimContext& c = cur();
+  advance(4, 0);
+  Word old = mem_->backing().peek(addr);
+  if (c.tx.active) c.tx.undo.emplace_back(addr, old);
+  mem_->backing().poke(addr, old + delta);
+  maybe_yield();
+  return old;
+}
+
+Word Machine::swap(Addr addr, Word value) {
+  op_prologue();
+  mem_access(addr, /*is_write=*/true);
+  check_doomed();
+  SimContext& c = cur();
+  advance(4, 0);
+  Word old = mem_->backing().peek(addr);
+  if (c.tx.active) c.tx.undo.emplace_back(addr, old);
+  mem_->backing().poke(addr, value);
+  maybe_yield();
+  return old;
+}
+
+void Machine::compute(Cycles cycles) {
+  op_prologue();
+  ++stats_.ops;
+  advance(cycles, 0);
+  maybe_yield();
+}
+
+void Machine::pause(Cycles cycles) { compute(cycles); }
+
+void Machine::tx_begin() {
+  op_prologue();
+  SimContext& c = cur();
+  if (c.tx.active) {
+    ++c.tx.depth;  // flat nesting
+    advance(8, 0);
+    maybe_yield();
+    return;
+  }
+  ++stats_.ops;
+  advance(cfg_.tx_begin_cycles, 0);
+  c.tx.active = true;
+  c.tx.depth = 1;
+  c.tx.doomed = false;
+  c.tx.reason = AbortReason::kNone;
+  c.tx.conflict_line = ~0ull;
+  c.tx.status = 0;
+  c.tx.undo.clear();
+  mem_->tx_begin(c.id, c.clock);
+  ++stats_.tx.started;
+  maybe_yield();
+}
+
+void Machine::tx_commit() {
+  op_prologue();
+  SimContext& c = cur();
+  if (!c.tx.active) throw std::logic_error("tx_commit outside transaction");
+  if (c.tx.depth > 1) {
+    --c.tx.depth;
+    advance(8, 0);
+    maybe_yield();
+    return;
+  }
+  ++stats_.ops;
+  advance(cfg_.tx_commit_cycles, 0);
+  mem_->tx_clear(c.id);
+  c.tx.active = false;
+  c.tx.depth = 0;
+  c.tx.undo.clear();
+  ++stats_.tx.committed;
+  maybe_yield();
+}
+
+void Machine::tx_abort(uint8_t code) {
+  op_prologue();
+  SimContext& c = cur();
+  if (!c.tx.active) throw std::logic_error("tx_abort outside transaction");
+  abort_tx(c.id, AbortReason::kExplicit, ~0ull, code);
+  deliver_abort(c);
+}
+
+void Machine::tx_unsupported_insn() {
+  op_prologue();
+  SimContext& c = cur();
+  if (c.tx.active) {
+    abort_tx(c.id, AbortReason::kUnsupportedInsn, ~0ull, 0);
+    deliver_abort(c);
+  }
+  advance(40, 0);
+  maybe_yield();
+}
+
+bool Machine::in_tx() const { return cur().tx.active && !cur().tx.doomed; }
+
+void Machine::barrier() {
+  op_prologue();
+  SimContext& c = cur();
+  if (c.tx.active) throw std::logic_error("barrier inside transaction");
+  advance(60, 0);  // syscall-ish entry cost
+  ++barrier_arrived_;
+  barrier_clock_ = std::max(barrier_clock_, c.clock);
+  if (barrier_arrived_ == num_threads_) {
+    // Release everyone at the last arriver's clock.
+    Cycles release = barrier_clock_;
+    uint64_t gen = barrier_generation_;
+    barrier_arrived_ = 0;
+    barrier_clock_ = 0;
+    ++barrier_generation_;
+    (void)gen;
+    for (auto& other : ctxs_) {
+      if (other->waiting) {
+        other->waiting = false;
+        other->clock = std::max(other->clock, release);
+      }
+    }
+    c.clock = std::max(c.clock, release);
+    maybe_yield();
+    return;
+  }
+  c.waiting = true;
+  while (c.waiting) c.fiber->yield();
+}
+
+}  // namespace tsx::sim

@@ -1,0 +1,169 @@
+#pragma once
+// The simulated machine: contexts (hardware threads) running workload code
+// on fibers, a deterministic min-time scheduler, the TSX transactional state
+// machine (undo log, doom/abort delivery, status words), the OS-event model
+// (timer interrupts, page faults) and run-level statistics.
+//
+// Threading model: the whole simulation runs on ONE host thread. Simulated
+// concurrency is interleaving of fiber ops ordered by local clocks, so every
+// run is deterministic for a given seed (Core Guidelines CP.2: no shared
+// mutable state between host threads at all).
+//
+// All simulated work must go through Machine ops (load/store/cas/compute/…):
+// each op is a scheduling point, an interrupt-delivery point, and an
+// abort-delivery point.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/backing_store.h"
+#include "sim/config.h"
+#include "sim/fiber.h"
+#include "sim/memory_system.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace tsx::sim {
+
+// Thrown out of Machine ops when the current context's hardware transaction
+// has aborted. Caught by the HTM layer's attempt wrapper (never crosses a
+// fiber switch during unwinding).
+struct TxAborted {
+  uint32_t status = 0;
+  AbortReason reason = AbortReason::kNone;
+  uint64_t conflict_line = ~0ull;
+};
+
+class Machine {
+ public:
+  using ThreadFn = std::function<void()>;
+
+  Machine(const MachineConfig& cfg, uint32_t num_threads);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  // Registers the workload for context `ctx` (must be called for every
+  // context exactly once before run()). The function runs on a fiber; it may
+  // only interact with the simulation through this Machine.
+  void set_thread(CtxId ctx, ThreadFn fn);
+
+  // Runs the simulation to completion of all threads.
+  void run();
+
+  // ---- Ops (valid only while run() is executing the calling fiber) ----
+  Word load(Addr addr);
+  void store(Addr addr, Word value);
+  // Atomic ops: one exclusive access; the bool result reports CAS success.
+  bool cas(Addr addr, Word expected, Word desired);
+  Word fetch_add(Addr addr, Word delta);
+  Word swap(Addr addr, Word value);
+  void compute(Cycles cycles);
+  void pause(Cycles cycles = 40);  // _mm_pause-style busy-wait hint
+
+  // ---- TSX primitives ----
+  void tx_begin();
+  void tx_commit();
+  [[noreturn]] void tx_abort(uint8_t code);  // _xabort
+  // Models executing a TSX-unfriendly instruction (syscall, cpuid, ...).
+  void tx_unsupported_insn();
+  bool in_tx() const;
+
+  // ---- Introspection & host-side helpers ----
+  CtxId current_ctx() const;
+  bool on_fiber() const { return current_ != nullptr; }
+  Cycles now() const;              // current context's clock
+  Cycles wall() const;             // after run(): max finish time
+  Cycles ctx_finish(CtxId) const;  // after run(): per-context finish time
+
+  // Host-side (costless) value access for setup/validation.
+  Word peek(Addr addr) const { return mem_->backing().peek(addr); }
+  void poke(Addr addr, Word value) { mem_->backing().poke(addr, value); }
+  void prefault(Addr addr, uint64_t bytes) { mem_->backing().prefault(addr, bytes); }
+
+  // Named barrier across all threads of the machine. Host-level: waiting
+  // contexts are descheduled (no simulated spinning); on release their
+  // clocks advance to the last arriver's clock.
+  void barrier();
+
+  MachineStats& stats() { return stats_; }
+  const MachineStats& stats() const { return stats_; }
+  MachineStats snapshot() const { return stats_; }
+
+  MemorySystem& memory() { return *mem_; }
+  Rng& setup_rng() { return setup_rng_; }
+
+  // Per-core busy cycles for the energy model (valid after run()).
+  double core_busy_cycles() const;
+
+  // Read-only view of the last abort delivered to `ctx` (testing).
+  AbortReason last_abort_reason(CtxId ctx) const { return ctxs_[ctx]->tx.reason; }
+
+ private:
+  struct HwTx {
+    bool active = false;
+    int depth = 0;
+    bool doomed = false;
+    AbortReason reason = AbortReason::kNone;
+    uint64_t conflict_line = ~0ull;
+    uint32_t status = 0;
+    std::vector<std::pair<Addr, Word>> undo;
+  };
+
+  struct SimContext {
+    CtxId id = 0;
+    uint32_t core = 0;
+    Cycles clock = 0;
+    Cycles busy = 0;
+    bool waiting = false;  // parked in a barrier
+    std::unique_ptr<Fiber> fiber;
+    HwTx tx;
+    Rng rng;
+    double next_interrupt = 0;
+  };
+
+  SimContext& cur();
+  const SimContext& cur() const;
+
+  // Op prologue: deliver due interrupts, then any pending abort.
+  void op_prologue();
+  [[noreturn]] void deliver_abort(SimContext& c);
+  void check_doomed();  // throws if current ctx is doomed
+
+  // Rolls back and dooms a transaction (memory-system abort callback and
+  // the path for self-initiated aborts).
+  void abort_tx(CtxId victim, AbortReason reason, uint64_t line, uint8_t code);
+
+  void advance(Cycles core_cycles, Cycles mem_cycles);
+  bool sibling_active(const SimContext& c) const;
+  void maybe_yield();
+  SimContext* pick_next();
+
+  // Common memory-op body.
+  Cycles mem_access(Addr addr, bool is_write);
+
+  MachineConfig cfg_;
+  uint32_t num_threads_;
+  MachineStats stats_;
+  std::unique_ptr<MemorySystem> mem_;
+  std::vector<std::unique_ptr<SimContext>> ctxs_;
+  SimContext* current_ = nullptr;
+  bool ran_ = false;
+
+  // Barrier state.
+  uint32_t barrier_arrived_ = 0;
+  Cycles barrier_clock_ = 0;
+  uint64_t barrier_generation_ = 0;
+
+  Rng setup_rng_;
+};
+
+}  // namespace tsx::sim

@@ -1,0 +1,106 @@
+#pragma once
+// Cache hierarchy + coherence + TSX read/write-set tracking.
+//
+// Model summary (see DESIGN.md §4):
+//   * Private L1d and L2 per core (shared by the two hyper-threads of a
+//     core), one shared *inclusive* L3.
+//   * Line-granularity invalidation coherence. The directory state (which
+//     cores' private caches hold a line; which core holds it modified) is
+//     kept on the L3 line, which inclusion makes authoritative.
+//   * Transactional write-sets are pinned in the L1: evicting a tx-written
+//     line aborts the writing transaction(s) with kWriteCapacity. Write-set
+//     capacity therefore tops out at 512 lines (and earlier under set
+//     pressure or SMT sharing), matching the paper's Fig. 1.
+//   * Transactional read-sets are tracked in the inclusive L3: an L3
+//     eviction of a tx-read line aborts the reader(s) with kReadCapacity, so
+//     read-sets scale to ~128K lines (Fig. 1).
+//   * Conflicts are requester-wins: any write (tx or not) to a line in
+//     another hw thread's read- or write-set, and any read of a line in
+//     another hw thread's write-set, aborts that other transaction.
+//
+// The MemorySystem performs no value movement: it returns timing and raises
+// abort callbacks; the Machine moves values through the BackingStore.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/backing_store.h"
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace tsx::sim {
+
+class MemorySystem {
+ public:
+  // `on_abort(victim, reason, line)` must roll the victim's transaction back
+  // and call tx_clear(victim). It may be invoked re-entrantly from access().
+  using AbortFn = std::function<void(CtxId, AbortReason, uint64_t)>;
+
+  MemorySystem(const MachineConfig& cfg, uint32_t num_ctxs, MemStats* stats,
+               AbortFn on_abort);
+
+  // Performs one data access and returns its latency in cycles. The caller
+  // has already handled page faults. `tx_mode` tracks the line in the
+  // requester's transactional sets.
+  Cycles access(CtxId ctx, Addr addr, bool is_write, bool tx_mode);
+
+  // `begin_clock` orders transactions by age for the mutual-kill policy.
+  void tx_begin(CtxId ctx, Cycles begin_clock);
+  // Clears transactional flags and sets (used for both commit and abort).
+  void tx_clear(CtxId ctx);
+  bool tx_active(CtxId ctx) const { return tx_[ctx].active; }
+
+  const std::unordered_set<uint64_t>& read_lines(CtxId ctx) const {
+    return tx_[ctx].read_lines;
+  }
+  const std::unordered_set<uint64_t>& write_lines(CtxId ctx) const {
+    return tx_[ctx].write_lines;
+  }
+
+  BackingStore& backing() { return backing_; }
+  const BackingStore& backing() const { return backing_; }
+
+  uint32_t core_of(CtxId ctx) const { return ctx % cores_; }
+
+  // Testing hooks.
+  Cache& l1(uint32_t core) { return *l1_[core]; }
+  Cache& l2(uint32_t core) { return *l2_[core]; }
+  Cache& l3() { return *l3_; }
+
+ private:
+  struct TxTrack {
+    bool active = false;
+    Cycles begin_clock = 0;
+    std::unordered_set<uint64_t> read_lines;
+    std::unordered_set<uint64_t> write_lines;
+  };
+
+  void check_conflicts(CtxId requester, uint64_t line, bool is_write);
+  void on_l1_evict(uint32_t core, CacheLine victim);
+  void on_l2_evict(uint32_t core, CacheLine victim);
+  void on_l3_evict(CacheLine victim);
+  // Removes other cores' private copies of `line` (for write ownership).
+  void invalidate_other_private(uint32_t keep_core, CacheLine* l3_line);
+  void drop_sharer_if_absent(uint32_t core, uint64_t line);
+
+  const MachineConfig& cfg_;
+  uint32_t cores_;
+  uint32_t num_ctxs_;
+  MemStats* stats_;
+  AbortFn on_abort_;
+
+  std::vector<std::unique_ptr<Cache>> l1_;
+  std::vector<std::unique_ptr<Cache>> l2_;
+  std::unique_ptr<Cache> l3_;
+  BackingStore backing_;
+
+  std::vector<TxTrack> tx_;
+  uint32_t active_tx_count_ = 0;
+};
+
+}  // namespace tsx::sim

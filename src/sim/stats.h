@@ -1,0 +1,56 @@
+#pragma once
+// Event counters maintained by the memory system and machine. These are the
+// simulator's "performance counters": benches snapshot them before and after
+// a measured region, like the paper's libpfm4-based harness.
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace tsx::sim {
+
+struct MemStats {
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t l1_hits = 0;
+  uint64_t l2_hits = 0;
+  uint64_t l3_hits = 0;
+  uint64_t mem_accesses = 0;
+  uint64_t c2c_transfers = 0;
+  uint64_t invalidations = 0;
+  uint64_t writebacks = 0;
+  uint64_t page_faults = 0;
+
+  uint64_t accesses() const { return loads + stores; }
+  uint64_t l1_accesses() const { return accesses(); }
+  uint64_t l2_accesses() const { return accesses() - l1_hits; }
+  uint64_t l3_accesses() const { return l2_accesses() - l2_hits; }
+};
+
+struct TxStats {
+  uint64_t started = 0;
+  uint64_t committed = 0;
+  std::array<uint64_t, static_cast<size_t>(AbortReason::kCount)> aborts_by_reason{};
+  std::array<uint64_t, static_cast<size_t>(MiscBucket::kCount)> aborts_by_misc{};
+
+  uint64_t aborted() const {
+    uint64_t s = 0;
+    for (uint64_t a : aborts_by_reason) s += a;
+    return s;
+  }
+  double abort_rate() const {
+    return started ? static_cast<double>(aborted()) / static_cast<double>(started)
+                   : 0.0;
+  }
+};
+
+struct MachineStats {
+  MemStats mem;
+  TxStats tx;
+  uint64_t ops = 0;            // retired simulated operations (issue slots)
+  uint64_t interrupts = 0;
+  double core_busy_cycles = 0; // summed over cores (for the energy model)
+};
+
+}  // namespace tsx::sim

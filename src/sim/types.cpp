@@ -1,0 +1,64 @@
+#include "sim/types.h"
+
+namespace tsx::sim {
+
+const char* abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kConflict: return "conflict";
+    case AbortReason::kReadCapacity: return "read-capacity";
+    case AbortReason::kWriteCapacity: return "write-capacity";
+    case AbortReason::kExplicit: return "explicit";
+    case AbortReason::kPageFault: return "page-fault";
+    case AbortReason::kInterrupt: return "interrupt";
+    case AbortReason::kUnsupportedInsn: return "unsupported-insn";
+    case AbortReason::kCount: break;
+  }
+  return "?";
+}
+
+uint32_t status_for_abort(AbortReason r, uint8_t explicit_code) {
+  using namespace xstatus;
+  switch (r) {
+    case AbortReason::kConflict:
+      return kConflict | kRetry;
+    case AbortReason::kReadCapacity:
+      // Real Haswell reports L3 read-set evictions as conflicts; the paper
+      // leans on this (Fig. 12 merges the two). No retry hint: retrying the
+      // same oversized read set fails again.
+      return kConflict;
+    case AbortReason::kWriteCapacity:
+      return kCapacity;
+    case AbortReason::kExplicit:
+      return kExplicit | pack_code(explicit_code);
+    case AbortReason::kPageFault:
+    case AbortReason::kUnsupportedInsn:
+    case AbortReason::kInterrupt:
+      return 0;  // none of the status bits set, like real asynchronous aborts
+    case AbortReason::kNone:
+    case AbortReason::kCount:
+      break;
+  }
+  return 0;
+}
+
+MiscBucket misc_bucket_for(AbortReason r) {
+  switch (r) {
+    case AbortReason::kConflict:
+    case AbortReason::kReadCapacity:
+    case AbortReason::kWriteCapacity:
+      return MiscBucket::kMisc1;
+    case AbortReason::kExplicit:
+    case AbortReason::kPageFault:
+    case AbortReason::kUnsupportedInsn:
+      return MiscBucket::kMisc3;
+    case AbortReason::kInterrupt:
+      return MiscBucket::kMisc5;
+    case AbortReason::kNone:
+    case AbortReason::kCount:
+      break;
+  }
+  return MiscBucket::kMisc5;
+}
+
+}  // namespace tsx::sim

@@ -1,0 +1,33 @@
+#pragma once
+// Common result type for the STAMP-lite applications.
+//
+// Every app follows the same protocol:
+//   1. host-side setup (no simulated cost),
+//   2. a barrier, mark_measurement_start() on thread 0, a barrier,
+//   3. the measured parallel phase,
+//   4. host-side validation of the final simulated state.
+//
+// The RunReport therefore covers exactly the parallel phase, like the
+// paper's timers around STAMP's TM regions.
+
+#include <string>
+
+#include "core/runtime.h"
+
+namespace tsx::stamp {
+
+struct AppResult {
+  core::RunReport report;
+  bool valid = false;
+  std::string validation_message;  // human-readable reason when invalid
+  uint64_t work_items = 0;         // app-defined unit count (for cycles/tx)
+};
+
+// Standard measured-region bracket used by every app's worker.
+inline void measured_region_begin(core::TxCtx& ctx) {
+  ctx.barrier();
+  if (ctx.id() == 0) ctx.runtime().mark_measurement_start();
+  ctx.barrier();
+}
+
+}  // namespace tsx::stamp

@@ -1,0 +1,141 @@
+#include "stamp/apps/bayes.h"
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace tsx::stamp {
+
+AppResult run_bayes(const core::RunConfig& run_cfg, const BayesConfig& app) {
+  core::TxRuntime rt(run_cfg);
+  auto& heap = rt.heap();
+  auto& m = rt.machine();
+  const uint32_t V = app.variables;
+  const uint32_t S = app.stats_words;
+
+  // ---- Host setup ----
+  sim::Rng rng(app.seed);
+  // Sufficient statistics per variable (the large read-mostly data).
+  sim::Addr stats = heap.host_alloc(uint64_t(V) * S * 8, 64);
+  for (uint64_t i = 0; i < uint64_t(V) * S; ++i) {
+    m.poke(stats + i * 8, rng.below(1000));
+  }
+  // Adjacency matrix (VxV words) + per-variable score + global score.
+  sim::Addr adj = heap.host_alloc(uint64_t(V) * V * 8, 64);
+  for (uint64_t i = 0; i < uint64_t(V) * V; ++i) m.poke(adj + i * 8, 0);
+  sim::Addr var_score = heap.host_alloc(uint64_t(V) * 8, 64);
+  for (uint32_t v = 0; v < V; ++v) m.poke(var_score + v * 8, 0);
+  sim::Addr global = heap.host_alloc(16, 64);
+  m.poke(global, 0);      // unused spacer (keeps the counter on its own word)
+  m.poke(global + 8, 0);  // next candidate index (work distribution)
+
+  // Distinct candidate pairs u < v.
+  std::vector<std::pair<uint32_t, uint32_t>> candidates;
+  {
+    std::vector<std::pair<uint32_t, uint32_t>> all;
+    for (uint32_t u = 0; u < V; ++u) {
+      for (uint32_t v = u + 1; v < V; ++v) all.emplace_back(u, v);
+    }
+    for (size_t i = all.size(); i > 1; --i) {
+      std::swap(all[i - 1], all[rng.below(i)]);
+    }
+    uint32_t n_cand = std::min<uint32_t>(app.candidates, all.size());
+    candidates.assign(all.begin(), all.begin() + n_cand);
+  }
+
+  // The scoring function: a deterministic reduction over both variables'
+  // statistics, mapped to a signed delta in [-500, 500). The host oracle
+  // computes the same value.
+  auto host_delta = [&](uint32_t u, uint32_t v) -> int64_t {
+    uint64_t acc = 0x9e3779b97f4a7c15ull ^ (uint64_t(u) << 32) ^ v;
+    for (uint32_t i = 0; i < S; ++i) {
+      acc = acc * 31 + m.peek(stats + (uint64_t(u) * S + i) * 8);
+      acc = acc * 31 + m.peek(stats + (uint64_t(v) * S + i) * 8);
+    }
+    return static_cast<int64_t>(acc % 1000) - 500;
+  };
+
+  rt.run([&](core::TxCtx& ctx) {
+    measured_region_begin(ctx);
+
+    for (;;) {
+      // Claim the next candidate (short transaction on the work counter).
+      uint64_t idx = ~0ull;
+      ctx.transaction([&] {
+        uint64_t next = ctx.load(global + 8);
+        idx = next;
+        if (next < candidates.size()) ctx.store(global + 8, next + 1);
+      });
+      if (idx >= candidates.size()) break;
+      auto [u, v] = candidates[idx];
+
+      // The learning transaction. Like STAMP's bayes, the CURRENT local
+      // score and adjacency row are read up front (the decision depends on
+      // them), so they sit in the transaction's read set for its whole
+      // duration — and the per-variable score array packs many variables
+      // per cache line, so RTM sees false conflicts between independent
+      // adoptions that word-granular TinySTM does not.
+      ctx.transaction(
+          [&] {
+            sim::Addr score_cell = var_score + uint64_t(v) * 8;
+            sim::Word old_score = ctx.load(score_cell);
+            sim::Addr cell = adj + (uint64_t(u) * V + v) * 8;
+            if (ctx.load(cell) != 0) return;  // already present
+            // Score the candidate: a long read phase over both variables'
+            // sufficient statistics.
+            uint64_t acc = 0x9e3779b97f4a7c15ull ^ (uint64_t(u) << 32) ^ v;
+            for (uint32_t i = 0; i < S; ++i) {
+              acc = acc * 31 + ctx.load(stats + (uint64_t(u) * S + i) * 8);
+              acc = acc * 31 + ctx.load(stats + (uint64_t(v) * S + i) * 8);
+            }
+            ctx.compute(6 * S);  // log-likelihood arithmetic
+            int64_t delta = static_cast<int64_t>(acc % 1000) - 500;
+            if (delta <= 0) return;
+            ctx.store(cell, 1);
+            ctx.store(score_cell, old_score + static_cast<sim::Word>(delta));
+          },
+          /*site=*/1);
+    }
+  });
+
+  AppResult res;
+  res.report = rt.report();
+  res.work_items = candidates.size();
+
+  // ---- Validation against the deterministic oracle ----
+  int64_t want_score = 0;
+  std::vector<uint8_t> want_adj(uint64_t(V) * V, 0);
+  std::vector<int64_t> want_var(V, 0);
+  for (auto [u, v] : candidates) {
+    int64_t d = host_delta(u, v);
+    if (d > 0) {
+      want_adj[uint64_t(u) * V + v] = 1;
+      want_var[v] += d;
+      want_score += d;
+    }
+  }
+  for (uint64_t i = 0; i < uint64_t(V) * V; ++i) {
+    if (m.peek(adj + i * 8) != want_adj[i]) {
+      res.validation_message = "adjacency mismatch at cell " + std::to_string(i);
+      return res;
+    }
+  }
+  int64_t got_score = 0;
+  for (uint32_t v = 0; v < V; ++v) {
+    int64_t vs = static_cast<int64_t>(m.peek(var_score + uint64_t(v) * 8));
+    if (vs != want_var[v]) {
+      res.validation_message = "variable score mismatch at " + std::to_string(v);
+      return res;
+    }
+    got_score += vs;
+  }
+  if (got_score != want_score) {
+    res.validation_message = "total score mismatch";
+    return res;
+  }
+  res.valid = true;
+  res.validation_message = "ok (score " + std::to_string(want_score) + ")";
+  return res;
+}
+
+}  // namespace tsx::stamp

@@ -1,0 +1,30 @@
+#pragma once
+// bayes (STAMP): Bayesian-network structure learning by hill climbing.
+// Workers evaluate candidate edges (u, v): scoring a candidate reads both
+// variables' sufficient-statistics arrays (kilobytes of transactional reads
+// -> long transactions with large read sets and a large working set), and
+// adopting an edge writes the adjacency entry and the score words. Paper
+// characteristics: long transactions + large working set — RTM gains
+// nothing from more threads, TinySTM wins overall; energy grows with
+// threads even when performance doesn't.
+//
+// Scoring is a deterministic function of the (host-precomputed) statistics,
+// and each candidate is evaluated exactly once, so the final network equals
+// "all candidates with positive delta" regardless of interleaving — the
+// validation oracle. (The paper notes bayes' *runtime* is order-dependent;
+// its learned structure here is made order-independent to stay checkable.)
+
+#include "stamp/apps/app.h"
+
+namespace tsx::stamp {
+
+struct BayesConfig {
+  uint32_t variables = 24;
+  uint32_t stats_words = 512;   // sufficient-statistics array per variable
+  uint32_t candidates = 256;    // proposals, each a distinct (u, v) pair
+  uint64_t seed = 8;
+};
+
+AppResult run_bayes(const core::RunConfig& run_cfg, const BayesConfig& app);
+
+}  // namespace tsx::stamp

@@ -1,0 +1,23 @@
+#pragma once
+// genome (STAMP): gene sequencing by segment de-duplication and assembly.
+// Phase 1 inserts a duplicated segment stream into a shared hash set
+// (transactions of medium length over bucket chains, low contention);
+// phase 2 assembles the unique segments into an ordered structure (a shared
+// red-black tree keyed by segment start). Paper characteristics: medium
+// transaction length, medium working set, low contention — RTM and TinySTM
+// roughly tie up to 4 threads, TinySTM keeps scaling at 8.
+
+#include "stamp/apps/app.h"
+
+namespace tsx::stamp {
+
+struct GenomeConfig {
+  uint32_t gene_length = 2048;      // unique segment starts 0..G-1
+  uint32_t duplication_factor = 3;  // stream length = G * factor (shuffled)
+  uint32_t hash_buckets = 512;      // power of two
+  uint64_t seed = 6;
+};
+
+AppResult run_genome(const core::RunConfig& run_cfg, const GenomeConfig& app);
+
+}  // namespace tsx::stamp

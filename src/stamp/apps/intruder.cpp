@@ -1,0 +1,191 @@
+#include "stamp/apps/intruder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stamp/lib/list.h"
+#include "stamp/lib/queue.h"
+#include "stamp/lib/rbtree.h"
+
+namespace tsx::stamp {
+
+namespace {
+
+// Flow descriptor in simulated memory (words):
+//   [0]=flow id [1]=total fragments [2]=fragments received [3]=list header
+constexpr uint64_t kFlowWords = 4;
+
+// A packet word packs (flow id << 20) | (total << 10) | fragment seq.
+sim::Word pack_packet(uint64_t flow, uint64_t total, uint64_t seq) {
+  return (flow << 20) | (total << 10) | seq;
+}
+void unpack_packet(sim::Word p, uint64_t* flow, uint64_t* total, uint64_t* seq) {
+  *flow = p >> 20;
+  *total = (p >> 10) & 0x3ff;
+  *seq = p & 0x3ff;
+}
+
+}  // namespace
+
+AppResult run_intruder(const core::RunConfig& run_cfg,
+                       const IntruderConfig& app) {
+  core::TxRuntime rt(run_cfg);
+  auto& heap = rt.heap();
+  auto& m = rt.machine();
+
+  // ---- Host setup: flows, shuffled fragment stream ----
+  sim::Rng rng(app.seed);
+  std::vector<uint32_t> flow_fragments(app.flows);
+  std::vector<bool> is_attack(app.flows);
+  uint64_t total_packets = 0;
+  for (uint32_t f = 0; f < app.flows; ++f) {
+    flow_fragments[f] = 1 + static_cast<uint32_t>(rng.below(app.max_fragments));
+    is_attack[f] = rng.below(100) < app.attack_fraction_pct;
+    total_packets += flow_fragments[f];
+  }
+  std::vector<sim::Word> stream;
+  stream.reserve(total_packets);
+  for (uint32_t f = 0; f < app.flows; ++f) {
+    for (uint32_t s = 0; s < flow_fragments[f]; ++s) {
+      stream.push_back(pack_packet(f + 1, flow_fragments[f], s));
+    }
+  }
+  for (size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.below(i)]);
+  }
+
+  Queue packets = Queue::create(rt, total_packets + 1);
+  for (sim::Word p : stream) packets.host_push(rt, p);
+
+  RbTree flows = RbTree::create_host(rt);
+  sim::Addr counters = heap.host_alloc(24, 64);
+  m.poke(counters, 0);       // processed flows
+  m.poke(counters + 8, 0);   // detected attacks
+  m.poke(counters + 16, 0);  // fragment-order errors seen at reassembly
+
+  rt.run([&](core::TxCtx& ctx) {
+    measured_region_begin(ctx);
+
+    for (;;) {
+      sim::Word pkt = 0;
+      bool got = false;
+      ctx.transaction([&] { got = packets.pop(ctx, &pkt); },
+                      kIntruderSiteQueue);
+      if (!got) break;
+      uint64_t flow_id, total, seq;
+      unpack_packet(pkt, &flow_id, &total, &seq);
+
+      // ---- TID1: the reassembly transaction ----
+      sim::Addr complete_flow = 0;
+      ctx.transaction(
+          [&] {
+            complete_flow = 0;
+            sim::Addr flow = flows.find_node(ctx, flow_id);
+            sim::Addr desc;
+            if (flow == 0) {
+              desc = ctx.malloc(kFlowWords * 8);
+              ctx.store(desc, flow_id);
+              ctx.store(desc + 8, total);
+              ctx.store(desc + 16, 0);
+              List l = List::create(ctx);
+              ctx.store(desc + 24, l.header());
+              flows.insert(ctx, flow_id, desc);
+            } else {
+              desc = flows.node_value(ctx, flow);
+            }
+            List frag_list(ctx.load(desc + 24));
+            if (app.optimized) {
+              // §V-A: constant-time prepend; sort later, outside the tx.
+              frag_list.push_front(ctx, seq, pkt);
+            } else {
+              // Baseline: keep the fragment list sorted at all times.
+              frag_list.insert_sorted(ctx, seq, pkt);
+            }
+            sim::Word got_frags = ctx.load(desc + 16) + 1;
+            ctx.store(desc + 16, got_frags);
+            if (got_frags == ctx.load(desc + 8)) {
+              flows.remove(ctx, flow_id);
+              complete_flow = desc;  // now private to this thread
+            }
+          },
+          kIntruderSiteReassembly);
+
+      if (complete_flow == 0) continue;
+
+      // ---- Reassembly finalization + detection, non-transactional ----
+      List frag_list(m.peek(complete_flow + 24));
+      if (app.optimized) {
+        // The deferred sort the optimized version pays once per flow. Its
+        // cost is modeled as compute proportional to n log n.
+        uint64_t len = m.peek(complete_flow + 8);
+        uint64_t cost = 1;
+        while ((1ull << cost) < len) ++cost;
+        ctx.compute(10 * len * cost);
+        frag_list.host_sort(rt);
+      }
+      // Walk fragments in order; verify sequence (reads are non-tx: the
+      // flow is private now).
+      uint64_t expect_seq = 0;
+      bool order_ok = true;
+      sim::Word k = 0, v = 0;
+      while (frag_list.pop_front(ctx, &k, &v)) {
+        if (k != expect_seq++) order_ok = false;
+        // Signature matching cost per fragment.
+        ctx.compute(80);
+      }
+      ctx.free(m.peek(complete_flow + 24));
+      uint64_t fid = m.peek(complete_flow);
+      ctx.free(complete_flow);
+
+      ctx.transaction([&] {
+        ctx.store(counters, ctx.load(counters) + 1);
+        if (is_attack[fid - 1]) {
+          ctx.store(counters + 8, ctx.load(counters + 8) + 1);
+        }
+        if (!order_ok) {
+          ctx.store(counters + 16, ctx.load(counters + 16) + 1);
+        }
+      });
+    }
+  });
+
+  AppResult res;
+  res.report = rt.report();
+  res.work_items = total_packets;
+
+  uint64_t processed = m.peek(counters);
+  uint64_t detected = m.peek(counters + 8);
+  uint64_t order_errors = m.peek(counters + 16);
+  uint64_t expected_attacks = 0;
+  for (uint32_t f = 0; f < app.flows; ++f) expected_attacks += is_attack[f];
+
+  if (processed != app.flows) {
+    res.validation_message = "processed " + std::to_string(processed) +
+                             " flows, expected " + std::to_string(app.flows);
+    return res;
+  }
+  if (detected != expected_attacks) {
+    res.validation_message = "attack count mismatch";
+    return res;
+  }
+  if (order_errors != 0) {
+    res.validation_message = std::to_string(order_errors) +
+                             " flows reassembled out of order";
+    return res;
+  }
+  if (flows.host_size(rt) != 0) {
+    res.validation_message = "incomplete flows left in the tree";
+    return res;
+  }
+  std::string why;
+  if (!flows.host_validate(rt, &why)) {
+    res.validation_message = "tree invariant: " + why;
+    return res;
+  }
+  res.valid = true;
+  res.validation_message = "ok";
+  return res;
+}
+
+}  // namespace tsx::stamp

@@ -1,0 +1,33 @@
+#pragma once
+// intruder (STAMP): network intrusion detection. Packets arrive in a shared
+// queue; the reassembly transaction (the paper's TID1) inserts each fragment
+// into its flow's list inside a red-black tree of incomplete flows; complete
+// flows are removed and scanned against attack signatures outside the
+// transaction.
+//
+// The `optimized` flag applies the paper's §V-A changes: fragments are
+// PREPENDED to the flow list in O(1) instead of sorted-inserted in O(n)
+// (sorting happens once, non-transactionally, at reassembly time), cutting
+// both the transactional read-set and the transaction duration roughly in
+// half.
+
+#include "stamp/apps/app.h"
+
+namespace tsx::stamp {
+
+struct IntruderConfig {
+  uint32_t flows = 256;
+  uint32_t max_fragments = 12;  // fragments per flow in [1, max]
+  uint32_t attack_fraction_pct = 10;
+  bool optimized = false;       // §V-A code changes
+  uint64_t seed = 4;
+};
+
+// Site ids used for per-transaction statistics (Table IV's TID1 = 1).
+inline constexpr uint32_t kIntruderSiteReassembly = 1;
+inline constexpr uint32_t kIntruderSiteQueue = 2;
+
+AppResult run_intruder(const core::RunConfig& run_cfg,
+                       const IntruderConfig& app);
+
+}  // namespace tsx::stamp

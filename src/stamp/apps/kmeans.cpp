@@ -1,0 +1,181 @@
+#include "stamp/apps/kmeans.h"
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace tsx::stamp {
+
+namespace {
+
+// Signed values are stored in two's complement words; features are
+// non-negative so plain unsigned arithmetic is exact.
+struct Layout {
+  sim::Addr points;   // points * dims words (read-only)
+  sim::Addr centers;  // clusters * dims words (read in assignment phase)
+  sim::Addr acc;      // clusters * dims accumulator words (tx-updated)
+  sim::Addr counts;   // clusters words (tx-updated)
+  sim::Addr deltas;   // one word: membership changes this iteration
+  sim::Addr members;  // points words: current assignment
+};
+
+uint64_t sq_dist(const std::vector<uint64_t>& a, size_t ai,
+                 const std::vector<uint64_t>& b, size_t bi, uint32_t dims) {
+  uint64_t s = 0;
+  for (uint32_t d = 0; d < dims; ++d) {
+    int64_t diff =
+        static_cast<int64_t>(a[ai + d]) - static_cast<int64_t>(b[bi + d]);
+    s += static_cast<uint64_t>(diff * diff);
+  }
+  return s;
+}
+
+}  // namespace
+
+AppResult run_kmeans(const core::RunConfig& run_cfg, const KmeansConfig& app) {
+  core::TxRuntime rt(run_cfg);
+  auto& heap = rt.heap();
+  auto& m = rt.machine();
+  uint32_t n = run_cfg.threads;
+  const uint32_t P = app.points, D = app.dims, K = app.clusters;
+
+  Layout L;
+  L.points = heap.host_alloc(uint64_t(P) * D * 8, 64);
+  L.centers = heap.host_alloc(uint64_t(K) * D * 8, 64);
+  L.acc = heap.host_alloc(uint64_t(K) * D * 8, 64);
+  L.counts = heap.host_alloc(uint64_t(K) * 8, 64);
+  L.deltas = heap.host_alloc(64, 64);
+  L.members = heap.host_alloc(uint64_t(P) * 8, 64);
+
+  // Host-side dataset generation (deterministic).
+  sim::Rng rng(app.seed);
+  std::vector<uint64_t> points(uint64_t(P) * D);
+  for (auto& v : points) v = rng.below(app.value_range);
+  for (uint64_t i = 0; i < points.size(); ++i) m.poke(L.points + i * 8, points[i]);
+  // Initial centers: the first K points (standard STAMP initialization).
+  std::vector<uint64_t> centers(uint64_t(K) * D);
+  for (uint32_t k = 0; k < K; ++k) {
+    for (uint32_t d = 0; d < D; ++d) centers[uint64_t(k) * D + d] = points[uint64_t(k) * D + d];
+  }
+  for (uint64_t i = 0; i < centers.size(); ++i) m.poke(L.centers + i * 8, centers[i]);
+  for (uint64_t p = 0; p < P; ++p) m.poke(L.members + p * 8, ~0ull);
+
+  // ---- Host-side reference clustering (the validation oracle) ----
+  std::vector<uint64_t> ref_centers = centers;
+  std::vector<uint64_t> ref_members(P, ~0ull);
+  for (uint32_t it = 0; it < app.iterations; ++it) {
+    std::vector<uint64_t> acc(uint64_t(K) * D, 0);
+    std::vector<uint64_t> cnt(K, 0);
+    for (uint64_t p = 0; p < P; ++p) {
+      uint64_t best = 0, best_d = ~0ull;
+      for (uint32_t k = 0; k < K; ++k) {
+        uint64_t d2 = sq_dist(points, p * D, ref_centers, uint64_t(k) * D, D);
+        if (d2 < best_d) {
+          best_d = d2;
+          best = k;
+        }
+      }
+      ref_members[p] = best;
+      ++cnt[best];
+      for (uint32_t d = 0; d < D; ++d) acc[best * D + d] += points[p * D + d];
+    }
+    for (uint32_t k = 0; k < K; ++k) {
+      if (cnt[k] == 0) continue;
+      for (uint32_t d = 0; d < D; ++d) {
+        ref_centers[uint64_t(k) * D + d] = acc[uint64_t(k) * D + d] / cnt[k];
+      }
+    }
+  }
+
+  // ---- Simulated parallel clustering ----
+  rt.run([&](core::TxCtx& ctx) {
+    uint32_t t = ctx.id();
+    uint64_t lo = uint64_t(P) * t / n;
+    uint64_t hi = uint64_t(P) * (t + 1) / n;
+
+    measured_region_begin(ctx);
+
+    for (uint32_t it = 0; it < app.iterations; ++it) {
+      // Zero the accumulators (partitioned by thread over clusters).
+      for (uint64_t k = t; k < K; k += n) {
+        for (uint32_t d = 0; d < D; ++d) ctx.store(L.acc + (k * D + d) * 8, 0);
+        ctx.store(L.counts + k * 8, 0);
+      }
+      if (t == 0) ctx.store(L.deltas, 0);
+      ctx.barrier();
+
+      uint64_t local_delta = 0;
+      for (uint64_t p = lo; p < hi; ++p) {
+        // Assignment: reads of the point and all centers, non-transactional
+        // (centers are stable within an iteration), plus distance compute.
+        uint64_t best = 0, best_d = ~0ull;
+        for (uint32_t k = 0; k < K; ++k) {
+          uint64_t d2 = 0;
+          for (uint32_t d = 0; d < D; ++d) {
+            uint64_t pv = ctx.load(L.points + (p * D + d) * 8);
+            uint64_t cv = ctx.load(L.centers + (uint64_t(k) * D + d) * 8);
+            int64_t diff = static_cast<int64_t>(pv) - static_cast<int64_t>(cv);
+            d2 += static_cast<uint64_t>(diff * diff);
+          }
+          ctx.compute(3 * D);
+          if (d2 < best_d) {
+            best_d = d2;
+            best = k;
+          }
+        }
+        uint64_t prev = ctx.load(L.members + p * 8);
+        if (prev != best) ++local_delta;
+        ctx.store(L.members + p * 8, best);
+
+        // The STAMP transaction: update the chosen cluster's accumulators.
+        ctx.transaction([&] {
+          ctx.store(L.counts + best * 8, ctx.load(L.counts + best * 8) + 1);
+          for (uint32_t d = 0; d < D; ++d) {
+            sim::Addr a = L.acc + (best * D + d) * 8;
+            ctx.store(a, ctx.load(a) + ctx.load(L.points + (p * D + d) * 8));
+          }
+        });
+      }
+      ctx.transaction([&] {
+        ctx.store(L.deltas, ctx.load(L.deltas) + local_delta);
+      });
+      ctx.barrier();
+
+      // Thread 0 recomputes centers from the accumulators.
+      if (t == 0) {
+        for (uint32_t k = 0; k < K; ++k) {
+          uint64_t c = ctx.load(L.counts + uint64_t(k) * 8);
+          if (c == 0) continue;
+          for (uint32_t d = 0; d < D; ++d) {
+            uint64_t s = ctx.load(L.acc + (uint64_t(k) * D + d) * 8);
+            ctx.store(L.centers + (uint64_t(k) * D + d) * 8, s / c);
+          }
+        }
+      }
+      ctx.barrier();
+    }
+  });
+
+  AppResult res;
+  res.report = rt.report();
+  res.work_items = uint64_t(P) * app.iterations;
+
+  // ---- Validation against the host oracle ----
+  res.valid = true;
+  for (uint64_t i = 0; i < centers.size() && res.valid; ++i) {
+    if (m.peek(L.centers + i * 8) != ref_centers[i]) {
+      res.valid = false;
+      res.validation_message = "center mismatch at word " + std::to_string(i);
+    }
+  }
+  for (uint64_t p = 0; p < P && res.valid; ++p) {
+    if (m.peek(L.members + p * 8) != ref_members[p]) {
+      res.valid = false;
+      res.validation_message = "membership mismatch at point " + std::to_string(p);
+    }
+  }
+  if (res.valid) res.validation_message = "ok";
+  return res;
+}
+
+}  // namespace tsx::stamp

@@ -1,0 +1,26 @@
+#pragma once
+// kmeans (STAMP): iterative K-means clustering. Characteristics per the
+// paper: very short transactions (one accumulator update), small working
+// set, high locality, low contention — the configuration where RTM wins and
+// is the only TM system that also saves energy.
+//
+// All arithmetic is integral (squared euclidean distance on integer-valued
+// features), so sequential and parallel runs converge to bit-identical
+// centers — the validation recomputes the whole clustering host-side.
+
+#include "stamp/apps/app.h"
+
+namespace tsx::stamp {
+
+struct KmeansConfig {
+  uint32_t points = 2048;
+  uint32_t dims = 8;
+  uint32_t clusters = 16;
+  uint32_t iterations = 4;
+  uint64_t value_range = 1024;  // feature values in [0, range)
+  uint64_t seed = 1;
+};
+
+AppResult run_kmeans(const core::RunConfig& run_cfg, const KmeansConfig& app);
+
+}  // namespace tsx::stamp

@@ -1,0 +1,226 @@
+#include "stamp/apps/labyrinth.h"
+
+#include <array>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stamp/lib/queue.h"
+
+namespace tsx::stamp {
+
+namespace {
+
+struct Grid {
+  uint32_t w, h, d;
+  uint64_t cells() const { return uint64_t(w) * h * d; }
+  uint64_t idx(uint32_t x, uint32_t y, uint32_t z) const {
+    return (uint64_t(z) * h + y) * w + x;
+  }
+  void coords(uint64_t i, uint32_t* x, uint32_t* y, uint32_t* z) const {
+    *x = static_cast<uint32_t>(i % w);
+    *y = static_cast<uint32_t>((i / w) % h);
+    *z = static_cast<uint32_t>(i / (uint64_t(w) * h));
+  }
+  // 6-neighbourhood (4 in-plane + up/down).
+  void neighbors(uint64_t i, std::vector<uint64_t>* out) const {
+    out->clear();
+    uint32_t x, y, z;
+    coords(i, &x, &y, &z);
+    if (x > 0) out->push_back(idx(x - 1, y, z));
+    if (x + 1 < w) out->push_back(idx(x + 1, y, z));
+    if (y > 0) out->push_back(idx(x, y - 1, z));
+    if (y + 1 < h) out->push_back(idx(x, y + 1, z));
+    if (z > 0) out->push_back(idx(x, y, z - 1));
+    if (z + 1 < d) out->push_back(idx(x, y, z + 1));
+  }
+};
+
+constexpr sim::Word kEmpty = 0;
+
+}  // namespace
+
+AppResult run_labyrinth(const core::RunConfig& run_cfg,
+                        const LabyrinthConfig& app) {
+  core::TxRuntime rt(run_cfg);
+  auto& heap = rt.heap();
+  auto& m = rt.machine();
+  Grid g{app.width, app.height, app.depth};
+  const uint64_t cells = g.cells();
+
+  sim::Addr grid = heap.host_alloc(cells * 8, 64);
+  for (uint64_t i = 0; i < cells; ++i) m.poke(grid + i * 8, kEmpty);
+
+  // Per-thread private expansion buffer (same size as the grid).
+  std::vector<sim::Addr> priv(run_cfg.threads);
+  for (auto& p : priv) p = heap.host_alloc(cells * 8, 64);
+
+  // Work items: distinct (src,dst) endpoint pairs, host-generated.
+  sim::Rng rng(app.seed);
+  std::vector<std::pair<uint64_t, uint64_t>> tasks;
+  std::vector<bool> used(cells, false);
+  while (tasks.size() < app.paths) {
+    uint64_t s = rng.below(cells), t = rng.below(cells);
+    if (s == t || used[s] || used[t]) continue;
+    used[s] = used[t] = true;
+    tasks.emplace_back(s, t);
+  }
+  Queue work = Queue::create(rt, app.paths + 1);
+  for (uint64_t i = 0; i < tasks.size(); ++i) work.host_push(rt, i + 1);
+
+  sim::Addr routed_addr = heap.host_alloc(16, 64);
+  m.poke(routed_addr, 0);      // successfully routed paths
+  m.poke(routed_addr + 8, 0);  // failed (blocked) paths
+
+  rt.run([&](core::TxCtx& ctx) {
+    sim::Addr my_priv = priv[ctx.id()];
+    std::vector<uint64_t> frontier, next, nbrs;
+
+    measured_region_begin(ctx);
+
+    for (;;) {
+      sim::Word task_id = 0;
+      bool got = false;
+      ctx.transaction([&] { got = work.pop(ctx, &task_id); }, /*site=*/2);
+      if (!got) break;
+      auto [src, dst] = tasks[task_id - 1];
+
+      bool routed = false;
+      ctx.transaction(
+          [&] {
+            // STAMP's grid_copy: the whole global grid into the private
+            // buffer, INSIDE the transaction (the write-capacity bomb).
+            for (uint64_t i = 0; i < cells; ++i) {
+              ctx.store(my_priv + i * 8, ctx.load(grid + i * 8));
+            }
+            // BFS wavefront expansion on the private copy.
+            routed = false;
+            if (ctx.load(my_priv + src * 8) != kEmpty ||
+                ctx.load(my_priv + dst * 8) != kEmpty) {
+              return;  // endpoint already occupied: fail
+            }
+            frontier.assign(1, src);
+            // Distances are stored as ~(dist+1): they live near 2^64 so they
+            // can't clash with path ids, and closer-to-src compares larger.
+            ctx.store(my_priv + src * 8, ~sim::Word(1));
+            bool reached = false;
+            for (uint32_t dist = 1; !frontier.empty() && !reached; ++dist) {
+              next.clear();
+              for (uint64_t cell : frontier) {
+                g.neighbors(cell, &nbrs);
+                for (uint64_t nb : nbrs) {
+                  sim::Word v = ctx.load(my_priv + nb * 8);
+                  if (v != kEmpty) continue;  // wall, path, or visited
+                  ctx.store(my_priv + nb * 8, ~sim::Word(dist + 1));
+                  if (nb == dst) {
+                    reached = true;
+                    break;
+                  }
+                  next.push_back(nb);
+                }
+                if (reached) break;
+              }
+              frontier.swap(next);
+            }
+            if (!reached) return;
+            // Trace back from dst to src, writing the path into the GLOBAL
+            // grid (these are the semantically required writes).
+            sim::Word path_mark = task_id;
+            uint64_t cur = dst;
+            sim::Word cur_d = ctx.load(my_priv + dst * 8);
+            while (cur != src) {
+              ctx.store(grid + cur * 8, path_mark);
+              g.neighbors(cur, &nbrs);
+              uint64_t best = cur;
+              for (uint64_t nb : nbrs) {
+                sim::Word v = ctx.load(my_priv + nb * 8);
+                // Smaller distance marker = closer to src (~ inverts order).
+                if (v > ~sim::Word(0) - 100000 && v > cur_d) {
+                  best = nb;
+                  cur_d = v;
+                }
+              }
+              if (best == cur) return;  // traceback failed: abort the route
+              cur = best;
+            }
+            ctx.store(grid + src * 8, path_mark);
+            routed = true;
+          },
+          /*site=*/1);
+
+      ctx.transaction([&] {
+        sim::Addr counter = routed ? routed_addr : routed_addr + 8;
+        ctx.store(counter, ctx.load(counter) + 1);
+      });
+    }
+  });
+
+  AppResult res;
+  res.report = rt.report();
+  res.work_items = app.paths;
+
+  // Validation: routed+failed == paths; every routed path is a connected
+  // chain of its own marks containing both endpoints; no mark belongs to an
+  // unknown task.
+  uint64_t routed = m.peek(routed_addr);
+  uint64_t failed = m.peek(routed_addr + 8);
+  if (routed + failed != app.paths) {
+    res.validation_message = "routed+failed != paths";
+    return res;
+  }
+  std::vector<uint64_t> mark_count(app.paths + 1, 0);
+  for (uint64_t i = 0; i < cells; ++i) {
+    sim::Word v = m.peek(grid + i * 8);
+    if (v == kEmpty) continue;
+    if (v > app.paths) {
+      res.validation_message = "unknown mark in grid";
+      return res;
+    }
+    ++mark_count[v];
+  }
+  std::vector<uint64_t> nbrs;
+  uint64_t routed_seen = 0;
+  for (uint64_t tid = 1; tid <= app.paths; ++tid) {
+    if (mark_count[tid] == 0) continue;
+    ++routed_seen;
+    auto [src, dst] = tasks[tid - 1];
+    if (m.peek(grid + src * 8) != tid || m.peek(grid + dst * 8) != tid) {
+      res.validation_message = "path " + std::to_string(tid) +
+                               " does not cover its endpoints";
+      return res;
+    }
+    // Connectivity: BFS over cells marked tid from src must reach dst.
+    std::vector<uint64_t> stack{src};
+    std::vector<bool> seen(cells, false);
+    seen[src] = true;
+    bool reached = false;
+    while (!stack.empty()) {
+      uint64_t cur = stack.back();
+      stack.pop_back();
+      if (cur == dst) {
+        reached = true;
+        break;
+      }
+      g.neighbors(cur, &nbrs);
+      for (uint64_t nb : nbrs) {
+        if (!seen[nb] && m.peek(grid + nb * 8) == tid) {
+          seen[nb] = true;
+          stack.push_back(nb);
+        }
+      }
+    }
+    if (!reached) {
+      res.validation_message = "path " + std::to_string(tid) + " disconnected";
+      return res;
+    }
+  }
+  if (routed_seen != routed) {
+    res.validation_message = "routed counter mismatch";
+    return res;
+  }
+  res.valid = true;
+  res.validation_message = "ok (" + std::to_string(routed) + "/" +
+                           std::to_string(app.paths) + " routed)";
+  return res;
+}
+
+}  // namespace tsx::stamp

@@ -1,0 +1,26 @@
+#pragma once
+// labyrinth (STAMP): Lee-style path routing in a 3-D grid. Each thread grabs
+// a (source, destination) work item and routes it with a breadth-first
+// expansion — STAMP copies the ENTIRE global grid into a private buffer
+// inside the transaction, so the transactional write-set equals the grid
+// size. With the default grid (> 512 cache lines) every hardware attempt
+// dies with a write-capacity abort and falls back to the serial lock: the
+// paper's "labyrinth does not scale in RTM, and multi-threaded RTM runs
+// burn energy on doomed speculation".
+
+#include "stamp/apps/app.h"
+
+namespace tsx::stamp {
+
+struct LabyrinthConfig {
+  uint32_t width = 48;
+  uint32_t height = 48;
+  uint32_t depth = 2;      // grid words = w*h*d (48*48*2 = 4608 = 36 KB)
+  uint32_t paths = 24;     // routing requests
+  uint64_t seed = 3;
+};
+
+AppResult run_labyrinth(const core::RunConfig& run_cfg,
+                        const LabyrinthConfig& app);
+
+}  // namespace tsx::stamp

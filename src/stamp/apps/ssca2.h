@@ -1,0 +1,21 @@
+#pragma once
+// ssca2 (STAMP): kernel 1 of the SSCA#2 graph benchmark — parallel
+// construction of a directed multigraph's adjacency structure. Paper
+// characteristics: very short transactions, tiny read/write sets, low
+// contention, large total working set; scales well everywhere, RTM slightly
+// ahead on both time and energy.
+
+#include "stamp/apps/app.h"
+
+namespace tsx::stamp {
+
+struct Ssca2Config {
+  uint32_t vertices = 8192;
+  uint32_t edges = 32768;
+  uint32_t max_degree = 32;  // adjacency array capacity per vertex
+  uint64_t seed = 2;
+};
+
+AppResult run_ssca2(const core::RunConfig& run_cfg, const Ssca2Config& app);
+
+}  // namespace tsx::stamp

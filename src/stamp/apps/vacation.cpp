@@ -1,0 +1,241 @@
+#include "stamp/apps/vacation.h"
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "stamp/lib/list.h"
+#include "stamp/lib/rbtree.h"
+
+namespace tsx::stamp {
+
+namespace {
+
+// Item record (words): [0]=available [1]=price [2]=total instances
+constexpr uint64_t kItemWords = 3;
+constexpr uint32_t kTables = 3;  // cars, flights, rooms
+
+// Reservation-list key: (table << 32) | item id, as STAMP sorts by type+id.
+sim::Word reservation_key(uint32_t table, uint64_t item) {
+  return (sim::Word(table) << 32) | item;
+}
+
+}  // namespace
+
+AppResult run_vacation(const core::RunConfig& run_cfg,
+                       const VacationConfig& app) {
+  core::RunConfig cfg = run_cfg;
+  cfg.heap.prefault_on_refill = app.optimized;  // §V-B allocator change
+  core::TxRuntime rt(cfg);
+  auto& heap = rt.heap();
+  auto& m = rt.machine();
+
+  // ---- Host setup: three item tables + the customer table ----
+  sim::Rng rng(app.seed);
+  std::array<RbTree, kTables> tables = {RbTree::create_host(rt),
+                                        RbTree::create_host(rt),
+                                        RbTree::create_host(rt)};
+  RbTree customers = RbTree::create_host(rt);
+  sim::Addr stats_words = heap.host_alloc(16, 64);
+  m.poke(stats_words, 0);      // completed reservations (bookings made)
+  m.poke(stats_words + 8, 0);  // completed cancellations
+
+  std::vector<uint64_t> booked_per_thread(cfg.threads, 0);
+  std::vector<uint64_t> cancelled_per_thread(cfg.threads, 0);
+
+  rt.run([&](core::TxCtx& ctx) {
+    uint32_t t = ctx.id();
+    sim::Rng& trng = ctx.rng();
+
+    // ---- Setup phase (before the measured region) ----
+    if (t == 0) {
+      for (uint32_t tab = 0; tab < kTables; ++tab) {
+        for (uint64_t item = 1; item <= app.relations; ++item) {
+          sim::Addr rec = ctx.malloc(kItemWords * 8);
+          uint64_t avail = 5 + rng.below(10);
+          uint64_t price = 50 + rng.below(500);
+          ctx.store(rec, avail);
+          ctx.store(rec + 8, price);
+          ctx.store(rec + 16, avail);
+          tables[tab].insert(ctx, item, rec);
+        }
+      }
+      for (uint64_t c = 1; c <= app.customers; ++c) {
+        List l = List::create(ctx);
+        customers.insert(ctx, c, l.header());
+      }
+    }
+
+    measured_region_begin(ctx);
+
+    for (uint32_t s = 0; s < app.sessions_per_thread; ++s) {
+      uint32_t dice = static_cast<uint32_t>(trng.below(100));
+      uint64_t cust = 1 + trng.below(app.customers);
+
+      if (dice < app.reserve_pct) {
+        // ---- Reservation session ----
+        // Pre-draw the random queries so every retry sees the same session.
+        std::array<std::pair<uint32_t, uint64_t>, 8> queries;
+        uint32_t nq = std::min<uint32_t>(app.queries_per_session, 8);
+        for (uint32_t q = 0; q < nq; ++q) {
+          queries[q] = {static_cast<uint32_t>(trng.below(kTables)),
+                        1 + trng.below(app.relations)};
+        }
+        bool booked = false;
+        ctx.transaction(
+            [&] {
+              booked = false;
+              // Query phase: find the best-priced available item.
+              uint32_t best_tab = 0;
+              uint64_t best_item = 0, best_price = ~0ull;
+              sim::Addr best_node = 0;
+              for (uint32_t q = 0; q < nq; ++q) {
+                auto [tab, item] = queries[q];
+                sim::Addr node = tables[tab].find_node(ctx, item);
+                if (node == 0) continue;
+                if (!app.optimized) {
+                  // Baseline: a redundant second lookup to read the price,
+                  // exactly the §V-B pathology.
+                  node = tables[tab].find_node(ctx, item);
+                }
+                sim::Addr rec = tables[tab].node_value(ctx, node);
+                uint64_t avail = ctx.load(rec);
+                uint64_t price = ctx.load(rec + 8);
+                if (avail > 0 && price < best_price) {
+                  best_price = price;
+                  best_tab = tab;
+                  best_item = item;
+                  best_node = node;
+                }
+              }
+              if (best_item == 0) return;
+              // Reserve: decrement availability + append to customer list.
+              sim::Addr rec;
+              if (app.optimized) {
+                rec = tables[best_tab].node_value(ctx, best_node);
+              } else {
+                // Baseline: yet another lookup of the chosen item.
+                sim::Addr node = tables[best_tab].find_node(ctx, best_item);
+                rec = tables[best_tab].node_value(ctx, node);
+              }
+              ctx.store(rec, ctx.load(rec) - 1);
+              sim::Addr cnode = customers.find_node(ctx, cust);
+              List rl(customers.node_value(ctx, cnode));
+              // The reservation node is fresh memory: in the baseline it can
+              // fault inside the transaction (misc3); the optimized
+              // allocator pre-faulted it.
+              if (app.optimized) {
+                rl.push_front(ctx, reservation_key(best_tab, best_item),
+                              best_price);
+              } else {
+                rl.insert_sorted(ctx, reservation_key(best_tab, best_item),
+                                 best_price);
+              }
+              booked = true;
+            },
+            kVacationSiteReserve);
+        if (booked) ++booked_per_thread[t];
+      } else if (dice < app.reserve_pct + (100 - app.reserve_pct -
+                                           app.update_pct) ||
+                 app.update_pct == 0) {
+        // ---- Cancellation session ----
+        bool cancelled = false;
+        ctx.transaction(
+            [&] {
+              cancelled = false;
+              sim::Addr cnode = customers.find_node(ctx, cust);
+              List rl(customers.node_value(ctx, cnode));
+              sim::Word key = 0, price = 0;
+              if (!rl.pop_front(ctx, &key, &price)) return;
+              uint32_t tab = static_cast<uint32_t>(key >> 32);
+              uint64_t item = key & 0xffffffffull;
+              sim::Addr node = tables[tab].find_node(ctx, item);
+              sim::Addr rec = tables[tab].node_value(ctx, node);
+              ctx.store(rec, ctx.load(rec) + 1);
+              cancelled = true;
+            },
+            kVacationSiteCancel);
+        if (cancelled) ++cancelled_per_thread[t];
+      } else {
+        // ---- Update session: change the price of a random item ----
+        uint32_t tab = static_cast<uint32_t>(trng.below(kTables));
+        uint64_t item = 1 + trng.below(app.relations);
+        uint64_t new_price = 50 + trng.below(500);
+        ctx.transaction(
+            [&] {
+              sim::Addr node = tables[tab].find_node(ctx, item);
+              if (node == 0) return;
+              sim::Addr rec = tables[tab].node_value(ctx, node);
+              ctx.store(rec + 8, new_price);
+            },
+            kVacationSiteUpdate);
+      }
+    }
+
+    // Publish per-thread tallies.
+    ctx.transaction([&] {
+      ctx.store(stats_words, ctx.load(stats_words) + booked_per_thread[t]);
+      ctx.store(stats_words + 8,
+                ctx.load(stats_words + 8) + cancelled_per_thread[t]);
+    });
+  });
+
+  AppResult res;
+  res.report = rt.report();
+  res.work_items = uint64_t(app.sessions_per_thread) * cfg.threads;
+
+  // ---- Validation: conservation of instances ----
+  // For every item: total - available == live reservations of that item.
+  uint64_t live_reservations = 0;
+  std::vector<uint64_t> reserved_count(kTables * app.relations, 0);
+  for (auto [cust_id, list_header] : customers.host_items(rt)) {
+    (void)cust_id;
+    List rl(static_cast<sim::Addr>(list_header));
+    for (auto [key, price] : rl.host_items(rt)) {
+      (void)price;
+      uint32_t tab = static_cast<uint32_t>(key >> 32);
+      uint64_t item = key & 0xffffffffull;
+      if (tab >= kTables || item == 0 || item > app.relations) {
+        res.validation_message = "corrupt reservation key";
+        return res;
+      }
+      ++reserved_count[tab * app.relations + (item - 1)];
+      ++live_reservations;
+    }
+  }
+  for (uint32_t tab = 0; tab < kTables; ++tab) {
+    for (auto [item, rec] : tables[tab].host_items(rt)) {
+      uint64_t avail = m.peek(rec);
+      uint64_t total = m.peek(rec + 16);
+      uint64_t reserved = reserved_count[tab * app.relations + (item - 1)];
+      if (avail + reserved != total) {
+        res.validation_message =
+            "instance conservation violated for item " + std::to_string(item);
+        return res;
+      }
+      if (avail > total) {
+        res.validation_message = "negative availability (wrapped)";
+        return res;
+      }
+    }
+  }
+  uint64_t booked = m.peek(stats_words);
+  uint64_t cancelled = m.peek(stats_words + 8);
+  if (booked - cancelled != live_reservations) {
+    res.validation_message = "booked - cancelled != live reservations";
+    return res;
+  }
+  for (uint32_t tab = 0; tab < kTables; ++tab) {
+    std::string why;
+    if (!tables[tab].host_validate(rt, &why)) {
+      res.validation_message = "table invariant: " + why;
+      return res;
+    }
+  }
+  res.valid = true;
+  res.validation_message =
+      "ok (" + std::to_string(booked) + " booked, " +
+      std::to_string(cancelled) + " cancelled)";
+  return res;
+}
+
+}  // namespace tsx::stamp

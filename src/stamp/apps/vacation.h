@@ -1,0 +1,40 @@
+#pragma once
+// vacation (STAMP): an online travel-reservation system. The database is
+// four red-black trees (cars, flights, rooms keyed by item id; customers
+// keyed by customer id, each holding a reservation list). Client threads run
+// coarse-grain transactional sessions: reservations, cancellations, and
+// availability updates.
+//
+// The `optimized` flag applies the paper's §V-B changes cumulatively:
+//   * merged tree lookups — the reservation query keeps the found node and
+//     reuses it for price reads and availability updates (the baseline looks
+//     the same item up two or three times);
+//   * reservation-list insertions at the head instead of sorted order;
+//   * a pre-faulting allocator (heap.prefault_on_refill), eliminating
+//     in-transaction page faults (misc3 aborts).
+// run_vacation sets heap.prefault_on_refill from `optimized`; the paper's
+// Table V workload is "-u 100" (reservations only), `update_pct = 0`.
+
+#include "stamp/apps/app.h"
+
+namespace tsx::stamp {
+
+struct VacationConfig {
+  uint32_t relations = 1024;     // items per table (paper scales to 64K)
+  uint32_t customers = 256;
+  uint32_t sessions_per_thread = 400;
+  uint32_t queries_per_session = 4;
+  uint32_t reserve_pct = 80;     // of sessions; the rest split cancel/update
+  uint32_t update_pct = 0;       // "-u 100" in the paper's Table V setup
+  bool optimized = false;        // §V-B code changes
+  uint64_t seed = 5;
+};
+
+inline constexpr uint32_t kVacationSiteReserve = 1;
+inline constexpr uint32_t kVacationSiteCancel = 2;
+inline constexpr uint32_t kVacationSiteUpdate = 3;
+
+AppResult run_vacation(const core::RunConfig& run_cfg,
+                       const VacationConfig& app);
+
+}  // namespace tsx::stamp

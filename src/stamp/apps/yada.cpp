@@ -1,0 +1,227 @@
+#include "stamp/apps/yada.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stamp/lib/heap.h"
+
+namespace tsx::stamp {
+
+namespace {
+
+// Element record (words): [0]=alive [1]=bad [2..4]=neighbor addresses,
+// padded to two cache lines like STAMP's element_t (coordinates, circum-
+// center, encroachment state...), so meshes have realistic footprints.
+constexpr uint64_t kElemWords = 16;
+
+constexpr sim::Addr nb_a(sim::Addr e, int slot) { return e + 16 + slot * 8; }
+
+}  // namespace
+
+AppResult run_yada(const core::RunConfig& run_cfg, const YadaConfig& app) {
+  core::TxRuntime rt(run_cfg);
+  auto& heap_alloc = rt.heap();
+  auto& m = rt.machine();
+  const uint64_t E = app.elements & ~1ull;  // even, for the chord pairing
+
+  // ---- Host setup: 3-regular ring-with-chords mesh ----
+  sim::Rng rng(app.seed);
+  std::vector<sim::Addr> elems(E);
+  for (uint64_t i = 0; i < E; ++i) {
+    elems[i] = heap_alloc.host_alloc(kElemWords * 8);
+  }
+  uint64_t initial_bad = 0;
+  for (uint64_t i = 0; i < E; ++i) {
+    bool bad = rng.below(100) < app.initial_bad_pct;
+    initial_bad += bad;
+    m.poke(elems[i], 1);
+    m.poke(elems[i] + 8, bad ? 1 : 0);
+    m.poke(nb_a(elems[i], 0), elems[(i + 1) % E]);
+    m.poke(nb_a(elems[i], 1), elems[(i + E - 1) % E]);
+    m.poke(nb_a(elems[i], 2), elems[(i + E / 2) % E]);
+  }
+  BinHeap work = BinHeap::create_host(rt, E + app.max_refinements * 4 + 64);
+  for (uint64_t i = 0; i < E; ++i) {
+    if (m.peek(elems[i] + 8)) work.host_push(rt, elems[i]);
+  }
+
+  sim::Addr counters = heap_alloc.host_alloc(24, 64);
+  m.poke(counters, 0);       // refinements performed
+  m.poke(counters + 8, 0);   // stale pops (element already dead/good)
+  m.poke(counters + 16, 0);  // new bad elements produced
+
+  rt.run([&](core::TxCtx& ctx) {
+    sim::Rng& trng = ctx.rng();
+    std::vector<sim::Addr> cavity, boundary_elem, seen_nb;
+    std::vector<int> boundary_slot;
+
+    measured_region_begin(ctx);
+
+    for (;;) {
+      bool done = false;
+      // Pre-draw randomness so retries replay identically.
+      uint64_t bad_draws[64];
+      for (auto& d : bad_draws) d = trng.below(100);
+
+      // ---- Work-acquisition transaction (small, like STAMP's heap pop) ----
+      sim::Addr e = 0;
+      ctx.transaction(
+          [&] {
+            e = 0;
+            done = false;
+            if (ctx.load(counters) >= app.max_refinements) {
+              done = true;
+              return;
+            }
+            sim::Word w = 0;
+            if (!work.pop_min(ctx, &w)) {
+              done = true;
+              return;
+            }
+            e = static_cast<sim::Addr>(w);
+          },
+          /*site=*/2);
+      if (done) break;
+      if (e == 0) continue;
+
+      // ---- Refinement transaction (big: cavity reads + scattered writes).
+      // The element may have been consumed by a concurrent cavity between
+      // the two transactions; re-check and skip if stale.
+      ctx.transaction(
+          [&] {
+            if (ctx.load(e) == 0 || ctx.load(e + 8) == 0) {
+              // Stale queue entry: the element was consumed by an earlier
+              // cavity or is no longer bad.
+              ctx.store(counters + 8, ctx.load(counters + 8) + 1);
+              return;
+            }
+            // ---- Cavity: radius-2 alive neighbourhood of e ----
+            cavity.clear();
+            cavity.push_back(e);
+            auto in_cavity = [&](sim::Addr x) {
+              return std::find(cavity.begin(), cavity.end(), x) != cavity.end();
+            };
+            for (int ring = 0; ring < 2; ++ring) {
+              size_t end = cavity.size();
+              for (size_t i = 0; i < end; ++i) {
+                for (int s = 0; s < 3; ++s) {
+                  sim::Addr nb = ctx.load(nb_a(cavity[i], s));
+                  if (nb == 0 || in_cavity(nb)) continue;
+                  if (ctx.load(nb) == 0) continue;  // dead
+                  cavity.push_back(nb);
+                }
+              }
+            }
+            // ---- Boundary: alive elements with links into the cavity ----
+            // Each boundary element is visited once; every one of its slots
+            // that points into the cavity becomes a dangling slot to relink.
+            boundary_elem.clear();
+            boundary_slot.clear();
+            seen_nb.clear();
+            for (sim::Addr c : cavity) {
+              for (int s = 0; s < 3; ++s) {
+                sim::Addr nb = ctx.load(nb_a(c, s));
+                if (nb == 0 || in_cavity(nb)) continue;
+                if (ctx.load(nb) == 0) continue;
+                if (std::find(seen_nb.begin(), seen_nb.end(), nb) !=
+                    seen_nb.end()) {
+                  continue;
+                }
+                seen_nb.push_back(nb);
+                for (int bs = 0; bs < 3; ++bs) {
+                  if (in_cavity(ctx.load(nb_a(nb, bs)))) {
+                    boundary_elem.push_back(nb);
+                    boundary_slot.push_back(bs);
+                  }
+                }
+              }
+            }
+            // ---- Retriangulate ----
+            for (sim::Addr c : cavity) ctx.store(c, 0);  // kill
+            uint64_t D = boundary_elem.size();
+            uint64_t new_bad = 0;
+            if (D > 0) {
+              std::vector<sim::Addr> fresh(D);
+              for (uint64_t j = 0; j < D; ++j) {
+                fresh[j] = ctx.malloc(kElemWords * 8);
+              }
+              for (uint64_t j = 0; j < D; ++j) {
+                bool bad = bad_draws[j % 64] < app.new_bad_pct;
+                ctx.store(fresh[j], 1);
+                ctx.store(fresh[j] + 8, bad ? 1 : 0);
+                ctx.store(nb_a(fresh[j], 0), fresh[(j + 1) % D]);
+                ctx.store(nb_a(fresh[j], 1), fresh[(j + D - 1) % D]);
+                ctx.store(nb_a(fresh[j], 2), boundary_elem[j]);
+                ctx.store(nb_a(boundary_elem[j], boundary_slot[j]), fresh[j]);
+                if (bad) {
+                  work.push(ctx, fresh[j]);
+                  ++new_bad;
+                }
+              }
+            }
+            ctx.store(counters, ctx.load(counters) + 1);
+            ctx.store(counters + 16, ctx.load(counters + 16) + new_bad);
+          },
+          /*site=*/1);
+      ctx.compute(300);  // per-cavity geometric bookkeeping outside the tx
+    }
+  });
+
+  AppResult res;
+  res.report = rt.report();
+  res.work_items = m.peek(counters);
+
+  // ---- Validation: the alive mesh is link-consistent ----
+  // Gather all alive elements reachable through the records we know about:
+  // originals plus everything the heap allocator handed out. We walk links
+  // from alive originals; every alive element must have alive targets and
+  // multiset-reciprocal links.
+  std::map<sim::Addr, std::array<sim::Addr, 3>> alive;
+  std::vector<sim::Addr> stack;
+  auto consider = [&](sim::Addr e) {
+    if (e == 0 || alive.count(e) || m.peek(e) == 0) return;
+    alive[e] = {m.peek(nb_a(e, 0)), m.peek(nb_a(e, 1)), m.peek(nb_a(e, 2))};
+    stack.push_back(e);
+  };
+  for (sim::Addr e : elems) consider(e);
+  while (!stack.empty()) {
+    sim::Addr e = stack.back();
+    stack.pop_back();
+    for (sim::Addr nb : alive[e]) consider(nb);
+  }
+  std::map<std::pair<sim::Addr, sim::Addr>, int> link_count;
+  for (const auto& [e, nbs] : alive) {
+    for (sim::Addr nb : nbs) {
+      if (nb == 0) {
+        res.validation_message = "alive element with null link";
+        return res;
+      }
+      if (m.peek(nb) == 0) {
+        res.validation_message = "alive element links to dead element";
+        return res;
+      }
+      ++link_count[{e, nb}];
+    }
+  }
+  for (const auto& [edge, count] : link_count) {
+    auto rev = link_count.find({edge.second, edge.first});
+    if (rev == link_count.end() || rev->second != count) {
+      res.validation_message = "non-reciprocal link";
+      return res;
+    }
+  }
+  uint64_t refinements = m.peek(counters);
+  if (refinements == 0 && initial_bad > 0) {
+    res.validation_message = "no refinements performed despite bad elements";
+    return res;
+  }
+  res.valid = true;
+  res.validation_message =
+      "ok (" + std::to_string(refinements) + " refinements, " +
+      std::to_string(alive.size()) + " alive elements)";
+  return res;
+}
+
+}  // namespace tsx::stamp

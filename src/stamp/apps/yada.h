@@ -1,0 +1,27 @@
+#pragma once
+// yada (STAMP): Ruppert-style Delaunay mesh refinement. This port preserves
+// the transactional *shape* rather than the geometry: elements form a
+// 3-regular "mesh" graph; a shared min-heap feeds bad elements to worker
+// threads; each refinement transaction expands a cavity around the bad
+// element (radius-2 neighbourhood reads), retriangulates it (kills the
+// cavity, allocates replacement elements, relinks the boundary — scattered
+// writes), and pushes any new bad elements back onto the shared heap.
+// Paper characteristics: big working set, medium transaction length, large
+// read/write sets, medium contention — TinySTM wins at every thread count.
+// DESIGN.md documents this substitution (geometry → graph analogue).
+
+#include "stamp/apps/app.h"
+
+namespace tsx::stamp {
+
+struct YadaConfig {
+  uint32_t elements = 4096;       // initial mesh size
+  uint32_t initial_bad_pct = 10;  // % of elements initially bad
+  uint32_t new_bad_pct = 18;      // % of replacement elements that are bad
+  uint32_t max_refinements = 4000;  // safety cap on processed cavities
+  uint64_t seed = 7;
+};
+
+AppResult run_yada(const core::RunConfig& run_cfg, const YadaConfig& app);
+
+}  // namespace tsx::stamp

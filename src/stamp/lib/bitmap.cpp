@@ -1,0 +1,56 @@
+#include "stamp/lib/bitmap.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace tsx::stamp {
+
+Bitmap Bitmap::create_host(core::TxRuntime& rt, uint64_t bits) {
+  auto& heap = rt.heap();
+  auto& m = rt.machine();
+  uint64_t words = (bits + 63) / 64;
+  Addr data = heap.host_alloc(words * sim::kWordBytes, sim::kLineBytes);
+  for (uint64_t w = 0; w < words; ++w) m.poke(data + w * 8, 0);
+  Addr h = heap.host_alloc(kHeaderBytes);
+  m.poke(h, bits);
+  m.poke(h + 8, data);
+  return Bitmap(h);
+}
+
+bool Bitmap::test(TxCtx& ctx, uint64_t bit) {
+  if (bit >= ctx.load(bits_addr())) throw std::out_of_range("bitmap bit");
+  Addr data = ctx.load(data_addr());
+  Word w = ctx.load(data + (bit / 64) * 8);
+  return (w >> (bit % 64)) & 1;
+}
+
+bool Bitmap::set(TxCtx& ctx, uint64_t bit) {
+  if (bit >= ctx.load(bits_addr())) throw std::out_of_range("bitmap bit");
+  Addr data = ctx.load(data_addr());
+  Addr wa = data + (bit / 64) * 8;
+  Word w = ctx.load(wa);
+  Word mask = Word(1) << (bit % 64);
+  if (w & mask) return false;
+  ctx.store(wa, w | mask);
+  return true;
+}
+
+void Bitmap::clear(TxCtx& ctx, uint64_t bit) {
+  if (bit >= ctx.load(bits_addr())) throw std::out_of_range("bitmap bit");
+  Addr data = ctx.load(data_addr());
+  Addr wa = data + (bit / 64) * 8;
+  ctx.store(wa, ctx.load(wa) & ~(Word(1) << (bit % 64)));
+}
+
+uint64_t Bitmap::host_count_set(core::TxRuntime& rt) const {
+  auto& m = rt.machine();
+  uint64_t bits = m.peek(bits_addr());
+  Addr data = m.peek(data_addr());
+  uint64_t count = 0;
+  for (uint64_t w = 0; w < (bits + 63) / 64; ++w) {
+    count += std::popcount(m.peek(data + w * 8));
+  }
+  return count;
+}
+
+}  // namespace tsx::stamp

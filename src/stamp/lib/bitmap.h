@@ -1,0 +1,40 @@
+#pragma once
+// Bit vector in simulated memory (STAMP's bitmap.c equivalent), used by
+// ssca2 and genome for claimed-element tracking.
+//
+// Header layout (words): [0]=bit count [1]=data base address
+
+#include "core/runtime.h"
+
+namespace tsx::stamp {
+
+using core::TxCtx;
+using sim::Addr;
+using sim::Word;
+
+class Bitmap {
+ public:
+  static constexpr uint64_t kHeaderBytes = 2 * sim::kWordBytes;
+
+  explicit Bitmap(Addr header) : h_(header) {}
+
+  static Bitmap create_host(core::TxRuntime& rt, uint64_t bits);
+
+  Addr header() const { return h_; }
+
+  bool test(TxCtx& ctx, uint64_t bit);
+  // Sets the bit; returns false if it was already set (test-and-set).
+  bool set(TxCtx& ctx, uint64_t bit);
+  void clear(TxCtx& ctx, uint64_t bit);
+  Word num_bits(TxCtx& ctx) { return ctx.load(h_); }
+
+  uint64_t host_count_set(core::TxRuntime& rt) const;
+
+ private:
+  Addr bits_addr() const { return h_; }
+  Addr data_addr() const { return h_ + 8; }
+
+  Addr h_;
+};
+
+}  // namespace tsx::stamp

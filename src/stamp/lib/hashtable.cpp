@@ -1,0 +1,96 @@
+#include "stamp/lib/hashtable.h"
+
+#include <stdexcept>
+
+namespace tsx::stamp {
+
+HashTable HashTable::create_host(core::TxRuntime& rt, uint64_t buckets) {
+  if (buckets == 0 || (buckets & (buckets - 1)) != 0) {
+    throw std::invalid_argument("bucket count must be a power of two");
+  }
+  auto& heap = rt.heap();
+  auto& m = rt.machine();
+  Addr arr = heap.host_alloc(buckets * sim::kWordBytes, sim::kLineBytes);
+  for (uint64_t b = 0; b < buckets; ++b) m.poke(arr + b * 8, 0);
+  Addr h = heap.host_alloc(kHeaderBytes);
+  m.poke(h, buckets);
+  m.poke(h + 8, 0);
+  m.poke(h + 16, arr);
+  return HashTable(h);
+}
+
+bool HashTable::insert(TxCtx& ctx, Word key, Word value) {
+  Word nb = ctx.load(nbuckets_addr());
+  Addr arr = ctx.load(buckets_addr());
+  Addr bucket = arr + (hash(key) & (nb - 1)) * 8;
+  Addr cur = ctx.load(bucket);
+  while (cur != 0) {
+    if (ctx.load(key_a(cur)) == key) return false;
+    cur = ctx.load(next_a(cur));
+  }
+  Addr node = ctx.malloc(kNodeBytes);
+  ctx.store(key_a(node), key);
+  ctx.store(val_a(node), value);
+  ctx.store(next_a(node), ctx.load(bucket));
+  ctx.store(bucket, node);
+  ctx.store(size_addr(), ctx.load(size_addr()) + 1);
+  return true;
+}
+
+bool HashTable::find(TxCtx& ctx, Word key, Word* value) {
+  Word nb = ctx.load(nbuckets_addr());
+  Addr arr = ctx.load(buckets_addr());
+  Addr cur = ctx.load(arr + (hash(key) & (nb - 1)) * 8);
+  while (cur != 0) {
+    if (ctx.load(key_a(cur)) == key) {
+      if (value) *value = ctx.load(val_a(cur));
+      return true;
+    }
+    cur = ctx.load(next_a(cur));
+  }
+  return false;
+}
+
+bool HashTable::remove(TxCtx& ctx, Word key) {
+  Word nb = ctx.load(nbuckets_addr());
+  Addr arr = ctx.load(buckets_addr());
+  Addr bucket = arr + (hash(key) & (nb - 1)) * 8;
+  Addr prev = 0;
+  Addr cur = ctx.load(bucket);
+  while (cur != 0) {
+    if (ctx.load(key_a(cur)) == key) {
+      Addr next = ctx.load(next_a(cur));
+      if (prev == 0) {
+        ctx.store(bucket, next);
+      } else {
+        ctx.store(next_a(prev), next);
+      }
+      ctx.store(size_addr(), ctx.load(size_addr()) - 1);
+      ctx.free(cur);
+      return true;
+    }
+    prev = cur;
+    cur = ctx.load(next_a(cur));
+  }
+  return false;
+}
+
+Word HashTable::size(TxCtx& ctx) { return ctx.load(size_addr()); }
+
+std::vector<std::pair<Word, Word>> HashTable::host_items(
+    core::TxRuntime& rt) const {
+  auto& m = rt.machine();
+  std::vector<std::pair<Word, Word>> out;
+  Word nb = m.peek(nbuckets_addr());
+  Addr arr = m.peek(buckets_addr());
+  for (Word b = 0; b < nb; ++b) {
+    Addr cur = m.peek(arr + b * 8);
+    while (cur != 0) {
+      out.emplace_back(m.peek(key_a(cur)), m.peek(val_a(cur)));
+      cur = m.peek(next_a(cur));
+    }
+  }
+  return out;
+}
+
+}  // namespace tsx::stamp

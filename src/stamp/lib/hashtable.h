@@ -1,0 +1,68 @@
+#pragma once
+// Chained hash table in simulated memory (STAMP's hashtable.c equivalent),
+// used by genome's segment de-duplication phase.
+//
+// Header layout (words): [0]=bucket count [1]=size [2]=buckets base address
+// Each bucket is the head word of a chain of list nodes
+// (node: [0]=key [1]=value [2]=next).
+
+#include "core/runtime.h"
+
+namespace tsx::stamp {
+
+using core::TxCtx;
+using sim::Addr;
+using sim::Word;
+
+class HashTable {
+ public:
+  static constexpr uint64_t kHeaderBytes = 3 * sim::kWordBytes;
+  static constexpr uint64_t kNodeBytes = 3 * sim::kWordBytes;
+
+  explicit HashTable(Addr header) : h_(header) {}
+
+  // `buckets` must be a power of two.
+  static HashTable create_host(core::TxRuntime& rt, uint64_t buckets);
+
+  Addr header() const { return h_; }
+
+  // Inserts key -> value; returns false (without modification) if present.
+  bool insert(TxCtx& ctx, Word key, Word value);
+  bool find(TxCtx& ctx, Word key, Word* value);
+  bool remove(TxCtx& ctx, Word key);
+  Word size(TxCtx& ctx);
+
+  // Chain iteration (for phase-style consumers that walk the table after a
+  // barrier; the reads are plain unless inside a transaction).
+  Word bucket_count(TxCtx& ctx) { return ctx.load(nbuckets_addr()); }
+  Addr bucket_head(TxCtx& ctx, Word b) {
+    return ctx.load(ctx.load(buckets_addr()) + b * 8);
+  }
+  Word node_key(TxCtx& ctx, Addr node) { return ctx.load(key_a(node)); }
+  Word node_value(TxCtx& ctx, Addr node) { return ctx.load(val_a(node)); }
+  Addr node_next(TxCtx& ctx, Addr node) { return ctx.load(next_a(node)); }
+
+  // Host-side iteration for validation.
+  std::vector<std::pair<Word, Word>> host_items(core::TxRuntime& rt) const;
+
+ private:
+  Addr nbuckets_addr() const { return h_; }
+  Addr size_addr() const { return h_ + 8; }
+  Addr buckets_addr() const { return h_ + 16; }
+
+  static Addr key_a(Addr n) { return n; }
+  static Addr val_a(Addr n) { return n + 8; }
+  static Addr next_a(Addr n) { return n + 16; }
+
+  static uint64_t hash(Word key) {
+    uint64_t x = key;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return x;
+  }
+
+  Addr h_;
+};
+
+}  // namespace tsx::stamp

@@ -1,0 +1,109 @@
+#include "stamp/lib/heap.h"
+
+namespace tsx::stamp {
+
+BinHeap BinHeap::create_host(core::TxRuntime& rt, uint64_t capacity) {
+  auto& heap = rt.heap();
+  auto& m = rt.machine();
+  Addr arr = heap.host_alloc(capacity * sim::kWordBytes, sim::kLineBytes);
+  Addr h = heap.host_alloc(kHeaderBytes);
+  m.poke(h, capacity);
+  m.poke(h + 8, 0);
+  m.poke(h + 16, arr);
+  return BinHeap(h);
+}
+
+bool BinHeap::push(TxCtx& ctx, Word key) {
+  Word cap = ctx.load(cap_addr());
+  Word n = ctx.load(size_addr());
+  if (n >= cap) return false;
+  Addr arr = ctx.load(arr_addr());
+  // Sift up.
+  Word i = n;
+  ctx.store(arr + i * 8, key);
+  while (i > 0) {
+    Word parent = (i - 1) / 2;
+    Word pk = ctx.load(arr + parent * 8);
+    if (pk <= key) break;
+    ctx.store(arr + i * 8, pk);
+    ctx.store(arr + parent * 8, key);
+    i = parent;
+  }
+  ctx.store(size_addr(), n + 1);
+  return true;
+}
+
+bool BinHeap::pop_min(TxCtx& ctx, Word* key) {
+  Word n = ctx.load(size_addr());
+  if (n == 0) return false;
+  Addr arr = ctx.load(arr_addr());
+  *key = ctx.load(arr);
+  Word last = ctx.load(arr + (n - 1) * 8);
+  n -= 1;
+  ctx.store(size_addr(), n);
+  if (n == 0) return true;
+  // Sift the last element down from the root.
+  Word i = 0;
+  ctx.store(arr, last);
+  for (;;) {
+    Word l = 2 * i + 1, r = 2 * i + 2;
+    Word smallest = i;
+    Word sk = last;
+    if (l < n) {
+      Word lk = ctx.load(arr + l * 8);
+      if (lk < sk) {
+        smallest = l;
+        sk = lk;
+      }
+    }
+    if (r < n) {
+      Word rk = ctx.load(arr + r * 8);
+      if (rk < sk) {
+        smallest = r;
+        sk = rk;
+      }
+    }
+    if (smallest == i) break;
+    ctx.store(arr + i * 8, sk);
+    ctx.store(arr + smallest * 8, last);
+    i = smallest;
+  }
+  return true;
+}
+
+Word BinHeap::size(TxCtx& ctx) { return ctx.load(size_addr()); }
+
+void BinHeap::host_push(core::TxRuntime& rt, Word key) {
+  auto& m = rt.machine();
+  Word cap = m.peek(cap_addr());
+  Word n = m.peek(size_addr());
+  if (n >= cap) throw std::runtime_error("host_push on full heap");
+  Addr arr = m.peek(arr_addr());
+  Word i = n;
+  m.poke(arr + i * 8, key);
+  while (i > 0) {
+    Word parent = (i - 1) / 2;
+    Word pk = m.peek(arr + parent * 8);
+    if (pk <= key) break;
+    m.poke(arr + i * 8, pk);
+    m.poke(arr + parent * 8, key);
+    i = parent;
+  }
+  m.poke(size_addr(), n + 1);
+}
+
+uint64_t BinHeap::host_size(core::TxRuntime& rt) const {
+  return rt.machine().peek(size_addr());
+}
+
+bool BinHeap::host_validate(core::TxRuntime& rt) const {
+  auto& m = rt.machine();
+  Word n = m.peek(size_addr());
+  Addr arr = m.peek(arr_addr());
+  for (Word i = 1; i < n; ++i) {
+    if (m.peek(arr + ((i - 1) / 2) * 8) > m.peek(arr + i * 8)) return false;
+  }
+  return true;
+}
+
+}  // namespace tsx::stamp

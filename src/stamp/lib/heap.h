@@ -1,0 +1,46 @@
+#pragma once
+// Binary min-heap in simulated memory (STAMP's heap.c equivalent), used by
+// yada's bad-triangle work queue.
+//
+// Header layout (words): [0]=capacity [1]=size [2]=array base
+// Element i at array + i*8 (keys are the stored words; smaller = higher
+// priority).
+
+#include "core/runtime.h"
+
+namespace tsx::stamp {
+
+using core::TxCtx;
+using sim::Addr;
+using sim::Word;
+
+class BinHeap {
+ public:
+  static constexpr uint64_t kHeaderBytes = 3 * sim::kWordBytes;
+
+  explicit BinHeap(Addr header) : h_(header) {}
+
+  static BinHeap create_host(core::TxRuntime& rt, uint64_t capacity);
+
+  Addr header() const { return h_; }
+
+  // False if full.
+  bool push(TxCtx& ctx, Word key);
+  // False if empty.
+  bool pop_min(TxCtx& ctx, Word* key);
+  Word size(TxCtx& ctx);
+
+  void host_push(core::TxRuntime& rt, Word key);
+  uint64_t host_size(core::TxRuntime& rt) const;
+  // Heap-order invariant check for the property tests.
+  bool host_validate(core::TxRuntime& rt) const;
+
+ private:
+  Addr cap_addr() const { return h_; }
+  Addr size_addr() const { return h_ + 8; }
+  Addr arr_addr() const { return h_ + 16; }
+
+  Addr h_;
+};
+
+}  // namespace tsx::stamp

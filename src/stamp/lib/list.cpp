@@ -1,0 +1,142 @@
+#include "stamp/lib/list.h"
+
+#include <algorithm>
+
+namespace tsx::stamp {
+
+List List::create(TxCtx& ctx) {
+  Addr h = ctx.malloc(kHeaderBytes);
+  ctx.store(h, 0);
+  ctx.store(h + 8, 0);
+  return List(h);
+}
+
+List List::create_host(core::TxRuntime& rt) {
+  Addr h = rt.heap().host_alloc(kHeaderBytes);
+  rt.machine().poke(h, 0);
+  rt.machine().poke(h + 8, 0);
+  return List(h);
+}
+
+void List::insert_sorted(TxCtx& ctx, Word key, Word value) {
+  Addr node = ctx.malloc(kNodeBytes);
+  ctx.store(key_addr(node), key);
+  ctx.store(val_addr(node), value);
+
+  Addr prev = 0;
+  Addr cur = ctx.load(head_addr());
+  while (cur != 0 && ctx.load(key_addr(cur)) < key) {
+    prev = cur;
+    cur = ctx.load(next_addr(cur));
+  }
+  ctx.store(next_addr(node), cur);
+  if (prev == 0) {
+    ctx.store(head_addr(), node);
+  } else {
+    ctx.store(next_addr(prev), node);
+  }
+  ctx.store(size_addr(), ctx.load(size_addr()) + 1);
+}
+
+void List::push_front(TxCtx& ctx, Word key, Word value) {
+  Addr node = ctx.malloc(kNodeBytes);
+  ctx.store(key_addr(node), key);
+  ctx.store(val_addr(node), value);
+  ctx.store(next_addr(node), ctx.load(head_addr()));
+  ctx.store(head_addr(), node);
+  ctx.store(size_addr(), ctx.load(size_addr()) + 1);
+}
+
+bool List::find(TxCtx& ctx, Word key, Word* value) {
+  Addr cur = ctx.load(head_addr());
+  while (cur != 0) {
+    Word k = ctx.load(key_addr(cur));
+    if (k == key) {
+      if (value) *value = ctx.load(val_addr(cur));
+      return true;
+    }
+    cur = ctx.load(next_addr(cur));
+  }
+  return false;
+}
+
+bool List::remove(TxCtx& ctx, Word key) {
+  Addr prev = 0;
+  Addr cur = ctx.load(head_addr());
+  while (cur != 0) {
+    Word k = ctx.load(key_addr(cur));
+    if (k == key) {
+      Addr next = ctx.load(next_addr(cur));
+      if (prev == 0) {
+        ctx.store(head_addr(), next);
+      } else {
+        ctx.store(next_addr(prev), next);
+      }
+      ctx.store(size_addr(), ctx.load(size_addr()) - 1);
+      ctx.free(cur);
+      return true;
+    }
+    prev = cur;
+    cur = ctx.load(next_addr(cur));
+  }
+  return false;
+}
+
+Word List::size(TxCtx& ctx) { return ctx.load(size_addr()); }
+
+bool List::empty(TxCtx& ctx) { return ctx.load(head_addr()) == 0; }
+
+bool List::pop_front(TxCtx& ctx, Word* key, Word* value) {
+  Addr head = ctx.load(head_addr());
+  if (head == 0) return false;
+  if (key) *key = ctx.load(key_addr(head));
+  if (value) *value = ctx.load(val_addr(head));
+  ctx.store(head_addr(), ctx.load(next_addr(head)));
+  ctx.store(size_addr(), ctx.load(size_addr()) - 1);
+  ctx.free(head);
+  return true;
+}
+
+void List::clear(TxCtx& ctx) {
+  Addr cur = ctx.load(head_addr());
+  while (cur != 0) {
+    Addr next = ctx.load(next_addr(cur));
+    ctx.free(cur);
+    cur = next;
+  }
+  ctx.store(head_addr(), 0);
+  ctx.store(size_addr(), 0);
+}
+
+std::vector<std::pair<Word, Word>> List::host_items(core::TxRuntime& rt) const {
+  auto& m = rt.machine();
+  std::vector<std::pair<Word, Word>> out;
+  Addr cur = m.peek(head_addr());
+  while (cur != 0) {
+    out.emplace_back(m.peek(key_addr(cur)), m.peek(val_addr(cur)));
+    cur = m.peek(next_addr(cur));
+  }
+  return out;
+}
+
+void List::host_sort(core::TxRuntime& rt) {
+  auto& m = rt.machine();
+  // Collect nodes, sort by key, relink.
+  std::vector<Addr> nodes;
+  Addr cur = m.peek(head_addr());
+  while (cur != 0) {
+    nodes.push_back(cur);
+    cur = m.peek(next_addr(cur));
+  }
+  std::stable_sort(nodes.begin(), nodes.end(), [&](Addr a, Addr b) {
+    return m.peek(key_addr(a)) < m.peek(key_addr(b));
+  });
+  Addr prev = 0;
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    m.poke(next_addr(*it), prev);
+    prev = *it;
+  }
+  m.poke(head_addr(), prev);
+}
+
+}  // namespace tsx::stamp

@@ -1,0 +1,75 @@
+#pragma once
+// Singly-linked list in simulated memory, STAMP-style: used for intruder's
+// per-flow fragment lists and vacation's customer reservation lists.
+//
+// Node layout (words): [0]=key [1]=value [2]=next
+// Header layout:       [0]=head node (0 = empty) [1]=size
+//
+// Two insertion disciplines matter for the paper's §V case studies:
+//   * insert_sorted: the baseline code keeps lists sorted, so every insert
+//     walks O(n) nodes — a long transactional read chain.
+//   * push_front: the optimized code prepends in O(1) and sorts only when
+//     the list is consumed (sort_host, outside any transaction).
+
+#include <vector>
+
+#include "core/runtime.h"
+
+namespace tsx::stamp {
+
+using core::TxCtx;
+using sim::Addr;
+using sim::Word;
+
+class List {
+ public:
+  static constexpr uint64_t kHeaderBytes = 2 * sim::kWordBytes;
+  static constexpr uint64_t kNodeBytes = 3 * sim::kWordBytes;
+
+  explicit List(Addr header) : h_(header) {}
+
+  // Allocates and zero-initializes a header inside the current transaction
+  // scope (or outside one, for setup code running on a fiber).
+  static List create(TxCtx& ctx);
+  static List create_host(core::TxRuntime& rt);
+
+  Addr header() const { return h_; }
+
+  // Ascending-by-key insertion (walks the chain transactionally).
+  void insert_sorted(TxCtx& ctx, Word key, Word value);
+  // O(1) prepend (the §V-A/§V-B optimization).
+  void push_front(TxCtx& ctx, Word key, Word value);
+
+  // Finds the first node with `key`; returns false if absent.
+  bool find(TxCtx& ctx, Word key, Word* value);
+  // Removes the first node with `key`; returns false if absent. The node is
+  // freed through the (transaction-scope-aware) heap.
+  bool remove(TxCtx& ctx, Word key);
+
+  Word size(TxCtx& ctx);
+  bool empty(TxCtx& ctx);
+
+  // Pops the head node; returns false when empty.
+  bool pop_front(TxCtx& ctx, Word* key, Word* value);
+
+  // Frees every node (transactional cost).
+  void clear(TxCtx& ctx);
+
+  // Host-side helpers (no simulated cost) for setup and validation.
+  std::vector<std::pair<Word, Word>> host_items(core::TxRuntime& rt) const;
+  // Sorts links in place by key, host-side: models the optimized intruder's
+  // "sort once before reassembly, outside the measured transaction" step
+  // when invoked from non-transactional code paths.
+  void host_sort(core::TxRuntime& rt);
+
+ private:
+  Addr head_addr() const { return h_; }
+  Addr size_addr() const { return h_ + 8; }
+  static Addr key_addr(Addr n) { return n; }
+  static Addr val_addr(Addr n) { return n + 8; }
+  static Addr next_addr(Addr n) { return n + 16; }
+
+  Addr h_;
+};
+
+}  // namespace tsx::stamp

@@ -1,0 +1,78 @@
+#include "stamp/lib/queue.h"
+
+namespace tsx::stamp {
+
+Queue Queue::create(core::TxRuntime& rt, uint64_t capacity) {
+  auto& heap = rt.heap();
+  // +1 slot: a ring distinguishing full from empty.
+  Addr elems = heap.host_alloc((capacity + 1) * sim::kWordBytes, sim::kLineBytes);
+  Addr base = heap.host_alloc(4 * sim::kWordBytes, sim::kLineBytes);
+  auto& m = rt.machine();
+  m.poke(base + 0, 0);             // pop
+  m.poke(base + 8, 0);             // push
+  m.poke(base + 16, capacity + 1); // ring size
+  m.poke(base + 24, elems);
+  return Queue(base);
+}
+
+void Queue::host_push(core::TxRuntime& rt, Word value) {
+  auto& m = rt.machine();
+  Word cap = m.peek(cap_addr());
+  Word push = m.peek(push_addr());
+  Word pop = m.peek(pop_addr());
+  Word next = (push + 1) % cap;
+  if (next == pop) throw std::runtime_error("host_push on full queue");
+  Addr elems = m.peek(elems_addr());
+  m.poke(elems + push * sim::kWordBytes, value);
+  m.poke(push_addr(), next);
+}
+
+uint64_t Queue::host_size(core::TxRuntime& rt) const {
+  auto& m = rt.machine();
+  Word cap = m.peek(cap_addr());
+  Word push = m.peek(push_addr());
+  Word pop = m.peek(pop_addr());
+  return (push + cap - pop) % cap;
+}
+
+bool Queue::push(TxCtx& ctx, Word value) {
+  Word cap = ctx.load(cap_addr());
+  Word push = ctx.load(push_addr());
+  Word next = (push + 1) % cap;
+  if (next == ctx.load(pop_addr())) return false;
+  Addr elems = ctx.load(elems_addr());
+  ctx.store(elems + push * sim::kWordBytes, value);
+  ctx.store(push_addr(), next);
+  return true;
+}
+
+bool Queue::pop(TxCtx& ctx, Word* value) {
+  Word pop = ctx.load(pop_addr());
+  if (pop == ctx.load(push_addr())) return false;
+  Word cap = ctx.load(cap_addr());
+  Addr elems = ctx.load(elems_addr());
+  *value = ctx.load(elems + pop * sim::kWordBytes);
+  ctx.store(pop_addr(), (pop + 1) % cap);
+  return true;
+}
+
+bool Queue::is_empty(TxCtx& ctx) {
+  return ctx.load(pop_addr()) == ctx.load(push_addr());
+}
+
+bool Queue::pop_cas(TxCtx& ctx, Word* value) {
+  for (;;) {
+    Word pop = ctx.load(pop_addr());
+    if (pop == ctx.load(push_addr())) return false;
+    Word cap = ctx.load(cap_addr());
+    Addr elems = ctx.load(elems_addr());
+    Word v = ctx.load(elems + pop * sim::kWordBytes);
+    if (ctx.cas(pop_addr(), pop, (pop + 1) % cap)) {
+      *value = v;
+      return true;
+    }
+    ctx.pause();
+  }
+}
+
+}  // namespace tsx::stamp

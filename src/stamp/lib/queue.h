@@ -1,0 +1,53 @@
+#pragma once
+// STAMP-style circular-buffer queue in simulated memory.
+//
+// Layout (word offsets from base):
+//   0: pop index   1: push index   2: capacity   3: elements base address
+// Elements live in a separate allocation so the control line and the data
+// don't false-share.
+//
+// The pop_cas() variant reproduces the paper's Table I CAS experiment: the
+// modified STAMP queue_pop that claims the head slot with a single
+// compare-and-swap on the pop index.
+
+#include "core/runtime.h"
+
+namespace tsx::stamp {
+
+using core::TxCtx;
+using sim::Addr;
+using sim::Word;
+
+class Queue {
+ public:
+  // Allocates a queue with space for `capacity` elements (host-side setup).
+  static Queue create(core::TxRuntime& rt, uint64_t capacity);
+  // Adopts an existing queue at `base`.
+  explicit Queue(Addr base) : base_(base) {}
+
+  Addr base() const { return base_; }
+
+  // Host-side (costless) operations for setup/validation.
+  void host_push(core::TxRuntime& rt, Word value);
+  uint64_t host_size(core::TxRuntime& rt) const;
+
+  // Simulated operations; run them inside ctx.transaction() for atomicity
+  // under TM backends, or bare for the CAS/unsynchronized variants.
+  bool push(TxCtx& ctx, Word value);          // false if full
+  bool pop(TxCtx& ctx, Word* value);          // false if empty
+  bool is_empty(TxCtx& ctx);
+
+  // Lock-free pop using CAS on the pop index. Safe only when no concurrent
+  // pushes wrap the buffer (the Table I workload drains a prefilled queue).
+  bool pop_cas(TxCtx& ctx, Word* value);
+
+ private:
+  Addr pop_addr() const { return base_; }
+  Addr push_addr() const { return base_ + 8; }
+  Addr cap_addr() const { return base_ + 16; }
+  Addr elems_addr() const { return base_ + 24; }
+
+  Addr base_;
+};
+
+}  // namespace tsx::stamp

@@ -1,0 +1,408 @@
+#include "stamp/lib/rbtree.h"
+
+#include <string>
+#include <vector>
+
+namespace tsx::stamp {
+
+namespace {
+constexpr Word kRed = 1;
+constexpr Word kBlack = 0;
+}  // namespace
+
+RbTree RbTree::create(TxCtx& ctx) {
+  Addr h = ctx.malloc(kHeaderBytes);
+  ctx.store(h, 0);
+  ctx.store(h + 8, 0);
+  return RbTree(h);
+}
+
+RbTree RbTree::create_host(core::TxRuntime& rt) {
+  Addr h = rt.heap().host_alloc(kHeaderBytes);
+  rt.machine().poke(h, 0);
+  rt.machine().poke(h + 8, 0);
+  return RbTree(h);
+}
+
+void RbTree::rotate_left(TxCtx& ctx, Addr x) {
+  Addr y = ctx.load(right_a(x));
+  Addr yl = ctx.load(left_a(y));
+  ctx.store(right_a(x), yl);
+  if (yl != 0) ctx.store(parent_a(yl), x);
+  Addr xp = ctx.load(parent_a(x));
+  ctx.store(parent_a(y), xp);
+  if (xp == 0) {
+    ctx.store(root_addr(), y);
+  } else if (ctx.load(left_a(xp)) == x) {
+    ctx.store(left_a(xp), y);
+  } else {
+    ctx.store(right_a(xp), y);
+  }
+  ctx.store(left_a(y), x);
+  ctx.store(parent_a(x), y);
+}
+
+void RbTree::rotate_right(TxCtx& ctx, Addr x) {
+  Addr y = ctx.load(left_a(x));
+  Addr yr = ctx.load(right_a(y));
+  ctx.store(left_a(x), yr);
+  if (yr != 0) ctx.store(parent_a(yr), x);
+  Addr xp = ctx.load(parent_a(x));
+  ctx.store(parent_a(y), xp);
+  if (xp == 0) {
+    ctx.store(root_addr(), y);
+  } else if (ctx.load(right_a(xp)) == x) {
+    ctx.store(right_a(xp), y);
+  } else {
+    ctx.store(left_a(xp), y);
+  }
+  ctx.store(right_a(y), x);
+  ctx.store(parent_a(x), y);
+}
+
+bool RbTree::insert(TxCtx& ctx, Word key, Word value) {
+  Addr parent = 0;
+  Addr cur = ctx.load(root_addr());
+  while (cur != 0) {
+    Word k = ctx.load(key_a(cur));
+    if (key == k) return false;
+    parent = cur;
+    cur = key < k ? ctx.load(left_a(cur)) : ctx.load(right_a(cur));
+  }
+  Addr z = ctx.malloc(kNodeBytes);
+  ctx.store(key_a(z), key);
+  ctx.store(val_a(z), value);
+  ctx.store(left_a(z), 0);
+  ctx.store(right_a(z), 0);
+  ctx.store(parent_a(z), parent);
+  ctx.store(color_a(z), kRed);
+  if (parent == 0) {
+    ctx.store(root_addr(), z);
+  } else if (key < ctx.load(key_a(parent))) {
+    ctx.store(left_a(parent), z);
+  } else {
+    ctx.store(right_a(parent), z);
+  }
+  insert_fixup(ctx, z);
+  ctx.store(size_addr(), ctx.load(size_addr()) + 1);
+  return true;
+}
+
+void RbTree::insert_fixup(TxCtx& ctx, Addr z) {
+  while (true) {
+    Addr zp = ctx.load(parent_a(z));
+    if (zp == 0 || !is_red(ctx, zp)) break;
+    Addr zpp = ctx.load(parent_a(zp));  // grandparent exists: zp is red
+    if (zp == ctx.load(left_a(zpp))) {
+      Addr uncle = ctx.load(right_a(zpp));
+      if (is_red(ctx, uncle)) {
+        ctx.store(color_a(zp), kBlack);
+        ctx.store(color_a(uncle), kBlack);
+        ctx.store(color_a(zpp), kRed);
+        z = zpp;
+      } else {
+        if (z == ctx.load(right_a(zp))) {
+          z = zp;
+          rotate_left(ctx, z);
+          zp = ctx.load(parent_a(z));
+          zpp = ctx.load(parent_a(zp));
+        }
+        ctx.store(color_a(zp), kBlack);
+        ctx.store(color_a(zpp), kRed);
+        rotate_right(ctx, zpp);
+      }
+    } else {
+      Addr uncle = ctx.load(left_a(zpp));
+      if (is_red(ctx, uncle)) {
+        ctx.store(color_a(zp), kBlack);
+        ctx.store(color_a(uncle), kBlack);
+        ctx.store(color_a(zpp), kRed);
+        z = zpp;
+      } else {
+        if (z == ctx.load(left_a(zp))) {
+          z = zp;
+          rotate_right(ctx, z);
+          zp = ctx.load(parent_a(z));
+          zpp = ctx.load(parent_a(zp));
+        }
+        ctx.store(color_a(zp), kBlack);
+        ctx.store(color_a(zpp), kRed);
+        rotate_left(ctx, zpp);
+      }
+    }
+  }
+  Addr root = ctx.load(root_addr());
+  ctx.store(color_a(root), kBlack);
+}
+
+Addr RbTree::find_node(TxCtx& ctx, Word key) {
+  Addr cur = ctx.load(root_addr());
+  while (cur != 0) {
+    Word k = ctx.load(key_a(cur));
+    if (key == k) return cur;
+    cur = key < k ? ctx.load(left_a(cur)) : ctx.load(right_a(cur));
+  }
+  return 0;
+}
+
+bool RbTree::find(TxCtx& ctx, Word key, Word* value) {
+  Addr n = find_node(ctx, key);
+  if (n == 0) return false;
+  if (value) *value = ctx.load(val_a(n));
+  return true;
+}
+
+Word RbTree::node_value(TxCtx& ctx, Addr node) { return ctx.load(val_a(node)); }
+void RbTree::set_node_value(TxCtx& ctx, Addr node, Word value) {
+  ctx.store(val_a(node), value);
+}
+Word RbTree::node_key(TxCtx& ctx, Addr node) { return ctx.load(key_a(node)); }
+
+bool RbTree::update(TxCtx& ctx, Word key, Word value) {
+  Addr n = find_node(ctx, key);
+  if (n == 0) return false;
+  ctx.store(val_a(n), value);
+  return true;
+}
+
+Addr RbTree::lower_bound(TxCtx& ctx, Word key) {
+  Addr cur = ctx.load(root_addr());
+  Addr best = 0;
+  while (cur != 0) {
+    Word k = ctx.load(key_a(cur));
+    if (k >= key) {
+      best = cur;
+      cur = ctx.load(left_a(cur));
+    } else {
+      cur = ctx.load(right_a(cur));
+    }
+  }
+  return best;
+}
+
+Addr RbTree::min_node(TxCtx& ctx) {
+  Addr root = ctx.load(root_addr());
+  return root == 0 ? 0 : subtree_min(ctx, root);
+}
+
+Addr RbTree::subtree_min(TxCtx& ctx, Addr n) {
+  Addr l = ctx.load(left_a(n));
+  while (l != 0) {
+    n = l;
+    l = ctx.load(left_a(n));
+  }
+  return n;
+}
+
+Addr RbTree::successor(TxCtx& ctx, Addr node) {
+  Addr r = ctx.load(right_a(node));
+  if (r != 0) return subtree_min(ctx, r);
+  Addr p = ctx.load(parent_a(node));
+  while (p != 0 && node == ctx.load(right_a(p))) {
+    node = p;
+    p = ctx.load(parent_a(p));
+  }
+  return p;
+}
+
+void RbTree::transplant(TxCtx& ctx, Addr u, Addr v) {
+  Addr up = ctx.load(parent_a(u));
+  if (up == 0) {
+    ctx.store(root_addr(), v);
+  } else if (u == ctx.load(left_a(up))) {
+    ctx.store(left_a(up), v);
+  } else {
+    ctx.store(right_a(up), v);
+  }
+  if (v != 0) ctx.store(parent_a(v), up);
+}
+
+bool RbTree::remove(TxCtx& ctx, Word key) {
+  Addr z = find_node(ctx, key);
+  if (z == 0) return false;
+
+  Addr y = z;
+  bool y_was_black = !is_red(ctx, y);
+  Addr x = 0;
+  Addr x_parent = 0;
+
+  Addr zl = ctx.load(left_a(z));
+  Addr zr = ctx.load(right_a(z));
+  if (zl == 0) {
+    x = zr;
+    x_parent = ctx.load(parent_a(z));
+    transplant(ctx, z, zr);
+  } else if (zr == 0) {
+    x = zl;
+    x_parent = ctx.load(parent_a(z));
+    transplant(ctx, z, zl);
+  } else {
+    y = subtree_min(ctx, zr);
+    y_was_black = !is_red(ctx, y);
+    x = ctx.load(right_a(y));
+    if (ctx.load(parent_a(y)) == z) {
+      x_parent = y;
+      if (x != 0) ctx.store(parent_a(x), y);
+    } else {
+      x_parent = ctx.load(parent_a(y));
+      transplant(ctx, y, x);
+      ctx.store(right_a(y), zr);
+      ctx.store(parent_a(zr), y);
+    }
+    transplant(ctx, z, y);
+    Addr zl2 = ctx.load(left_a(z));
+    ctx.store(left_a(y), zl2);
+    ctx.store(parent_a(zl2), y);
+    ctx.store(color_a(y), ctx.load(color_a(z)));
+  }
+  if (y_was_black) delete_fixup(ctx, x, x_parent);
+  ctx.store(size_addr(), ctx.load(size_addr()) - 1);
+  ctx.free(z);
+  return true;
+}
+
+void RbTree::delete_fixup(TxCtx& ctx, Addr x, Addr x_parent) {
+  while (x != ctx.load(root_addr()) && !is_red(ctx, x)) {
+    if (x_parent == 0) break;
+    if (x == ctx.load(left_a(x_parent))) {
+      Addr w = ctx.load(right_a(x_parent));
+      if (is_red(ctx, w)) {
+        ctx.store(color_a(w), kBlack);
+        ctx.store(color_a(x_parent), kRed);
+        rotate_left(ctx, x_parent);
+        w = ctx.load(right_a(x_parent));
+      }
+      if (!is_red(ctx, ctx.load(left_a(w))) &&
+          !is_red(ctx, ctx.load(right_a(w)))) {
+        ctx.store(color_a(w), kRed);
+        x = x_parent;
+        x_parent = ctx.load(parent_a(x));
+      } else {
+        if (!is_red(ctx, ctx.load(right_a(w)))) {
+          Addr wl = ctx.load(left_a(w));
+          if (wl != 0) ctx.store(color_a(wl), kBlack);
+          ctx.store(color_a(w), kRed);
+          rotate_right(ctx, w);
+          w = ctx.load(right_a(x_parent));
+        }
+        ctx.store(color_a(w), ctx.load(color_a(x_parent)));
+        ctx.store(color_a(x_parent), kBlack);
+        Addr wr = ctx.load(right_a(w));
+        if (wr != 0) ctx.store(color_a(wr), kBlack);
+        rotate_left(ctx, x_parent);
+        x = ctx.load(root_addr());
+        break;
+      }
+    } else {
+      Addr w = ctx.load(left_a(x_parent));
+      if (is_red(ctx, w)) {
+        ctx.store(color_a(w), kBlack);
+        ctx.store(color_a(x_parent), kRed);
+        rotate_right(ctx, x_parent);
+        w = ctx.load(left_a(x_parent));
+      }
+      if (!is_red(ctx, ctx.load(left_a(w))) &&
+          !is_red(ctx, ctx.load(right_a(w)))) {
+        ctx.store(color_a(w), kRed);
+        x = x_parent;
+        x_parent = ctx.load(parent_a(x));
+      } else {
+        if (!is_red(ctx, ctx.load(left_a(w)))) {
+          Addr wr = ctx.load(right_a(w));
+          if (wr != 0) ctx.store(color_a(wr), kBlack);
+          ctx.store(color_a(w), kRed);
+          rotate_left(ctx, w);
+          w = ctx.load(left_a(x_parent));
+        }
+        ctx.store(color_a(w), ctx.load(color_a(x_parent)));
+        ctx.store(color_a(x_parent), kBlack);
+        Addr wl = ctx.load(left_a(w));
+        if (wl != 0) ctx.store(color_a(wl), kBlack);
+        rotate_right(ctx, x_parent);
+        x = ctx.load(root_addr());
+        break;
+      }
+    }
+  }
+  if (x != 0) ctx.store(color_a(x), kBlack);
+}
+
+Word RbTree::size(TxCtx& ctx) { return ctx.load(size_addr()); }
+
+uint64_t RbTree::host_size(core::TxRuntime& rt) const {
+  return rt.machine().peek(size_addr());
+}
+
+std::vector<std::pair<Word, Word>> RbTree::host_items(
+    core::TxRuntime& rt) const {
+  auto& m = rt.machine();
+  std::vector<std::pair<Word, Word>> out;
+  // Iterative in-order traversal.
+  std::vector<Addr> stack;
+  Addr cur = m.peek(root_addr());
+  while (cur != 0 || !stack.empty()) {
+    while (cur != 0) {
+      stack.push_back(cur);
+      cur = m.peek(left_a(cur));
+    }
+    cur = stack.back();
+    stack.pop_back();
+    out.emplace_back(m.peek(key_a(cur)), m.peek(val_a(cur)));
+    cur = m.peek(right_a(cur));
+  }
+  return out;
+}
+
+bool RbTree::host_validate(core::TxRuntime& rt, std::string* why) const {
+  auto& m = rt.machine();
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  Addr root = m.peek(root_addr());
+  if (root == 0) {
+    if (m.peek(size_addr()) != 0) return fail("empty tree with nonzero size");
+    return true;
+  }
+  if (m.peek(color_a(root)) != kBlack) return fail("red root");
+  if (m.peek(parent_a(root)) != 0) return fail("root has a parent");
+
+  // Recursive check of ordering, parent links, red-red rule, and equal
+  // black height on every root-to-nil path. Returns -1 on violation.
+  uint64_t count = 0;
+  std::string reason;
+  auto check = [&](auto&& self, Addr n) -> int {
+    if (n == 0) return 1;  // nil is black
+    ++count;
+    bool red = m.peek(color_a(n)) == kRed;
+    Addr l = m.peek(left_a(n));
+    Addr r = m.peek(right_a(n));
+    Word k = m.peek(key_a(n));
+    if (red) {
+      if ((l != 0 && m.peek(color_a(l)) == kRed) ||
+          (r != 0 && m.peek(color_a(r)) == kRed)) {
+        reason = "red node with red child";
+        return -1;
+      }
+    }
+    if (l != 0) {
+      if (m.peek(parent_a(l)) != n) { reason = "broken parent link"; return -1; }
+      if (m.peek(key_a(l)) >= k) { reason = "left key >= parent key"; return -1; }
+    }
+    if (r != 0) {
+      if (m.peek(parent_a(r)) != n) { reason = "broken parent link"; return -1; }
+      if (m.peek(key_a(r)) <= k) { reason = "right key <= parent key"; return -1; }
+    }
+    int bl = self(self, l);
+    if (bl < 0) return -1;
+    int br = self(self, r);
+    if (br < 0) return -1;
+    if (bl != br) { reason = "black-height mismatch"; return -1; }
+    return bl + (red ? 0 : 1);
+  };
+  if (check(check, root) < 0) return fail(reason);
+  if (count != m.peek(size_addr())) return fail("size counter mismatch");
+  return true;
+}
+
+}  // namespace tsx::stamp

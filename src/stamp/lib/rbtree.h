@@ -1,0 +1,94 @@
+#pragma once
+// Red-black tree in simulated memory (STAMP's rbtree.c equivalent): the map
+// type behind intruder's flow table and vacation's four database tables.
+//
+// Node layout (words): [0]=key [1]=value [2]=left [3]=right [4]=parent
+//                      [5]=color (1 = red, 0 = black); address 0 is nil.
+// Header layout:       [0]=root [1]=size
+//
+// The implementation is iterative CLRS insert/delete with parent pointers,
+// so transactional read/write sets grow with tree depth exactly as STAMP's
+// does. Keys are unique: insert returns false on duplicates.
+
+#include <cstdint>
+
+#include "core/runtime.h"
+
+namespace tsx::stamp {
+
+using core::TxCtx;
+using sim::Addr;
+using sim::Word;
+
+class RbTree {
+ public:
+  static constexpr uint64_t kHeaderBytes = 2 * sim::kWordBytes;
+  static constexpr uint64_t kNodeBytes = 6 * sim::kWordBytes;
+
+  explicit RbTree(Addr header) : h_(header) {}
+
+  static RbTree create(TxCtx& ctx);
+  static RbTree create_host(core::TxRuntime& rt);
+
+  Addr header() const { return h_; }
+
+  // Inserts key -> value; false if the key already exists (no update).
+  bool insert(TxCtx& ctx, Word key, Word value);
+  // Finds the value for key.
+  bool find(TxCtx& ctx, Word key, Word* value);
+  // Returns the node handle for key (0 if absent): lets callers re-access a
+  // found element without a second lookup — the §V-B vacation optimization.
+  Addr find_node(TxCtx& ctx, Word key);
+  Word node_value(TxCtx& ctx, Addr node);
+  void set_node_value(TxCtx& ctx, Addr node, Word value);
+  Word node_key(TxCtx& ctx, Addr node);
+
+  // Updates the value for key; false if absent.
+  bool update(TxCtx& ctx, Word key, Word value);
+  // Removes key; false if absent. The node is freed via the heap.
+  bool remove(TxCtx& ctx, Word key);
+
+  // Smallest key >= key; returns 0-node if none.
+  Addr lower_bound(TxCtx& ctx, Word key);
+  // Minimum node (0 if empty).
+  Addr min_node(TxCtx& ctx);
+  // In-order successor of a node (0 at the end).
+  Addr successor(TxCtx& ctx, Addr node);
+
+  Word size(TxCtx& ctx);
+
+  // ---- Host-side (no simulated cost) ----
+  uint64_t host_size(core::TxRuntime& rt) const;
+  // Validates every red-black invariant; returns false (and sets *why) on
+  // violation. Used by the property tests after random operation mixes.
+  bool host_validate(core::TxRuntime& rt, std::string* why = nullptr) const;
+  // In-order key/value dump.
+  std::vector<std::pair<Word, Word>> host_items(core::TxRuntime& rt) const;
+
+ private:
+  Addr root_addr() const { return h_; }
+  Addr size_addr() const { return h_ + 8; }
+
+  static Addr key_a(Addr n) { return n; }
+  static Addr val_a(Addr n) { return n + 8; }
+  static Addr left_a(Addr n) { return n + 16; }
+  static Addr right_a(Addr n) { return n + 24; }
+  static Addr parent_a(Addr n) { return n + 32; }
+  static Addr color_a(Addr n) { return n + 40; }
+
+  // Color of a (possibly nil) node: nil is black.
+  static bool is_red(TxCtx& ctx, Addr n) {
+    return n != 0 && ctx.load(color_a(n)) == 1;
+  }
+
+  void rotate_left(TxCtx& ctx, Addr x);
+  void rotate_right(TxCtx& ctx, Addr x);
+  void insert_fixup(TxCtx& ctx, Addr z);
+  void delete_fixup(TxCtx& ctx, Addr x, Addr x_parent);
+  void transplant(TxCtx& ctx, Addr u, Addr v);
+  Addr subtree_min(TxCtx& ctx, Addr n);
+
+  Addr h_;
+};
+
+}  // namespace tsx::stamp

@@ -1,0 +1,51 @@
+#include "stm/common.h"
+
+namespace tsx::stm {
+
+const char* stm_abort_cause_name(StmAbortCause c) {
+  switch (c) {
+    case StmAbortCause::kReadLocked: return "read-locked";
+    case StmAbortCause::kReadVersion: return "read-version";
+    case StmAbortCause::kWriteLocked: return "write-locked";
+    case StmAbortCause::kValidation: return "validation";
+    case StmAbortCause::kCount: break;
+  }
+  return "?";
+}
+
+void LockTable::init() {
+  // The lock table is allocated and touched at library startup, before any
+  // measured region, so its pages are simply made present.
+  m_.prefault(base_, bytes());
+  for (uint64_t i = 0; i < entries_; ++i) {
+    m_.poke(base_ + i * sim::kWordBytes, 0);
+  }
+}
+
+void StmExecutor::execute(const std::function<void()>& body) {
+  ++stm_.stats().transactions;
+  uint32_t attempt_no = 0;
+  CtxId ctx = m_.current_ctx();
+  for (;;) {
+    ++attempt_no;
+    ++stm_.stats().starts;
+    stm_.tx_start(ctx);
+    hooks_.on_begin();
+    try {
+      body();
+      stm_.tx_commit(ctx);
+      hooks_.on_commit();
+      return;
+    } catch (const StmAborted&) {
+      stm_.tx_abort_cleanup(ctx);
+      hooks_.on_abort();
+      // Suicide + randomized exponential backoff.
+      uint32_t shift = std::min(attempt_no, cfg_.backoff_cap_shift);
+      uint64_t window = cfg_.backoff_base_cycles << shift;
+      uint64_t jitter = m_.setup_rng().below(window | 1);
+      m_.compute(cfg_.backoff_base_cycles + jitter);
+    }
+  }
+}
+
+}  // namespace tsx::stm

@@ -1,0 +1,94 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+namespace tsx::util {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag; otherwise a
+    // bare boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+std::string Flags::get_string(const std::string& name, std::string def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  return it->second;
+}
+
+int64_t Flags::get_int(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  try {
+    size_t pos = 0;
+    int64_t v = std::stoll(it->second, &pos, 0);
+    if (pos != it->second.size()) throw std::invalid_argument(name);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  try {
+    size_t pos = 0;
+    double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(name);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + v +
+                              "'");
+}
+
+bool Flags::has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  consumed_[name] = true;
+  return true;
+}
+
+std::vector<std::string> Flags::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    if (!consumed_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace tsx::util

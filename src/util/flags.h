@@ -1,0 +1,40 @@
+#pragma once
+// Minimal command-line flag parser used by the bench drivers and examples.
+//
+// Supports "--name=value", "--name value" and bare "--name" (boolean true).
+// Unrecognized flags are collected so drivers can reject typos.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tsx::util {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  // Value lookups with defaults. get_* throw std::invalid_argument if the
+  // value is present but cannot be parsed as the requested type.
+  std::string get_string(const std::string& name, std::string def) const;
+  int64_t get_int(const std::string& name, int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  bool has(const std::string& name) const;
+
+  // Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Names that were present on the command line but never queried.
+  // Drivers call this after reading all flags to catch typos.
+  std::vector<std::string> unconsumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tsx::util

@@ -1,0 +1,56 @@
+#include "util/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsx::util {
+
+static void require_nonempty(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("summary of empty sample");
+}
+
+double mean(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stdev(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double geomean(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  double s = 0;
+  for (double x : xs) {
+    if (x <= 0) throw std::invalid_argument("geomean of non-positive value");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) {
+  require_nonempty(xs);
+  std::sort(xs.begin(), xs.end());
+  size_t n = xs.size();
+  return (n % 2) ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double minimum(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maximum(const std::vector<double>& xs) {
+  require_nonempty(xs);
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace tsx::util

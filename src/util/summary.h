@@ -1,0 +1,16 @@
+#pragma once
+// Small summary-statistics helpers for repeated experiment runs.
+
+#include <cstddef>
+#include <vector>
+
+namespace tsx::util {
+
+double mean(const std::vector<double>& xs);
+double stdev(const std::vector<double>& xs);  // sample stdev; 0 for n < 2
+double geomean(const std::vector<double>& xs);
+double median(std::vector<double> xs);  // by value: sorts a copy
+double minimum(const std::vector<double>& xs);
+double maximum(const std::vector<double>& xs);
+
+}  // namespace tsx::util

@@ -1,0 +1,33 @@
+#pragma once
+// Aligned-column text tables for bench output, plus CSV emission so the
+// same rows can be post-processed (EXPERIMENTS.md records both).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tsx::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision, "-" for NaN.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(int64_t v);
+
+  // Renders with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+  // Comma-separated (no quoting: cells must not contain commas).
+  void print_csv(std::ostream& os) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsx::util

@@ -1,0 +1,234 @@
+// Integration tests: every STAMP-lite application must produce a valid
+// final state under every backend and thread count (small inputs).
+
+#include <gtest/gtest.h>
+
+#include "stamp/apps/bayes.h"
+#include "stamp/apps/genome.h"
+#include "stamp/apps/intruder.h"
+#include "stamp/apps/kmeans.h"
+#include "stamp/apps/labyrinth.h"
+#include "stamp/apps/ssca2.h"
+#include "stamp/apps/vacation.h"
+#include "stamp/apps/yada.h"
+
+namespace {
+
+using namespace tsx;
+using namespace tsx::stamp;
+using core::Backend;
+
+core::RunConfig cfg_for(Backend b, uint32_t threads) {
+  core::RunConfig cfg;
+  cfg.backend = b;
+  cfg.threads = threads;
+  cfg.machine.interrupts_enabled = false;  // keep tests deterministic-fast
+  cfg.stm.lock_table_entries = 1u << 14;
+  return cfg;
+}
+
+using Param = std::tuple<Backend, uint32_t>;
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(core::backend_name(std::get<0>(info.param))) + "_" +
+         std::to_string(std::get<1>(info.param)) + "t";
+}
+
+auto backend_thread_matrix() {
+  return ::testing::Combine(
+      ::testing::Values(Backend::kSeq, Backend::kLock, Backend::kRtm,
+                        Backend::kTinyStm, Backend::kTl2),
+      ::testing::Values(1u, 2u, 4u));
+}
+
+bool skip_multithreaded_seq(Backend b, uint32_t threads) {
+  // SEQ provides no synchronization: only its 1-thread configuration is a
+  // meaningful (and safe) data point.
+  return b == Backend::kSeq && threads > 1;
+}
+
+class KmeansApp : public ::testing::TestWithParam<Param> {};
+TEST_P(KmeansApp, Valid) {
+  auto [b, t] = GetParam();
+  if (skip_multithreaded_seq(b, t)) GTEST_SKIP();
+  KmeansConfig app;
+  app.points = 256;
+  app.dims = 4;
+  app.clusters = 8;
+  app.iterations = 2;
+  auto res = run_kmeans(cfg_for(b, t), app);
+  EXPECT_TRUE(res.valid) << res.validation_message;
+}
+INSTANTIATE_TEST_SUITE_P(Matrix, KmeansApp, backend_thread_matrix(), param_name);
+
+class Ssca2App : public ::testing::TestWithParam<Param> {};
+TEST_P(Ssca2App, Valid) {
+  auto [b, t] = GetParam();
+  if (skip_multithreaded_seq(b, t)) GTEST_SKIP();
+  Ssca2Config app;
+  app.vertices = 256;
+  app.edges = 1024;
+  app.max_degree = 16;
+  auto res = run_ssca2(cfg_for(b, t), app);
+  EXPECT_TRUE(res.valid) << res.validation_message;
+}
+INSTANTIATE_TEST_SUITE_P(Matrix, Ssca2App, backend_thread_matrix(), param_name);
+
+class LabyrinthApp : public ::testing::TestWithParam<Param> {};
+TEST_P(LabyrinthApp, Valid) {
+  auto [b, t] = GetParam();
+  if (skip_multithreaded_seq(b, t)) GTEST_SKIP();
+  LabyrinthConfig app;
+  app.width = 12;
+  app.height = 12;
+  app.depth = 2;
+  app.paths = 6;
+  auto res = run_labyrinth(cfg_for(b, t), app);
+  EXPECT_TRUE(res.valid) << res.validation_message;
+}
+INSTANTIATE_TEST_SUITE_P(Matrix, LabyrinthApp, backend_thread_matrix(),
+                         param_name);
+
+class IntruderApp : public ::testing::TestWithParam<Param> {};
+TEST_P(IntruderApp, BaseValid) {
+  auto [b, t] = GetParam();
+  if (skip_multithreaded_seq(b, t)) GTEST_SKIP();
+  IntruderConfig app;
+  app.flows = 48;
+  app.max_fragments = 6;
+  auto res = run_intruder(cfg_for(b, t), app);
+  EXPECT_TRUE(res.valid) << res.validation_message;
+}
+TEST_P(IntruderApp, OptimizedValid) {
+  auto [b, t] = GetParam();
+  if (skip_multithreaded_seq(b, t)) GTEST_SKIP();
+  IntruderConfig app;
+  app.flows = 48;
+  app.max_fragments = 6;
+  app.optimized = true;
+  auto res = run_intruder(cfg_for(b, t), app);
+  EXPECT_TRUE(res.valid) << res.validation_message;
+}
+INSTANTIATE_TEST_SUITE_P(Matrix, IntruderApp, backend_thread_matrix(),
+                         param_name);
+
+class VacationApp : public ::testing::TestWithParam<Param> {};
+TEST_P(VacationApp, BaseValid) {
+  auto [b, t] = GetParam();
+  if (skip_multithreaded_seq(b, t)) GTEST_SKIP();
+  VacationConfig app;
+  app.relations = 64;
+  app.customers = 32;
+  app.sessions_per_thread = 60;
+  auto res = run_vacation(cfg_for(b, t), app);
+  EXPECT_TRUE(res.valid) << res.validation_message;
+}
+TEST_P(VacationApp, OptimizedValid) {
+  auto [b, t] = GetParam();
+  if (skip_multithreaded_seq(b, t)) GTEST_SKIP();
+  VacationConfig app;
+  app.relations = 64;
+  app.customers = 32;
+  app.sessions_per_thread = 60;
+  app.optimized = true;
+  auto res = run_vacation(cfg_for(b, t), app);
+  EXPECT_TRUE(res.valid) << res.validation_message;
+}
+INSTANTIATE_TEST_SUITE_P(Matrix, VacationApp, backend_thread_matrix(),
+                         param_name);
+
+class GenomeApp : public ::testing::TestWithParam<Param> {};
+TEST_P(GenomeApp, Valid) {
+  auto [b, t] = GetParam();
+  if (skip_multithreaded_seq(b, t)) GTEST_SKIP();
+  GenomeConfig app;
+  app.gene_length = 256;
+  app.duplication_factor = 3;
+  app.hash_buckets = 64;
+  auto res = run_genome(cfg_for(b, t), app);
+  EXPECT_TRUE(res.valid) << res.validation_message;
+}
+INSTANTIATE_TEST_SUITE_P(Matrix, GenomeApp, backend_thread_matrix(), param_name);
+
+class YadaApp : public ::testing::TestWithParam<Param> {};
+TEST_P(YadaApp, Valid) {
+  auto [b, t] = GetParam();
+  if (skip_multithreaded_seq(b, t)) GTEST_SKIP();
+  YadaConfig app;
+  app.elements = 256;
+  app.max_refinements = 150;
+  auto res = run_yada(cfg_for(b, t), app);
+  EXPECT_TRUE(res.valid) << res.validation_message;
+}
+INSTANTIATE_TEST_SUITE_P(Matrix, YadaApp, backend_thread_matrix(), param_name);
+
+class BayesApp : public ::testing::TestWithParam<Param> {};
+TEST_P(BayesApp, Valid) {
+  auto [b, t] = GetParam();
+  if (skip_multithreaded_seq(b, t)) GTEST_SKIP();
+  BayesConfig app;
+  app.variables = 10;
+  app.stats_words = 64;
+  app.candidates = 40;
+  auto res = run_bayes(cfg_for(b, t), app);
+  EXPECT_TRUE(res.valid) << res.validation_message;
+}
+INSTANTIATE_TEST_SUITE_P(Matrix, BayesApp, backend_thread_matrix(), param_name);
+
+// Behavioural checks tied to the paper's observations.
+
+TEST(AppBehaviour, LabyrinthRtmAlwaysFallsBack) {
+  // The grid copy exceeds the 512-line write capacity: every routing
+  // transaction must end up on the serial fallback (paper §IV labyrinth).
+  LabyrinthConfig app;  // default 48x48x2 = 4608 words = 576 lines
+  auto res = run_labyrinth(cfg_for(Backend::kRtm, 2), app);
+  ASSERT_TRUE(res.valid) << res.validation_message;
+  EXPECT_EQ(res.report.site_stats(1).commits, 0u);
+  EXPECT_GT(res.report.site_stats(1).fallbacks, 0u);
+  EXPECT_GT(res.report.rtm.aborts_by_class[size_t(
+                htm::AbortClass::kWriteCapacity)],
+            0u);
+}
+
+TEST(AppBehaviour, IntruderOptimizationShortensTransactions) {
+  IntruderConfig base;
+  base.flows = 128;
+  base.max_fragments = 16;
+  IntruderConfig opt = base;
+  opt.optimized = true;
+  auto rb = run_intruder(cfg_for(Backend::kRtm, 4), base);
+  auto ro = run_intruder(cfg_for(Backend::kRtm, 4), opt);
+  ASSERT_TRUE(rb.valid) << rb.validation_message;
+  ASSERT_TRUE(ro.valid) << ro.validation_message;
+  auto base_site = rb.report.site_stats(kIntruderSiteReassembly);
+  auto opt_site = ro.report.site_stats(kIntruderSiteReassembly);
+  double base_cyc = double(base_site.cycles_committed) /
+                    std::max<uint64_t>(base_site.commits, 1);
+  double opt_cyc = double(opt_site.cycles_committed) /
+                   std::max<uint64_t>(opt_site.commits, 1);
+  EXPECT_LT(opt_cyc, base_cyc);  // shorter reassembly transactions
+  EXPECT_LT(ro.report.wall_cycles, rb.report.wall_cycles);
+}
+
+TEST(AppBehaviour, VacationPrefaultRemovesPageFaultAborts) {
+  VacationConfig base;
+  base.relations = 128;
+  base.customers = 64;
+  base.sessions_per_thread = 150;
+  VacationConfig opt = base;
+  opt.optimized = true;
+  auto rb = run_vacation(cfg_for(Backend::kRtm, 2), base);
+  auto ro = run_vacation(cfg_for(Backend::kRtm, 2), opt);
+  ASSERT_TRUE(rb.valid) << rb.validation_message;
+  ASSERT_TRUE(ro.valid) << ro.validation_message;
+  using sim::AbortReason;
+  uint64_t base_pf =
+      rb.report.rtm.aborts_by_reason[size_t(AbortReason::kPageFault)];
+  uint64_t opt_pf =
+      ro.report.rtm.aborts_by_reason[size_t(AbortReason::kPageFault)];
+  EXPECT_GT(base_pf, 0u);   // the baseline faults inside transactions
+  EXPECT_EQ(opt_pf, 0u);    // the pre-faulting allocator eliminates them
+  EXPECT_LT(ro.report.rtm.abort_rate(), rb.report.rtm.abort_rate());
+}
+
+}  // namespace

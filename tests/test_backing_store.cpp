@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "sim/backing_store.h"
+
+namespace {
+
+using tsx::sim::BackingStore;
+using tsx::sim::kPageBytes;
+
+TEST(BackingStore, ZeroInitialized) {
+  BackingStore bs;
+  EXPECT_EQ(bs.peek(0x1000), 0u);
+  EXPECT_EQ(bs.peek(0xdeadbe00), 0u);
+}
+
+TEST(BackingStore, PokePeekRoundTrip) {
+  BackingStore bs;
+  bs.poke(0x2000, 0x1234567890abcdefull);
+  EXPECT_EQ(bs.peek(0x2000), 0x1234567890abcdefull);
+  EXPECT_EQ(bs.peek(0x2008), 0u);
+}
+
+TEST(BackingStore, UnalignedAccessThrows) {
+  BackingStore bs;
+  EXPECT_THROW(bs.peek(0x2001), std::invalid_argument);
+  EXPECT_THROW(bs.poke(0x2004, 1), std::invalid_argument);
+}
+
+TEST(BackingStore, PagesStartAbsent) {
+  BackingStore bs;
+  EXPECT_FALSE(bs.present(0x3000));
+  bs.poke(0x3000, 7);  // value write does not imply presence
+  EXPECT_FALSE(bs.present(0x3000));
+  bs.make_present(0x3000);
+  EXPECT_TRUE(bs.present(0x3000));
+  // Presence is per page.
+  EXPECT_TRUE(bs.present(0x3000 + kPageBytes - 8));
+  EXPECT_FALSE(bs.present(0x3000 + kPageBytes));
+}
+
+TEST(BackingStore, PrefaultCoversRange) {
+  BackingStore bs;
+  bs.prefault(0x10000, 3 * kPageBytes);
+  EXPECT_TRUE(bs.present(0x10000));
+  EXPECT_TRUE(bs.present(0x10000 + 2 * kPageBytes));
+  EXPECT_FALSE(bs.present(0x10000 + 3 * kPageBytes));
+}
+
+TEST(BackingStore, PrefaultPartialPagesRoundOut) {
+  BackingStore bs;
+  bs.prefault(0x20000 + 8, 16);  // straddles nothing, tiny range
+  EXPECT_TRUE(bs.present(0x20000));
+  bs.prefault(0x30000 + kPageBytes - 8, 16);  // straddles a boundary
+  EXPECT_TRUE(bs.present(0x30000));
+  EXPECT_TRUE(bs.present(0x30000 + kPageBytes));
+}
+
+TEST(BackingStore, PrefaultZeroBytesIsNoop) {
+  BackingStore bs;
+  bs.prefault(0x40000, 0);
+  EXPECT_FALSE(bs.present(0x40000));
+}
+
+TEST(BackingStore, DistantAddressesIndependent) {
+  BackingStore bs;
+  bs.poke(0x0004'0000'0000ull, 1);
+  bs.poke(0x0001'0000'0000ull, 2);
+  EXPECT_EQ(bs.peek(0x0004'0000'0000ull), 1u);
+  EXPECT_EQ(bs.peek(0x0001'0000'0000ull), 2u);
+}
+
+}  // namespace

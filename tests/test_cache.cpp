@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace {
+
+using tsx::sim::Cache;
+using tsx::sim::CacheGeometry;
+using tsx::sim::CacheLine;
+
+// A tiny 4-set, 2-way cache (8 lines of 64 B).
+CacheGeometry tiny() { return CacheGeometry{8 * 64, 2}; }
+
+TEST(Cache, GeometryDerivation) {
+  CacheGeometry g{32 * 1024, 8};
+  EXPECT_EQ(g.lines(), 512u);
+  EXPECT_EQ(g.sets(), 64u);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(tiny(), "t");
+  EXPECT_EQ(c.probe(100), nullptr);
+  int evictions = 0;
+  c.fill(100, [&](const CacheLine&) { ++evictions; });
+  EXPECT_NE(c.probe(100), nullptr);
+  EXPECT_EQ(evictions, 0);
+}
+
+TEST(Cache, LruEvictsColdest) {
+  Cache c(tiny(), "t");
+  // Set index = line % 4. Lines 0, 4, 8 map to set 0 (2 ways).
+  c.fill(0, [](const CacheLine&) {});
+  c.fill(4, [](const CacheLine&) {});
+  c.touch(0);  // 4 becomes LRU
+  uint64_t evicted = ~0ull;
+  c.fill(8, [&](const CacheLine& v) { evicted = v.tag; });
+  EXPECT_EQ(evicted, 4u);
+  EXPECT_NE(c.probe(0), nullptr);
+  EXPECT_NE(c.probe(8), nullptr);
+  EXPECT_EQ(c.probe(4), nullptr);
+}
+
+TEST(Cache, FillOfPresentLineThrows) {
+  Cache c(tiny(), "t");
+  c.fill(3, [](const CacheLine&) {});
+  EXPECT_THROW(c.fill(3, [](const CacheLine&) {}), std::logic_error);
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  Cache c(tiny(), "t");
+  c.fill(5, [](const CacheLine&) {});
+  c.invalidate(5);
+  EXPECT_EQ(c.probe(5), nullptr);
+  // Invalidate of missing line is a no-op.
+  c.invalidate(5);
+}
+
+TEST(Cache, EvictionCallbackSeesFlags) {
+  Cache c(tiny(), "t");
+  CacheLine* l = c.fill(0, [](const CacheLine&) {});
+  l->dirty = true;
+  l->tx_write_mask = 0b10;
+  c.fill(4, [](const CacheLine&) {});
+  bool saw = false;
+  // Evicting set 0 again must surface line 0 or 4; touch 4 so 0 is LRU.
+  c.touch(4);
+  c.fill(8, [&](const CacheLine& v) {
+    saw = true;
+    EXPECT_EQ(v.tag, 0u);
+    EXPECT_TRUE(v.dirty);
+    EXPECT_EQ(v.tx_write_mask, 0b10);
+  });
+  EXPECT_TRUE(saw);
+}
+
+TEST(Cache, ResetClearsFlagsOnReuse) {
+  Cache c(tiny(), "t");
+  CacheLine* l = c.fill(0, [](const CacheLine&) {});
+  l->dirty = true;
+  l->tx_read_mask = 0xff;
+  c.invalidate(0);
+  CacheLine* l2 = c.fill(0, [](const CacheLine&) {});
+  EXPECT_FALSE(l2->dirty);
+  EXPECT_EQ(l2->tx_read_mask, 0);
+}
+
+TEST(Cache, ValidLineCount) {
+  Cache c(tiny(), "t");
+  EXPECT_EQ(c.valid_lines(), 0u);
+  c.fill(1, [](const CacheLine&) {});
+  c.fill(2, [](const CacheLine&) {});
+  EXPECT_EQ(c.valid_lines(), 2u);
+}
+
+TEST(Cache, NonPowerOfTwoSetsRejected) {
+  CacheGeometry g{3 * 64, 1};  // 3 sets
+  EXPECT_THROW(Cache(g, "bad"), std::invalid_argument);
+}
+
+TEST(Cache, TouchUpdatesRecency) {
+  Cache c(tiny(), "t");
+  c.fill(0, [](const CacheLine&) {});
+  c.fill(4, [](const CacheLine&) {});
+  // Without the touch, 0 would be evicted; with it, 4 goes.
+  ASSERT_NE(c.touch(0), nullptr);
+  uint64_t evicted = ~0ull;
+  c.fill(8, [&](const CacheLine& v) { evicted = v.tag; });
+  EXPECT_EQ(evicted, 4u);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Each Eigenbench knob (paper Table II) must move observable machine
+// behaviour in the documented direction. These tests pin the knob-to-effect
+// mapping that the figure sweeps rely on.
+
+#include <gtest/gtest.h>
+
+#include "eigenbench/eigenbench.h"
+
+namespace {
+
+using namespace tsx;
+using namespace tsx::eigenbench;
+using core::Backend;
+
+core::RunConfig seq1() {
+  core::RunConfig cfg;
+  cfg.backend = Backend::kSeq;
+  cfg.threads = 1;
+  cfg.machine.interrupts_enabled = false;
+  return cfg;
+}
+
+core::RunConfig rtm(uint32_t threads) {
+  core::RunConfig cfg;
+  cfg.backend = Backend::kRtm;
+  cfg.threads = threads;
+  cfg.machine.interrupts_enabled = false;
+  return cfg;
+}
+
+EigenConfig base_eb() {
+  EigenConfig eb;
+  eb.loops = 60;
+  eb.reads_mild = 45;
+  eb.writes_mild = 5;
+  eb.ws_bytes = 16 * 1024;
+  return eb;
+}
+
+TEST(EigenKnobs, TxLengthScalesAccessCount) {
+  EigenConfig short_tx = base_eb();
+  EigenConfig long_tx = base_eb();
+  long_tx.reads_mild = 180;
+  long_tx.writes_mild = 20;
+  auto rs = run(seq1(), short_tx);
+  auto rl = run(seq1(), long_tx);
+  EXPECT_EQ(rl.total_reads + rl.total_writes,
+            4 * (rs.total_reads + rs.total_writes));
+}
+
+TEST(EigenKnobs, WorkingSetControlsCacheLevel) {
+  EigenConfig small = base_eb();  // 16K: L1-resident
+  EigenConfig big = base_eb();
+  big.ws_bytes = 2 * 1024 * 1024;  // 2M: L2-busting
+  auto rs = run(seq1(), small);
+  auto rb = run(seq1(), big);
+  // Larger working set: more L3/mem traffic per access.
+  double small_miss =
+      static_cast<double>(rs.report.machine.mem.l3_hits +
+                          rs.report.machine.mem.mem_accesses) /
+      rs.report.machine.mem.accesses();
+  double big_miss =
+      static_cast<double>(rb.report.machine.mem.l3_hits +
+                          rb.report.machine.mem.mem_accesses) /
+      rb.report.machine.mem.accesses();
+  EXPECT_GT(big_miss, small_miss + 0.1);
+}
+
+TEST(EigenKnobs, PollutionControlsWriteShare) {
+  EigenConfig eb = base_eb();
+  eb.reads_mild = 10;
+  eb.writes_mild = 40;  // pollution 0.8
+  auto r = run(seq1(), eb);
+  EXPECT_EQ(r.total_writes, 4u * r.total_reads);
+}
+
+TEST(EigenKnobs, LocalityShrinksFootprint) {
+  // A cache-busting working set: with everything L1-resident, locality
+  // cannot change timing, so use 2 MB.
+  EigenConfig spread = base_eb();
+  spread.ws_bytes = 2 * 1024 * 1024;
+  EigenConfig tight = spread;
+  tight.locality = 0.9;
+  auto rs = run(seq1(), spread);
+  auto rt_ = run(seq1(), tight);
+  // High locality repeats addresses: fewer distinct lines -> fewer misses
+  // -> fewer cycles for identical access counts.
+  EXPECT_EQ(rs.total_reads, rt_.total_reads);
+  EXPECT_LT(rt_.report.wall_cycles, rs.report.wall_cycles);
+}
+
+TEST(EigenKnobs, HotArrayCreatesConflicts) {
+  EigenConfig calm = base_eb();
+  EigenConfig hot = base_eb();
+  hot.reads_hot = 6;
+  hot.writes_hot = 6;
+  hot.hot_bytes = 512;
+  auto rc = run(rtm(4), calm);
+  auto rh = run(rtm(4), hot);
+  EXPECT_EQ(rc.report.rtm.aborts_by_class[size_t(
+                htm::AbortClass::kConflictOrReadCap)],
+            0u);
+  EXPECT_GT(rh.report.rtm.aborts_by_class[size_t(
+                htm::AbortClass::kConflictOrReadCap)],
+            0u);
+}
+
+TEST(EigenKnobs, PredominanceAddsNonTxWork) {
+  EigenConfig pure = base_eb();
+  EigenConfig mixed = base_eb();
+  mixed.reads_cold = 90;
+  mixed.writes_cold = 10;
+  auto rp = run(seq1(), pure);
+  auto rm = run(seq1(), mixed);
+  // Cold accesses add to total work but not to transactional counts.
+  EXPECT_GT(rm.total_reads, rp.total_reads);
+  EXPECT_GT(rm.report.wall_cycles, rp.report.wall_cycles);
+  EXPECT_EQ(rm.report.machine.tx.started, rp.report.machine.tx.started);
+}
+
+TEST(EigenKnobs, NopsExtendTransactionDuration) {
+  EigenConfig plain = base_eb();
+  EigenConfig padded = base_eb();
+  padded.nops_in_tx = 5000;
+  auto rp = run(seq1(), plain);
+  auto rq = run(seq1(), padded);
+  EXPECT_GT(rq.report.wall_cycles,
+            rp.report.wall_cycles + 60 * 4000);
+}
+
+TEST(EigenKnobs, ConcurrencyDistributesWork) {
+  EigenConfig eb = base_eb();
+  auto r1 = run(rtm(1), eb);
+  auto r4 = run(rtm(4), eb);
+  // Each thread does `loops` transactions: 4 threads, 4x the tx count.
+  EXPECT_EQ(r4.report.machine.tx.started, 4 * r1.report.machine.tx.started);
+  // And the wall time is far less than 4x.
+  EXPECT_LT(r4.report.wall_cycles, 2 * r1.report.wall_cycles);
+}
+
+}  // namespace

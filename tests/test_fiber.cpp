@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/fiber.h"
+
+namespace {
+
+using tsx::sim::Fiber;
+
+TEST(Fiber, RunsToCompletion) {
+  int x = 0;
+  Fiber f(64 * 1024, [&] { x = 42; });
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldAndResumeInterleave) {
+  std::vector<int> order;
+  Fiber* self = nullptr;
+  Fiber f(64 * 1024, [&] {
+    order.push_back(1);
+    self->yield();
+    order.push_back(3);
+    self->yield();
+    order.push_back(5);
+  });
+  self = &f;
+  f.resume();
+  order.push_back(2);
+  f.resume();
+  order.push_back(4);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, TwoFibersPingPong) {
+  std::vector<int> order;
+  Fiber* fa = nullptr;
+  Fiber* fb = nullptr;
+  Fiber a(64 * 1024, [&] {
+    order.push_back(10);
+    fa->yield();
+    order.push_back(12);
+  });
+  Fiber b(64 * 1024, [&] {
+    order.push_back(11);
+    fb->yield();
+    order.push_back(13);
+  });
+  fa = &a;
+  fb = &b;
+  a.resume();
+  b.resume();
+  a.resume();
+  b.resume();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 12, 13}));
+}
+
+TEST(Fiber, ExceptionInsideFiberIsCapturedNotPropagated) {
+  Fiber f(64 * 1024, [] { throw std::runtime_error("boom"); });
+  EXPECT_NO_THROW(f.resume());
+  EXPECT_TRUE(f.finished());
+  ASSERT_TRUE(f.error() != nullptr);
+  EXPECT_THROW(std::rethrow_exception(f.error()), std::runtime_error);
+}
+
+TEST(Fiber, ExceptionCaughtWithinFiberIsFine) {
+  bool caught = false;
+  Fiber f(64 * 1024, [&] {
+    try {
+      throw std::runtime_error("inner");
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  });
+  f.resume();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(f.error(), nullptr);
+}
+
+TEST(Fiber, ResumeAfterFinishThrows) {
+  Fiber f(64 * 1024, [] {});
+  f.resume();
+  EXPECT_THROW(f.resume(), std::logic_error);
+}
+
+TEST(Fiber, DestroySuspendedFiberIsSafe) {
+  Fiber* self = nullptr;
+  auto f = std::make_unique<Fiber>(64 * 1024, [&] {
+    self->yield();  // never resumed again
+  });
+  self = f.get();
+  f->resume();
+  EXPECT_FALSE(f->finished());
+  f.reset();  // must not crash
+}
+
+}  // namespace

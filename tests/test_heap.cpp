@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "mem/layout.h"
+#include "mem/sim_heap.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace tsx::sim;
+using namespace tsx::mem;
+
+MachineConfig quiet() {
+  MachineConfig cfg;
+  cfg.interrupts_enabled = false;
+  return cfg;
+}
+
+TEST(SimHeap, AllocReturnsDistinctAlignedBlocks) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(24);
+    Addr b = heap.alloc(24);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_GE(a, kHeapBase);
+    Addr c = heap.alloc(100, 64);
+    EXPECT_EQ(c % 64, 0u);
+  });
+  m.run();
+  EXPECT_EQ(heap.stats().allocs, 3u);
+}
+
+TEST(SimHeap, FreeEnablesReuse) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(64);
+    heap.free(a);
+    Addr b = heap.alloc(64);
+    EXPECT_EQ(a, b);  // same size class, LIFO reuse
+  });
+  m.run();
+}
+
+TEST(SimHeap, FreeOfUnknownBlockThrows) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    EXPECT_THROW(heap.free(kHeapBase + 0x9999000), std::invalid_argument);
+  });
+  m.run();
+}
+
+TEST(SimHeap, LazyPagesFaultOnFirstTouch) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);  // prefault off
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(64);
+    uint64_t faults_before = m.stats().mem.page_faults;
+    m.store(a, 1);
+    EXPECT_GT(m.stats().mem.page_faults, faults_before);
+  });
+  m.run();
+}
+
+TEST(SimHeap, PrefaultOnRefillAvoidsFaults) {
+  Machine m(quiet(), 1);
+  HeapConfig cfg;
+  cfg.prefault_on_refill = true;
+  SimHeap heap(m, cfg);
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(64);
+    uint64_t faults_before = m.stats().mem.page_faults;
+    m.store(a, 1);
+    EXPECT_EQ(m.stats().mem.page_faults, faults_before);
+  });
+  m.run();
+}
+
+TEST(SimHeap, HostAllocIsPrefaulted) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  Addr a = heap.host_alloc(4096);
+  m.set_thread(0, [&] {
+    uint64_t faults_before = m.stats().mem.page_faults;
+    m.load(a);
+    EXPECT_EQ(m.stats().mem.page_faults, faults_before);
+  });
+  m.run();
+}
+
+TEST(SimHeap, TxScopeAbortUndoesAllocations) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    heap.tx_scope_begin(0);
+    Addr a = heap.alloc(64);
+    heap.tx_scope_abort(0);
+    // The block was released: allocating again reuses it.
+    Addr b = heap.alloc(64);
+    EXPECT_EQ(a, b);
+  });
+  m.run();
+  EXPECT_EQ(heap.stats().bytes_live, 64u);
+}
+
+TEST(SimHeap, TxScopeDefersFreesUntilCommit) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(64);
+    heap.tx_scope_begin(0);
+    heap.free(a);
+    // Still allocated (deferred): reuse must NOT return it.
+    Addr b = heap.alloc(64);
+    EXPECT_NE(a, b);
+    heap.tx_scope_commit(0);
+    // Now actually freed.
+    Addr c = heap.alloc(64);
+    EXPECT_EQ(c, a);
+  });
+  m.run();
+}
+
+TEST(SimHeap, TxScopeAbortDropsDeferredFrees) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(64);
+    heap.tx_scope_begin(0);
+    heap.free(a);
+    heap.tx_scope_abort(0);
+    // The free never happened; block still owned, so freeing works again.
+    heap.tx_scope_begin(0);
+    heap.free(a);
+    heap.tx_scope_commit(0);
+  });
+  m.run();
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+}
+
+TEST(SimHeap, SizeClassRounding) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(100);
+    EXPECT_EQ(heap.block_size(a), 128u);
+    Addr b = heap.alloc(1);
+    EXPECT_EQ(heap.block_size(b), 8u);
+  });
+  m.run();
+}
+
+TEST(SimHeap, PerThreadPoolsDontInterleave) {
+  Machine m(quiet(), 2);
+  SimHeap heap(m);
+  Addr a0 = 0, a1 = 0;
+  m.set_thread(0, [&] { a0 = heap.alloc(64); });
+  m.set_thread(1, [&] { a1 = heap.alloc(64); });
+  m.run();
+  // Different chunks entirely.
+  EXPECT_GE(std::max(a0, a1) - std::min(a0, a1), 64u * 1024u);
+}
+
+}  // namespace

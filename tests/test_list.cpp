@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "stamp/lib/list.h"
+
+namespace {
+
+using namespace tsx;
+using namespace tsx::stamp;
+using core::Backend;
+
+core::RunConfig cfg1() {
+  core::RunConfig cfg;
+  cfg.backend = Backend::kSeq;
+  cfg.threads = 1;
+  cfg.machine.interrupts_enabled = false;
+  return cfg;
+}
+
+TEST(List, SortedInsertKeepsOrder) {
+  core::TxRuntime rt(cfg1());
+  List l = List::create_host(rt);
+  rt.run([&](core::TxCtx& ctx) {
+    for (sim::Word k : {5, 1, 9, 3, 7}) l.insert_sorted(ctx, k, k * 10);
+    EXPECT_EQ(l.size(ctx), 5u);
+  });
+  auto items = l.host_items(rt);
+  ASSERT_EQ(items.size(), 5u);
+  for (size_t i = 1; i < items.size(); ++i) {
+    EXPECT_LT(items[i - 1].first, items[i].first);
+  }
+  EXPECT_EQ(items[0].first, 1u);
+  EXPECT_EQ(items[0].second, 10u);
+}
+
+TEST(List, PushFrontIsLifo) {
+  core::TxRuntime rt(cfg1());
+  List l = List::create_host(rt);
+  rt.run([&](core::TxCtx& ctx) {
+    l.push_front(ctx, 1, 0);
+    l.push_front(ctx, 2, 0);
+    l.push_front(ctx, 3, 0);
+  });
+  auto items = l.host_items(rt);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 3u);
+  EXPECT_EQ(items[2].first, 1u);
+}
+
+TEST(List, HostSortRestoresOrder) {
+  core::TxRuntime rt(cfg1());
+  List l = List::create_host(rt);
+  rt.run([&](core::TxCtx& ctx) {
+    for (sim::Word k : {4, 2, 8, 6}) l.push_front(ctx, k, k);
+  });
+  l.host_sort(rt);
+  auto items = l.host_items(rt);
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].first, 2u);
+  EXPECT_EQ(items[3].first, 8u);
+}
+
+TEST(List, FindAndRemove) {
+  core::TxRuntime rt(cfg1());
+  List l = List::create_host(rt);
+  rt.run([&](core::TxCtx& ctx) {
+    for (sim::Word k : {1, 2, 3}) l.insert_sorted(ctx, k, 100 + k);
+    sim::Word v = 0;
+    EXPECT_TRUE(l.find(ctx, 2, &v));
+    EXPECT_EQ(v, 102u);
+    EXPECT_FALSE(l.find(ctx, 4, &v));
+    EXPECT_TRUE(l.remove(ctx, 2));
+    EXPECT_FALSE(l.remove(ctx, 2));
+    EXPECT_FALSE(l.find(ctx, 2, &v));
+    EXPECT_EQ(l.size(ctx), 2u);
+    // Remove the head and the tail.
+    EXPECT_TRUE(l.remove(ctx, 1));
+    EXPECT_TRUE(l.remove(ctx, 3));
+    EXPECT_TRUE(l.empty(ctx));
+  });
+}
+
+TEST(List, PopFrontDrains) {
+  core::TxRuntime rt(cfg1());
+  List l = List::create_host(rt);
+  rt.run([&](core::TxCtx& ctx) {
+    l.insert_sorted(ctx, 2, 20);
+    l.insert_sorted(ctx, 1, 10);
+    sim::Word k = 0, v = 0;
+    EXPECT_TRUE(l.pop_front(ctx, &k, &v));
+    EXPECT_EQ(k, 1u);
+    EXPECT_EQ(v, 10u);
+    EXPECT_TRUE(l.pop_front(ctx, &k, &v));
+    EXPECT_EQ(k, 2u);
+    EXPECT_FALSE(l.pop_front(ctx, &k, &v));
+  });
+}
+
+TEST(List, ClearFreesNodes) {
+  core::RunConfig cfg = cfg1();
+  core::TxRuntime rt(cfg);
+  List l = List::create_host(rt);
+  rt.run([&](core::TxCtx& ctx) {
+    uint64_t live0 = rt.heap().stats().bytes_live;
+    for (int k = 0; k < 10; ++k) l.push_front(ctx, k, k);
+    l.clear(ctx);
+    EXPECT_TRUE(l.empty(ctx));
+    EXPECT_EQ(l.size(ctx), 0u);
+    EXPECT_EQ(rt.heap().stats().bytes_live, live0);
+  });
+}
+
+TEST(List, DuplicateKeysAllowed) {
+  core::TxRuntime rt(cfg1());
+  List l = List::create_host(rt);
+  rt.run([&](core::TxCtx& ctx) {
+    l.insert_sorted(ctx, 5, 1);
+    l.insert_sorted(ctx, 5, 2);
+    EXPECT_EQ(l.size(ctx), 2u);
+  });
+}
+
+TEST(List, SortedInsertReadSetGrowsWithLength) {
+  // The §V-A point: sorted insertion reads O(n) nodes, prepend reads O(1).
+  core::RunConfig cfg = cfg1();
+  cfg.backend = Backend::kRtm;
+  core::TxRuntime rt(cfg);
+  List l = List::create_host(rt);
+  sim::Cycles sorted_cost = 0, prepend_cost = 0;
+  rt.run([&](core::TxCtx& ctx) {
+    for (int k = 0; k < 200; ++k) l.push_front(ctx, k, k);
+    l.host_sort(rt);
+    sim::Cycles t0 = ctx.now();
+    ctx.transaction([&] { l.insert_sorted(ctx, 1000, 0); });
+    sorted_cost = ctx.now() - t0;
+    t0 = ctx.now();
+    ctx.transaction([&] { l.push_front(ctx, 1001, 0); });
+    prepend_cost = ctx.now() - t0;
+  });
+  EXPECT_GT(sorted_cost, 5 * prepend_cost);
+}
+
+}  // namespace

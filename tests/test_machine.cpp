@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace {
+
+using namespace tsx::sim;
+
+MachineConfig quiet() {
+  MachineConfig cfg;
+  cfg.interrupts_enabled = false;
+  return cfg;
+}
+
+TEST(Machine, SingleThreadLoadStore) {
+  Machine m(quiet(), 1);
+  m.prefault(0x1000, 4096);
+  m.set_thread(0, [&] {
+    m.store(0x1000, 7);
+    EXPECT_EQ(m.load(0x1000), 7u);
+    EXPECT_EQ(m.load(0x1008), 0u);
+  });
+  m.run();
+  EXPECT_EQ(m.peek(0x1000), 7u);
+  EXPECT_GT(m.wall(), 0u);
+}
+
+TEST(Machine, OpsOutsideFiberThrow) {
+  Machine m(quiet(), 1);
+  EXPECT_THROW(m.load(0x1000), std::logic_error);
+  EXPECT_THROW(m.compute(10), std::logic_error);
+}
+
+TEST(Machine, DeterministicInterleaving) {
+  auto run_once = [] {
+    Machine m(quiet(), 4);
+    m.prefault(0x1000, 4096);
+    for (CtxId t = 0; t < 4; ++t) {
+      m.set_thread(t, [&m, t] {
+        for (int i = 0; i < 100; ++i) {
+          Word v = m.load(0x1000);
+          m.compute(t * 3 + 1);
+          m.store(0x1000, v + 1);
+        }
+      });
+    }
+    m.run();
+    return std::pair(m.peek(0x1000), m.wall());
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a, b);  // identical final value AND identical timing
+}
+
+TEST(Machine, PageFaultCostOncePerPage) {
+  Machine m(quiet(), 1);
+  Cycles first = 0, second = 0;
+  m.set_thread(0, [&] {
+    Cycles t0 = m.now();
+    m.load(0x5000);
+    first = m.now() - t0;
+    t0 = m.now();
+    m.load(0x5008);
+    second = m.now() - t0;
+  });
+  m.run();
+  MachineConfig cfg = quiet();
+  EXPECT_GE(first, cfg.page_fault_cycles);
+  EXPECT_LT(second, cfg.page_fault_cycles);
+  EXPECT_EQ(m.stats().mem.page_faults, 1u);
+}
+
+TEST(Machine, TxCommitMakesWritesDurable) {
+  Machine m(quiet(), 1);
+  m.prefault(0x1000, 4096);
+  m.set_thread(0, [&] {
+    m.tx_begin();
+    m.store(0x1000, 99);
+    EXPECT_TRUE(m.in_tx());
+    m.tx_commit();
+    EXPECT_FALSE(m.in_tx());
+  });
+  m.run();
+  EXPECT_EQ(m.peek(0x1000), 99u);
+  EXPECT_EQ(m.stats().tx.committed, 1u);
+  EXPECT_EQ(m.stats().tx.started, 1u);
+}
+
+TEST(Machine, ExplicitAbortRollsBack) {
+  Machine m(quiet(), 1);
+  m.prefault(0x1000, 4096);
+  m.set_thread(0, [&] {
+    m.poke(0x1000, 5);
+    try {
+      m.tx_begin();
+      m.store(0x1000, 123);
+      m.tx_abort(0x42);
+      FAIL() << "tx_abort must throw";
+    } catch (const TxAborted& a) {
+      EXPECT_EQ(a.reason, AbortReason::kExplicit);
+      EXPECT_TRUE(a.status & xstatus::kExplicit);
+      EXPECT_EQ(xstatus::unpack_code(a.status), 0x42);
+    }
+    EXPECT_FALSE(m.in_tx());
+  });
+  m.run();
+  EXPECT_EQ(m.peek(0x1000), 5u);  // speculative store undone
+  EXPECT_EQ(m.stats().tx.aborts_by_reason[size_t(AbortReason::kExplicit)], 1u);
+}
+
+TEST(Machine, ConflictAbortsOtherTx) {
+  Machine m(quiet(), 2);
+  m.prefault(0x1000, 4096);
+  bool aborted = false;
+  m.set_thread(0, [&] {
+    try {
+      m.tx_begin();
+      m.load(0x1000);
+      // Spin long enough for thread 1's write to land.
+      for (int i = 0; i < 100; ++i) m.compute(100);
+      m.tx_commit();
+    } catch (const TxAborted& a) {
+      aborted = true;
+      EXPECT_EQ(a.reason, AbortReason::kConflict);
+      EXPECT_TRUE(a.status & xstatus::kConflict);
+      EXPECT_EQ(a.conflict_line, line_of(0x1000));
+    }
+  });
+  m.set_thread(1, [&] {
+    m.compute(500);
+    m.store(0x1000, 1);
+  });
+  m.run();
+  EXPECT_TRUE(aborted);
+}
+
+TEST(Machine, WriteCapacityAbort) {
+  Machine m(quiet(), 1);
+  m.prefault(0x100000, 16 * 1024 * 1024);
+  bool aborted = false;
+  m.set_thread(0, [&] {
+    try {
+      m.tx_begin();
+      // 600 distinct lines written: beyond the 512-line L1.
+      for (int i = 0; i < 600; ++i) {
+        m.store(0x100000 + static_cast<Addr>(i) * 64, 1);
+      }
+      m.tx_commit();
+    } catch (const TxAborted& a) {
+      aborted = true;
+      EXPECT_EQ(a.reason, AbortReason::kWriteCapacity);
+      EXPECT_TRUE(a.status & xstatus::kCapacity);
+    }
+  });
+  m.run();
+  EXPECT_TRUE(aborted);
+  // Everything rolled back.
+  for (int i = 0; i < 600; ++i) {
+    EXPECT_EQ(m.peek(0x100000 + static_cast<Addr>(i) * 64), 0u);
+  }
+}
+
+TEST(Machine, PageFaultInsideTxAbortsAndDoesNotService) {
+  Machine m(quiet(), 1);
+  bool aborted = false;
+  m.set_thread(0, [&] {
+    try {
+      m.tx_begin();
+      m.load(0x9000);  // absent page
+      m.tx_commit();
+    } catch (const TxAborted& a) {
+      aborted = true;
+      EXPECT_EQ(a.reason, AbortReason::kPageFault);
+    }
+    // Outside the tx the fault services normally.
+    m.load(0x9000);
+  });
+  m.run();
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(m.stats().mem.page_faults, 1u);  // only the non-tx access
+}
+
+TEST(Machine, InterruptsAbortLongTransactions) {
+  MachineConfig cfg;
+  cfg.interrupt_mean_cycles = 50'000;  // frequent for the test
+  Machine m(cfg, 1);
+  m.prefault(0x1000, 4096);
+  int aborts = 0, commits = 0;
+  m.set_thread(0, [&] {
+    for (int t = 0; t < 50; ++t) {
+      try {
+        m.tx_begin();
+        for (int i = 0; i < 100; ++i) m.compute(1000);  // ~100K cycles
+        m.tx_commit();
+        ++commits;
+      } catch (const TxAborted& a) {
+        EXPECT_EQ(a.reason, AbortReason::kInterrupt);
+        ++aborts;
+      }
+    }
+  });
+  m.run();
+  EXPECT_GT(aborts, 10);  // ~87% abort probability per tx
+}
+
+TEST(Machine, UnsupportedInsnAbortsTx) {
+  Machine m(quiet(), 1);
+  bool aborted = false;
+  m.set_thread(0, [&] {
+    try {
+      m.tx_begin();
+      m.tx_unsupported_insn();
+      m.tx_commit();
+    } catch (const TxAborted& a) {
+      aborted = true;
+      EXPECT_EQ(a.reason, AbortReason::kUnsupportedInsn);
+    }
+    m.tx_unsupported_insn();  // no-op outside tx
+  });
+  m.run();
+  EXPECT_TRUE(aborted);
+}
+
+TEST(Machine, NestedTxFlattens) {
+  Machine m(quiet(), 1);
+  m.prefault(0x1000, 4096);
+  m.set_thread(0, [&] {
+    m.tx_begin();
+    m.tx_begin();
+    m.store(0x1000, 1);
+    m.tx_commit();
+    EXPECT_TRUE(m.in_tx());  // still inside the outer tx
+    m.tx_commit();
+    EXPECT_FALSE(m.in_tx());
+  });
+  m.run();
+  EXPECT_EQ(m.stats().tx.started, 1u);
+  EXPECT_EQ(m.stats().tx.committed, 1u);
+}
+
+TEST(Machine, BarrierSynchronizesClocks) {
+  Machine m(quiet(), 2);
+  Cycles after0 = 0, after1 = 0;
+  m.set_thread(0, [&] {
+    m.compute(10'000);
+    m.barrier();
+    after0 = m.now();
+  });
+  m.set_thread(1, [&] {
+    m.compute(10);
+    m.barrier();
+    after1 = m.now();
+  });
+  m.run();
+  EXPECT_EQ(after0, after1);
+  EXPECT_GE(after0, 10'000u);
+}
+
+TEST(Machine, CasSucceedsAndFails) {
+  Machine m(quiet(), 1);
+  m.prefault(0x1000, 4096);
+  m.set_thread(0, [&] {
+    m.store(0x1000, 5);
+    EXPECT_TRUE(m.cas(0x1000, 5, 6));
+    EXPECT_FALSE(m.cas(0x1000, 5, 7));
+    EXPECT_EQ(m.load(0x1000), 6u);
+    EXPECT_EQ(m.fetch_add(0x1000, 10), 6u);
+    EXPECT_EQ(m.load(0x1000), 16u);
+    EXPECT_EQ(m.swap(0x1000, 1), 16u);
+  });
+  m.run();
+}
+
+TEST(Machine, WorkloadExceptionPropagatesFromRun) {
+  Machine m(quiet(), 1);
+  m.set_thread(0, [] { throw std::runtime_error("workload bug"); });
+  EXPECT_THROW(m.run(), std::runtime_error);
+}
+
+TEST(Machine, CommitOutsideTxThrows) {
+  Machine m(quiet(), 1);
+  m.set_thread(0, [&] { EXPECT_THROW(m.tx_commit(), std::logic_error); });
+  m.run();
+}
+
+TEST(Machine, SmtSlowsComputePerCore) {
+  // 8 threads on 4 cores: compute is scaled by smt_slowdown.
+  MachineConfig cfg = quiet();
+  Machine m4(cfg, 4), m8(cfg, 8);
+  Cycles t4 = 0, t8 = 0;
+  for (CtxId t = 0; t < 4; ++t) {
+    m4.set_thread(t, [&m4, &t4] {
+      m4.compute(10'000);
+      t4 = std::max(t4, m4.now());
+    });
+  }
+  for (CtxId t = 0; t < 8; ++t) {
+    m8.set_thread(t, [&m8, &t8] {
+      m8.compute(10'000);
+      t8 = std::max(t8, m8.now());
+    });
+  }
+  m4.run();
+  m8.run();
+  EXPECT_GT(t8, t4);
+  EXPECT_NEAR(static_cast<double>(t8) / static_cast<double>(t4),
+              cfg.smt_slowdown, 0.05);
+}
+
+}  // namespace

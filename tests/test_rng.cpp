@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.h"
+
+namespace {
+
+using tsx::sim::Rng;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng r(23);
+  uint64_t first = r.next();
+  r.next();
+  r.reseed(23);
+  EXPECT_EQ(r.next(), first);
+}
+
+}  // namespace

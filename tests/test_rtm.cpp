@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "htm/rtm.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace tsx::sim;
+using namespace tsx::htm;
+
+MachineConfig quiet() {
+  MachineConfig cfg;
+  cfg.interrupts_enabled = false;
+  return cfg;
+}
+
+constexpr Addr kLockBase = 0x10000;
+constexpr Addr kData = 0x20000;
+
+TEST(Attempt, CommitPath) {
+  Machine m(quiet(), 1);
+  m.prefault(kData, 4096);
+  m.set_thread(0, [&] {
+    AttemptResult r = attempt(m, [&] { m.store(kData, 3); });
+    EXPECT_TRUE(r.committed);
+    EXPECT_EQ(r.status, xstatus::kStarted);
+    EXPECT_GT(r.cycles, 0u);
+  });
+  m.run();
+  EXPECT_EQ(m.peek(kData), 3u);
+}
+
+TEST(Attempt, AbortReportsStatus) {
+  Machine m(quiet(), 1);
+  m.prefault(kData, 4096);
+  m.set_thread(0, [&] {
+    AttemptResult r = attempt(m, [&] {
+      m.store(kData, 9);
+      m.tx_abort(0x7);
+    });
+    EXPECT_FALSE(r.committed);
+    EXPECT_EQ(r.reason, AbortReason::kExplicit);
+    EXPECT_EQ(xstatus::unpack_code(r.status), 0x7);
+  });
+  m.run();
+  EXPECT_EQ(m.peek(kData), 0u);
+}
+
+TEST(RtmExecutor, SingleThreadCommits) {
+  Machine m(quiet(), 1);
+  m.prefault(kData, 4096);
+  RtmExecutor ex(m, kLockBase);
+  m.prefault(kLockBase, 4096);
+  ex.init();
+  m.set_thread(0, [&] {
+    for (int i = 0; i < 10; ++i) {
+      ex.execute([&] {
+        Word v = m.load(kData);
+        m.store(kData, v + 1);
+      });
+    }
+  });
+  m.run();
+  EXPECT_EQ(m.peek(kData), 10u);
+  RtmStats s = ex.stats();
+  EXPECT_EQ(s.transactions, 10u);
+  EXPECT_EQ(s.commits, 10u);
+  EXPECT_EQ(s.fallbacks, 0u);
+  EXPECT_EQ(s.aborts(), 0u);
+}
+
+TEST(RtmExecutor, ContendedCounterIsAtomic) {
+  Machine m(quiet(), 4);
+  m.prefault(kData, 4096);
+  m.prefault(kLockBase, 4096);
+  RtmExecutor ex(m, kLockBase);
+  ex.init();
+  const int iters = 300;
+  for (CtxId t = 0; t < 4; ++t) {
+    m.set_thread(t, [&] {
+      for (int i = 0; i < iters; ++i) {
+        ex.execute([&] {
+          Word v = m.load(kData);
+          m.compute(30);
+          m.store(kData, v + 1);
+        });
+      }
+    });
+  }
+  m.run();
+  EXPECT_EQ(m.peek(kData), 4u * iters);
+  RtmStats s = ex.stats();
+  EXPECT_EQ(s.transactions, 4u * iters);
+  EXPECT_GT(s.aborts(), 0u);  // contention must have caused conflicts
+}
+
+TEST(RtmExecutor, CapacityOverflowFallsBackAndCompletes) {
+  Machine m(quiet(), 1);
+  RtmExecutor ex(m, kLockBase);
+  m.prefault(kLockBase, 4096);
+  m.prefault(kData, 1024 * 1024);
+  ex.init();
+  m.set_thread(0, [&] {
+    ex.execute([&] {
+      for (int i = 0; i < 1000; ++i) {  // way past 512-line write capacity
+        m.store(kData + static_cast<Addr>(i) * 64, i);
+      }
+    });
+  });
+  m.run();
+  // Completed via fallback, exactly once.
+  RtmStats s = ex.stats();
+  EXPECT_EQ(s.transactions, 1u);
+  EXPECT_EQ(s.fallbacks, 1u);
+  EXPECT_GT(s.aborts_by_class[size_t(AbortClass::kWriteCapacity)], 0u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(m.peek(kData + static_cast<Addr>(i) * 64), static_cast<Word>(i));
+  }
+}
+
+TEST(RtmExecutor, FallbackSerializesAgainstTransactions) {
+  // Thread 0 repeatedly overflows capacity (always fallback); thread 1 runs
+  // small transactions. The shared counter must stay exact.
+  Machine m(quiet(), 2);
+  m.prefault(kLockBase, 4096);
+  m.prefault(kData, 1024 * 1024);
+  RtmExecutor ex(m, kLockBase, ExecutorConfig{.max_retries = 2});
+  ex.init();
+  m.set_thread(0, [&] {
+    for (int r = 0; r < 5; ++r) {
+      ex.execute([&] {
+        Word v = m.load(kData);
+        for (int i = 1; i < 700; ++i) {
+          m.store(kData + static_cast<Addr>(i) * 64, v);
+        }
+        m.store(kData, v + 1);
+      });
+    }
+  });
+  m.set_thread(1, [&] {
+    for (int i = 0; i < 200; ++i) {
+      ex.execute([&] {
+        Word v = m.load(kData);
+        m.compute(10);
+        m.store(kData, v + 1);
+      });
+    }
+  });
+  m.run();
+  EXPECT_EQ(m.peek(kData), 205u);
+  // Thread 1 must have seen lock aborts from thread 0's fallbacks.
+  EXPECT_GT(ex.stats().aborts_by_class[size_t(AbortClass::kLock)], 0u);
+}
+
+TEST(RtmExecutor, SiteStatsSeparate) {
+  Machine m(quiet(), 1);
+  m.prefault(kLockBase, 4096);
+  m.prefault(kData, 4096);
+  RtmExecutor ex(m, kLockBase);
+  ex.init();
+  m.set_thread(0, [&] {
+    ex.execute([&] { m.store(kData, 1); }, /*site=*/1);
+    ex.execute([&] { m.store(kData, 2); }, /*site=*/1);
+    ex.execute([&] { m.store(kData, 3); }, /*site=*/2);
+  });
+  m.run();
+  EXPECT_EQ(ex.site_stats(1).transactions, 2u);
+  EXPECT_EQ(ex.site_stats(2).transactions, 1u);
+  EXPECT_EQ(ex.site_stats(99).transactions, 0u);
+}
+
+TEST(RtmExecutor, ClassifyLockAborts) {
+  AttemptResult r;
+  r.reason = AbortReason::kExplicit;
+  r.status = xstatus::kExplicit | xstatus::pack_code(kAbortCodeLockBusy);
+  EXPECT_EQ(RtmExecutor::classify(r, 123), AbortClass::kLock);
+
+  r.reason = AbortReason::kConflict;
+  r.status = xstatus::kConflict;
+  r.conflict_line = 123;
+  EXPECT_EQ(RtmExecutor::classify(r, 123), AbortClass::kLock);
+  r.conflict_line = 124;
+  EXPECT_EQ(RtmExecutor::classify(r, 123), AbortClass::kConflictOrReadCap);
+
+  r.reason = AbortReason::kReadCapacity;
+  EXPECT_EQ(RtmExecutor::classify(r, 123), AbortClass::kConflictOrReadCap);
+  r.reason = AbortReason::kWriteCapacity;
+  EXPECT_EQ(RtmExecutor::classify(r, 123), AbortClass::kWriteCapacity);
+  r.reason = AbortReason::kPageFault;
+  EXPECT_EQ(RtmExecutor::classify(r, 123), AbortClass::kMisc3);
+  r.reason = AbortReason::kInterrupt;
+  EXPECT_EQ(RtmExecutor::classify(r, 123), AbortClass::kMisc5);
+}
+
+TEST(RtmExecutor, MiscBucketsMatchIntelMapping) {
+  using tsx::sim::MiscBucket;
+  EXPECT_EQ(misc_bucket_for(AbortReason::kConflict), MiscBucket::kMisc1);
+  EXPECT_EQ(misc_bucket_for(AbortReason::kReadCapacity), MiscBucket::kMisc1);
+  EXPECT_EQ(misc_bucket_for(AbortReason::kWriteCapacity), MiscBucket::kMisc1);
+  EXPECT_EQ(misc_bucket_for(AbortReason::kExplicit), MiscBucket::kMisc3);
+  EXPECT_EQ(misc_bucket_for(AbortReason::kPageFault), MiscBucket::kMisc3);
+  EXPECT_EQ(misc_bucket_for(AbortReason::kInterrupt), MiscBucket::kMisc5);
+}
+
+}  // namespace

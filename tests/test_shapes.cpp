@@ -1,0 +1,223 @@
+// Shape-regression tests: fast, qualitative versions of the paper's
+// headline results. If a model change breaks one of these, a figure almost
+// certainly regressed too — they encode "who wins / where the cliff is"
+// rather than absolute numbers.
+
+#include <gtest/gtest.h>
+
+#include "eigenbench/eigenbench.h"
+#include "htm/rtm.h"
+
+namespace {
+
+using namespace tsx;
+using core::Backend;
+using sim::Addr;
+using sim::Cycles;
+using sim::Word;
+
+// ---- Fig. 1 shapes: capacity cliffs ----
+
+double capacity_abort_rate(uint64_t lines, bool writes) {
+  core::RunConfig cfg;
+  cfg.backend = core::Backend::kRtm;
+  cfg.threads = 1;
+  cfg.machine.interrupts_enabled = false;
+  core::TxRuntime rt(cfg);
+  auto& m = rt.machine();
+  Addr base = rt.heap().host_alloc(lines * 64, 64);
+  int aborts = 0;
+  const int attempts = 3;
+  rt.run([&](core::TxCtx& ctx) {
+    (void)ctx;
+    for (uint64_t i = 0; i < lines; ++i) m.load(base + i * 64);
+    for (int a = 0; a < attempts; ++a) {
+      auto r = htm::attempt(m, [&] {
+        for (uint64_t i = 0; i < lines; ++i) {
+          if (writes) {
+            m.store(base + i * 64, 1);
+          } else {
+            m.load(base + i * 64);
+          }
+        }
+      });
+      aborts += !r.committed;
+    }
+  });
+  return static_cast<double>(aborts) / attempts;
+}
+
+TEST(Shapes, Fig1WriteSetDiesPast512Lines) {
+  EXPECT_EQ(capacity_abort_rate(448, true), 0.0);
+  EXPECT_EQ(capacity_abort_rate(640, true), 1.0);
+}
+
+TEST(Shapes, Fig1ReadSetSurvivesFarBeyondWriteSet) {
+  EXPECT_EQ(capacity_abort_rate(640, false), 0.0);
+  EXPECT_EQ(capacity_abort_rate(16384, false), 0.0);  // 32x the write cliff
+}
+
+TEST(Shapes, Fig1ReadSetDiesPastL3) {
+  EXPECT_EQ(capacity_abort_rate(200000, false), 1.0);  // > 131072 lines
+}
+
+// ---- Fig. 2 shape: duration cliff from interrupts ----
+
+TEST(Shapes, Fig2LongTransactionsAbortFromInterrupts) {
+  core::RunConfig cfg;
+  cfg.backend = core::Backend::kRtm;
+  cfg.threads = 1;  // interrupts stay enabled
+  core::TxRuntime rt(cfg);
+  auto& m = rt.machine();
+  Addr data = rt.heap().host_alloc(64, 64);
+  int short_aborts = 0, long_aborts = 0;
+  rt.run([&](core::TxCtx& ctx) {
+    (void)ctx;
+    m.load(data);
+    for (int i = 0; i < 20; ++i) {
+      auto r = htm::attempt(m, [&] {
+        m.load(data);
+        m.compute(5'000);  // ~5K cycles: far below the cliff
+      });
+      short_aborts += !r.committed;
+    }
+    for (int i = 0; i < 6; ++i) {
+      auto r = htm::attempt(m, [&] {
+        for (int k = 0; k < 40; ++k) m.compute(250'000);  // ~10M cycles
+      });
+      long_aborts += !r.committed;
+    }
+  });
+  EXPECT_LE(short_aborts, 1);
+  EXPECT_EQ(long_aborts, 6);  // P(survive 10M cycles) ~ 1%
+}
+
+// ---- Table I shape: RTM loses uncontended, wins contended ----
+
+TEST(Shapes, Table1RtmCostsMoreThanLockUncontended) {
+  // Single thread, tiny critical section: RTM's begin/commit must make it
+  // measurably slower than the raw section but in the right ballpark
+  // (paper: ~1.45x a spinlock version).
+  core::RunConfig cfg;
+  cfg.backend = core::Backend::kRtm;
+  cfg.threads = 1;
+  cfg.machine.interrupts_enabled = false;
+  core::TxRuntime rt(cfg);
+  auto& m = rt.machine();
+  Addr data = rt.heap().host_alloc(64, 64);
+  Cycles raw = 0, rtm = 0;
+  // The critical section mirrors Table I's queue pop: a few accesses plus
+  // some work, ~60-70 cycles.
+  auto section = [&] {
+    Word v = m.load(data);
+    m.compute(50);
+    m.store(data, v + 1);
+  };
+  rt.run([&](core::TxCtx& ctx) {
+    (void)ctx;
+    m.load(data);
+    Cycles t0 = m.now();
+    for (int i = 0; i < 100; ++i) section();
+    raw = m.now() - t0;
+    t0 = m.now();
+    for (int i = 0; i < 100; ++i) htm::attempt(m, section);
+    rtm = m.now() - t0;
+  });
+  double ratio = static_cast<double>(rtm) / static_cast<double>(raw);
+  EXPECT_GT(ratio, 1.3);  // clearly more expensive...
+  EXPECT_LT(ratio, 4.0);  // ...but in the paper's ballpark (1.45x vs a lock)
+}
+
+// ---- Fig. 4 shape: the 256K working set collapses with length ----
+
+eigenbench::EigenResult eigen_rtm(uint32_t len, uint64_t ws) {
+  core::RunConfig cfg;
+  cfg.backend = Backend::kRtm;
+  cfg.threads = 4;
+  cfg.machine.interrupts_enabled = false;
+  eigenbench::EigenConfig eb;
+  eb.loops = 60;
+  eb.reads_mild = len * 9 / 10;
+  eb.writes_mild = len - eb.reads_mild;
+  eb.ws_bytes = ws;
+  return eigenbench::run(cfg, eb);
+}
+
+TEST(Shapes, Fig4MediumWorkingSetCollapsesPast100Accesses) {
+  auto small_ws = eigen_rtm(520, 16 * 1024);
+  auto medium_ws = eigen_rtm(520, 256 * 1024);
+  EXPECT_LT(small_ws.report.rtm.abort_rate(), 0.05);
+  EXPECT_GT(medium_ws.report.rtm.abort_rate(), 0.5);
+}
+
+TEST(Shapes, Fig4ShortTransactionsAreCleanForBoth) {
+  auto small_ws = eigen_rtm(40, 16 * 1024);
+  auto medium_ws = eigen_rtm(40, 256 * 1024);
+  EXPECT_LT(small_ws.report.rtm.abort_rate(), 0.05);
+  EXPECT_LT(medium_ws.report.rtm.abort_rate(), 0.05);
+}
+
+// ---- Fig. 9 shape: SMT halves RTM's effective write capacity ----
+
+TEST(Shapes, Fig9HyperthreadingHalvesWriteCapacity) {
+  // A 350-line write set fits the full L1 (512 lines) but not half of it.
+  auto attempt_with_threads = [](uint32_t threads) {
+    core::RunConfig cfg;
+    cfg.backend = Backend::kRtm;
+    cfg.threads = threads;
+    cfg.machine.interrupts_enabled = false;
+    core::TxRuntime rt(cfg);
+    auto& m = rt.machine();
+    std::vector<Addr> regions;
+    for (uint32_t t = 0; t < threads; ++t) {
+      regions.push_back(rt.heap().host_alloc(350 * 64, 64));
+    }
+    std::vector<int> aborts(threads, 0);
+    rt.run([&](core::TxCtx& ctx) {
+      Addr base = regions[ctx.id()];
+      for (Addr a = base; a < base + 350 * 64; a += 64) m.load(a);
+      ctx.barrier();
+      for (int i = 0; i < 4; ++i) {
+        auto r = htm::attempt(m, [&] {
+          for (int l = 0; l < 350; ++l) m.store(base + l * 64, i);
+        });
+        aborts[ctx.id()] += !r.committed;
+      }
+    });
+    int total = 0;
+    for (int a : aborts) total += a;
+    return total;
+  };
+  EXPECT_EQ(attempt_with_threads(4), 0);   // one thread per core: fits
+  EXPECT_GT(attempt_with_threads(8), 10);  // SMT pairs share the L1: dies
+}
+
+// ---- Fig. 3/7 granularity: word-disjoint same-line writes ----
+
+TEST(Shapes, LineGranularityFalseSharingOnlyForRtm) {
+  auto run_packed = [](Backend b) {
+    core::RunConfig cfg;
+    cfg.backend = b;
+    cfg.threads = 4;
+    cfg.machine.interrupts_enabled = false;
+    cfg.stm.lock_table_entries = 1u << 14;
+    core::TxRuntime rt(cfg);
+    Addr base = rt.heap().host_alloc(64, 64);  // four words in ONE line
+    rt.run([&](core::TxCtx& ctx) {
+      Addr mine = base + ctx.id() * 8;
+      for (int i = 0; i < 100; ++i) {
+        ctx.transaction([&] {
+          Word v = ctx.load(mine);
+          ctx.compute(30);
+          ctx.store(mine, v + 1);
+        });
+      }
+    });
+    auto r = rt.report();
+    return b == Backend::kRtm ? r.rtm.abort_rate() : r.stm.abort_rate();
+  };
+  EXPECT_GT(run_packed(Backend::kRtm), 0.1);        // false sharing aborts
+  EXPECT_DOUBLE_EQ(run_packed(Backend::kTinyStm), 0.0);  // word granularity
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/flags.h"
+#include "util/summary.h"
+#include "util/table.h"
+
+namespace {
+
+using tsx::util::Flags;
+using tsx::util::Table;
+
+TEST(Flags, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--threads=4", "--name=abc"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("threads", 1), 4);
+  EXPECT_EQ(f.get_string("name", ""), "abc");
+}
+
+TEST(Flags, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--threads", "8"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("threads", 1), 8);
+}
+
+TEST(Flags, BareFlagIsBoolean) {
+  const char* argv[] = {"prog", "--csv"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_TRUE(f.get_bool("csv", false));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags f(1, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("threads", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 1.5), 1.5);
+  EXPECT_FALSE(f.get_bool("csv", false));
+}
+
+TEST(Flags, RejectsMalformedInt) {
+  const char* argv[] = {"prog", "--threads=four"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_THROW(f.get_int("threads", 1), std::invalid_argument);
+}
+
+TEST(Flags, TracksUnconsumed) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  Flags f(3, const_cast<char**>(argv));
+  (void)f.get_int("used", 0);
+  auto un = f.unconsumed();
+  ASSERT_EQ(un.size(), 1u);
+  EXPECT_EQ(un[0], "typo");
+}
+
+TEST(Flags, PositionalArguments) {
+  const char* argv[] = {"prog", "alpha", "--k=1", "beta"};
+  Flags f(4, const_cast<char**>(argv));
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "alpha");
+  EXPECT_EQ(f.positional()[1], "beta");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, FormatsDoubles) {
+  EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::fmt(std::nan(""), 2), "-");
+}
+
+TEST(Summary, MeanStdevGeomean) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(tsx::util::mean(xs), 2.5);
+  EXPECT_NEAR(tsx::util::stdev(xs), 1.2909944, 1e-6);
+  EXPECT_NEAR(tsx::util::geomean({1, 4}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tsx::util::median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(tsx::util::median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(tsx::util::minimum(xs), 1.0);
+  EXPECT_DOUBLE_EQ(tsx::util::maximum(xs), 4.0);
+}
+
+TEST(Summary, EmptySampleThrows) {
+  EXPECT_THROW(tsx::util::mean({}), std::invalid_argument);
+}
+
+TEST(Summary, GeomeanRejectsNonPositive) {
+  EXPECT_THROW(tsx::util::geomean({1.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
