@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conflict_policy.dir/ablation_conflict_policy.cpp.o"
+  "CMakeFiles/ablation_conflict_policy.dir/ablation_conflict_policy.cpp.o.d"
+  "ablation_conflict_policy"
+  "ablation_conflict_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conflict_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_subscription.dir/ablation_lock_subscription.cpp.o"
+  "CMakeFiles/ablation_lock_subscription.dir/ablation_lock_subscription.cpp.o.d"
+  "ablation_lock_subscription"
+  "ablation_lock_subscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_subscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

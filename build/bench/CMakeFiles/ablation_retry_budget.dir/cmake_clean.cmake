@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retry_budget.dir/ablation_retry_budget.cpp.o"
+  "CMakeFiles/ablation_retry_budget.dir/ablation_retry_budget.cpp.o.d"
+  "ablation_retry_budget"
+  "ablation_retry_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retry_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

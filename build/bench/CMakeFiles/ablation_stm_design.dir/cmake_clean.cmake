@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stm_design.dir/ablation_stm_design.cpp.o"
+  "CMakeFiles/ablation_stm_design.dir/ablation_stm_design.cpp.o.d"
+  "ablation_stm_design"
+  "ablation_stm_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stm_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_hle_vs_rtm.dir/extension_hle_vs_rtm.cpp.o"
+  "CMakeFiles/extension_hle_vs_rtm.dir/extension_hle_vs_rtm.cpp.o.d"
+  "extension_hle_vs_rtm"
+  "extension_hle_vs_rtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_hle_vs_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

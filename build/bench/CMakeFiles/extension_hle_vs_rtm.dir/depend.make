@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_hle_vs_rtm.
+# This may be replaced when dependencies are built.

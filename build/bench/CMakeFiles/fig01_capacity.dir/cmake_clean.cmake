@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_capacity.dir/fig01_capacity.cpp.o"
+  "CMakeFiles/fig01_capacity.dir/fig01_capacity.cpp.o.d"
+  "fig01_capacity"
+  "fig01_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_workingset.dir/fig03_workingset.cpp.o"
+  "CMakeFiles/fig03_workingset.dir/fig03_workingset.cpp.o.d"
+  "fig03_workingset"
+  "fig03_workingset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_workingset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_txlen.dir/fig04_txlen.cpp.o"
+  "CMakeFiles/fig04_txlen.dir/fig04_txlen.cpp.o.d"
+  "fig04_txlen"
+  "fig04_txlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_txlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

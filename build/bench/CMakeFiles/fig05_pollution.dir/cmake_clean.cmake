@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_pollution.dir/fig05_pollution.cpp.o"
+  "CMakeFiles/fig05_pollution.dir/fig05_pollution.cpp.o.d"
+  "fig05_pollution"
+  "fig05_pollution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_locality.dir/fig06_locality.cpp.o"
+  "CMakeFiles/fig06_locality.dir/fig06_locality.cpp.o.d"
+  "fig06_locality"
+  "fig06_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_contention.dir/fig07_contention.cpp.o"
+  "CMakeFiles/fig07_contention.dir/fig07_contention.cpp.o.d"
+  "fig07_contention"
+  "fig07_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

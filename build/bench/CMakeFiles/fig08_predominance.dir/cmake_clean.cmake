@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_predominance.dir/fig08_predominance.cpp.o"
+  "CMakeFiles/fig08_predominance.dir/fig08_predominance.cpp.o.d"
+  "fig08_predominance"
+  "fig08_predominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_predominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

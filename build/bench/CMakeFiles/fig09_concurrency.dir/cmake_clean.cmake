@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_concurrency.dir/fig09_concurrency.cpp.o"
+  "CMakeFiles/fig09_concurrency.dir/fig09_concurrency.cpp.o.d"
+  "fig09_concurrency"
+  "fig09_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

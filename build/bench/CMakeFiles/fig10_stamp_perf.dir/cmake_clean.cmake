@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_stamp_perf.dir/fig10_stamp_perf.cpp.o"
+  "CMakeFiles/fig10_stamp_perf.dir/fig10_stamp_perf.cpp.o.d"
+  "fig10_stamp_perf"
+  "fig10_stamp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_stamp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

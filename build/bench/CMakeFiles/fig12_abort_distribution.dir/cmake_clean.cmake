@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_abort_distribution.dir/fig12_abort_distribution.cpp.o"
+  "CMakeFiles/fig12_abort_distribution.dir/fig12_abort_distribution.cpp.o.d"
+  "fig12_abort_distribution"
+  "fig12_abort_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_abort_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

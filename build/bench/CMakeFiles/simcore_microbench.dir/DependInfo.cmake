@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/simcore_microbench.cpp" "bench/CMakeFiles/simcore_microbench.dir/simcore_microbench.cpp.o" "gcc" "bench/CMakeFiles/simcore_microbench.dir/simcore_microbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tsx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/tsx_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/tsx_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/tsx_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tsx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_intruder.dir/table4_intruder.cpp.o"
+  "CMakeFiles/table4_intruder.dir/table4_intruder.cpp.o.d"
+  "table4_intruder"
+  "table4_intruder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_intruder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

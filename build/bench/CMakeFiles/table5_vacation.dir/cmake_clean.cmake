@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_vacation.dir/table5_vacation.cpp.o"
+  "CMakeFiles/table5_vacation.dir/table5_vacation.cpp.o.d"
+  "table5_vacation"
+  "table5_vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

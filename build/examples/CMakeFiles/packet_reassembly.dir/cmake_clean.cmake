@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_reassembly.dir/packet_reassembly.cpp.o"
+  "CMakeFiles/packet_reassembly.dir/packet_reassembly.cpp.o.d"
+  "packet_reassembly"
+  "packet_reassembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_reassembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_explorer.dir/tm_explorer.cpp.o"
+  "CMakeFiles/tm_explorer.dir/tm_explorer.cpp.o.d"
+  "tm_explorer"
+  "tm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

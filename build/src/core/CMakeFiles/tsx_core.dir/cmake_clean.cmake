@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_core.dir/runtime.cpp.o"
+  "CMakeFiles/tsx_core.dir/runtime.cpp.o.d"
+  "libtsx_core.a"
+  "libtsx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_eigenbench.dir/eigenbench.cpp.o"
+  "CMakeFiles/tsx_eigenbench.dir/eigenbench.cpp.o.d"
+  "libtsx_eigenbench.a"
+  "libtsx_eigenbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_eigenbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

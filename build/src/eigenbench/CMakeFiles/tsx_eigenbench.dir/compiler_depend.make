@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tsx_eigenbench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_htm.dir/hle.cpp.o"
+  "CMakeFiles/tsx_htm.dir/hle.cpp.o.d"
+  "CMakeFiles/tsx_htm.dir/rtm.cpp.o"
+  "CMakeFiles/tsx_htm.dir/rtm.cpp.o.d"
+  "libtsx_htm.a"
+  "libtsx_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

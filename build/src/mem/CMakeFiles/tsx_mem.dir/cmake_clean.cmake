@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_mem.dir/sim_heap.cpp.o"
+  "CMakeFiles/tsx_mem.dir/sim_heap.cpp.o.d"
+  "libtsx_mem.a"
+  "libtsx_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backing_store.cpp" "src/sim/CMakeFiles/tsx_sim.dir/backing_store.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/backing_store.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/tsx_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/energy_model.cpp" "src/sim/CMakeFiles/tsx_sim.dir/energy_model.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/energy_model.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/sim/CMakeFiles/tsx_sim.dir/fiber.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/fiber.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/tsx_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/tsx_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/types.cpp" "src/sim/CMakeFiles/tsx_sim.dir/types.cpp.o" "gcc" "src/sim/CMakeFiles/tsx_sim.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tsx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_sim.dir/backing_store.cpp.o"
+  "CMakeFiles/tsx_sim.dir/backing_store.cpp.o.d"
+  "CMakeFiles/tsx_sim.dir/cache.cpp.o"
+  "CMakeFiles/tsx_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/tsx_sim.dir/energy_model.cpp.o"
+  "CMakeFiles/tsx_sim.dir/energy_model.cpp.o.d"
+  "CMakeFiles/tsx_sim.dir/fiber.cpp.o"
+  "CMakeFiles/tsx_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/tsx_sim.dir/machine.cpp.o"
+  "CMakeFiles/tsx_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/tsx_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/tsx_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/tsx_sim.dir/types.cpp.o"
+  "CMakeFiles/tsx_sim.dir/types.cpp.o.d"
+  "libtsx_sim.a"
+  "libtsx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stamp/apps/bayes.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/bayes.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/bayes.cpp.o.d"
+  "/root/repo/src/stamp/apps/genome.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/genome.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/genome.cpp.o.d"
+  "/root/repo/src/stamp/apps/intruder.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/intruder.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/intruder.cpp.o.d"
+  "/root/repo/src/stamp/apps/kmeans.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/kmeans.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/kmeans.cpp.o.d"
+  "/root/repo/src/stamp/apps/labyrinth.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/labyrinth.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/labyrinth.cpp.o.d"
+  "/root/repo/src/stamp/apps/ssca2.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/ssca2.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/ssca2.cpp.o.d"
+  "/root/repo/src/stamp/apps/vacation.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/vacation.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/vacation.cpp.o.d"
+  "/root/repo/src/stamp/apps/yada.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/yada.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/apps/yada.cpp.o.d"
+  "/root/repo/src/stamp/lib/bitmap.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/bitmap.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/bitmap.cpp.o.d"
+  "/root/repo/src/stamp/lib/hashtable.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/hashtable.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/hashtable.cpp.o.d"
+  "/root/repo/src/stamp/lib/heap.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/heap.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/heap.cpp.o.d"
+  "/root/repo/src/stamp/lib/list.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/list.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/list.cpp.o.d"
+  "/root/repo/src/stamp/lib/queue.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/queue.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/queue.cpp.o.d"
+  "/root/repo/src/stamp/lib/rbtree.cpp" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/rbtree.cpp.o" "gcc" "src/stamp/CMakeFiles/tsx_stamp.dir/lib/rbtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/tsx_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/tsx_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/tsx_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tsx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

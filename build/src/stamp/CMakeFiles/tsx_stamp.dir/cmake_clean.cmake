@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_stamp.dir/apps/bayes.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/apps/bayes.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/apps/genome.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/apps/genome.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/apps/intruder.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/apps/intruder.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/apps/kmeans.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/apps/kmeans.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/apps/labyrinth.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/apps/labyrinth.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/apps/ssca2.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/apps/ssca2.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/apps/vacation.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/apps/vacation.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/apps/yada.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/apps/yada.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/lib/bitmap.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/lib/bitmap.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/lib/hashtable.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/lib/hashtable.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/lib/heap.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/lib/heap.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/lib/list.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/lib/list.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/lib/queue.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/lib/queue.cpp.o.d"
+  "CMakeFiles/tsx_stamp.dir/lib/rbtree.cpp.o"
+  "CMakeFiles/tsx_stamp.dir/lib/rbtree.cpp.o.d"
+  "libtsx_stamp.a"
+  "libtsx_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

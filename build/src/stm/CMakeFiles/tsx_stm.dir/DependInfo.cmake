@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stm/common.cpp" "src/stm/CMakeFiles/tsx_stm.dir/common.cpp.o" "gcc" "src/stm/CMakeFiles/tsx_stm.dir/common.cpp.o.d"
+  "/root/repo/src/stm/tinystm.cpp" "src/stm/CMakeFiles/tsx_stm.dir/tinystm.cpp.o" "gcc" "src/stm/CMakeFiles/tsx_stm.dir/tinystm.cpp.o.d"
+  "/root/repo/src/stm/tl2.cpp" "src/stm/CMakeFiles/tsx_stm.dir/tl2.cpp.o" "gcc" "src/stm/CMakeFiles/tsx_stm.dir/tl2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tsx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

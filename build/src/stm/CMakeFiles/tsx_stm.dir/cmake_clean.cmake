@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_stm.dir/common.cpp.o"
+  "CMakeFiles/tsx_stm.dir/common.cpp.o.d"
+  "CMakeFiles/tsx_stm.dir/tinystm.cpp.o"
+  "CMakeFiles/tsx_stm.dir/tinystm.cpp.o.d"
+  "CMakeFiles/tsx_stm.dir/tl2.cpp.o"
+  "CMakeFiles/tsx_stm.dir/tl2.cpp.o.d"
+  "libtsx_stm.a"
+  "libtsx_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

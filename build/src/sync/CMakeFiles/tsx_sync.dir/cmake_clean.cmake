@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_sync.dir/spinlock.cpp.o"
+  "CMakeFiles/tsx_sync.dir/spinlock.cpp.o.d"
+  "libtsx_sync.a"
+  "libtsx_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

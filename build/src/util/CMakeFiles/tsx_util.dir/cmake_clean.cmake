@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsx_util.dir/flags.cpp.o"
+  "CMakeFiles/tsx_util.dir/flags.cpp.o.d"
+  "CMakeFiles/tsx_util.dir/summary.cpp.o"
+  "CMakeFiles/tsx_util.dir/summary.cpp.o.d"
+  "CMakeFiles/tsx_util.dir/table.cpp.o"
+  "CMakeFiles/tsx_util.dir/table.cpp.o.d"
+  "libtsx_util.a"
+  "libtsx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

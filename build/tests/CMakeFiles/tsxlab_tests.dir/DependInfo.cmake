@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_backing_store.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_backing_store.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_backing_store.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_containers.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_containers.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_containers.cpp.o.d"
+  "/root/repo/tests/test_eigen_knobs.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_eigen_knobs.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_eigen_knobs.cpp.o.d"
+  "/root/repo/tests/test_eigenbench.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_eigenbench.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_eigenbench.cpp.o.d"
+  "/root/repo/tests/test_fiber.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_fiber.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_fiber.cpp.o.d"
+  "/root/repo/tests/test_heap.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_heap.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_heap.cpp.o.d"
+  "/root/repo/tests/test_hle.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_hle.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_hle.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_list.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_list.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_list.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_memory_system.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_memory_system.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_queue.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_queue.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_queue.cpp.o.d"
+  "/root/repo/tests/test_rbtree.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_rbtree.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_rbtree.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rtm.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_rtm.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_rtm.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_shapes.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_shapes.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_shapes.cpp.o.d"
+  "/root/repo/tests/test_stm.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_stm.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_stm.cpp.o.d"
+  "/root/repo/tests/test_sync.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_sync.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_sync.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/tsxlab_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/tsxlab_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tsx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/tsx_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/tsx_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/tsx_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tsx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eigenbench/CMakeFiles/tsx_eigenbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/stamp/CMakeFiles/tsx_stamp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
