@@ -3,10 +3,14 @@
 // Every driver prints (a) the paper's reference shape, (b) a table of
 // simulated measurements, and (c) optionally CSV for post-processing.
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "check/checker.h"
+#include "check/history.h"
 #include "core/runtime.h"
 #include "util/flags.h"
 #include "util/summary.h"
@@ -15,11 +19,13 @@
 namespace tsx::bench {
 
 // Standard bench flags: --reps (seeds averaged), --csv, --fast (smaller
-// workloads for smoke runs).
+// workloads for smoke runs), --verify (record every simulated access and
+// check each run for serializability via src/check — slower, opt-in).
 struct BenchArgs {
   int reps = 2;
   bool csv = false;
   bool fast = false;
+  bool verify = false;
 
   static BenchArgs parse(int argc, char** argv) {
     util::Flags flags(argc, argv);
@@ -27,6 +33,7 @@ struct BenchArgs {
     a.reps = static_cast<int>(flags.get_int("reps", 2));
     a.csv = flags.get_bool("csv", false);
     a.fast = flags.get_bool("fast", false);
+    a.verify = flags.get_bool("verify", false);
     auto un = flags.unconsumed();
     if (!un.empty()) {
       std::string msg = "unknown flag --" + un[0];
@@ -34,6 +41,30 @@ struct BenchArgs {
     }
     return a;
   }
+};
+
+// Opt-in history verification for benches that own their TxRuntime:
+// construct (with args.verify) before rt.run(), call check() after. On a
+// serializability violation the bench exits non-zero with a diagnosis —
+// measurements from a non-serializable run would be meaningless.
+class HistoryVerifier {
+ public:
+  HistoryVerifier(core::TxRuntime& rt, bool enabled) : rt_(&rt) {
+    if (enabled) rec_ = std::make_unique<check::Recorder>(rt);
+  }
+
+  void check(const std::string& what) {
+    if (!rec_) return;
+    check::CheckResult cr = check::check_history(rec_->history(), *rt_);
+    if (!cr.ok) {
+      std::cerr << "--verify FAILED (" << what << "): " << cr.error << "\n";
+      std::exit(1);
+    }
+  }
+
+ private:
+  core::TxRuntime* rt_;
+  std::unique_ptr<check::Recorder> rec_;
 };
 
 inline void print_header(const std::string& id, const std::string& title,

@@ -24,7 +24,7 @@ struct Point {
 // `shared_fraction`: probability a section touches the shared line instead
 // of a thread-private one.
 Point run_sections(bool use_hle, double shared_fraction, int iters,
-                   uint64_t seed) {
+                   uint64_t seed, bool verify) {
   core::RunConfig cfg;
   cfg.backend = core::Backend::kSeq;
   cfg.threads = 4;
@@ -42,6 +42,7 @@ Point run_sections(bool use_hle, double shared_fraction, int iters,
   htm::RtmExecutor rtm(m, lock_mem + 64);
   rtm.init();
 
+  HistoryVerifier verifier(rt, verify);
   rt.run([&](core::TxCtx& ctx) {
     sim::Rng& rng = ctx.rng();
     stamp::measured_region_begin(ctx);
@@ -60,6 +61,7 @@ Point run_sections(bool use_hle, double shared_fraction, int iters,
       ctx.compute(100);
     }
   });
+  verifier.check(use_hle ? "HLE sections" : "RTM sections");
   auto rep = rt.report();
   double sections = 4.0 * iters;
   double serial = use_hle ? hle.stats().lock_acquisitions
@@ -81,8 +83,8 @@ int main(int argc, char** argv) {
   for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     std::vector<double> hw, rw, hs, rs;
     for (int rep = 0; rep < args.reps; ++rep) {
-      Point h = run_sections(true, f, iters, 9950 + rep);
-      Point r = run_sections(false, f, iters, 9950 + rep);
+      Point h = run_sections(true, f, iters, 9950 + rep, args.verify);
+      Point r = run_sections(false, f, iters, 9950 + rep, args.verify);
       hw.push_back(h.wall_mcycles);
       rw.push_back(r.wall_mcycles);
       hs.push_back(h.serial_rate);

@@ -1,0 +1,179 @@
+#include "check/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace tsx::check {
+
+namespace {
+
+std::string hex(Addr a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+// Per-address committed-write history: (unit index, value written), in seal
+// order. Snapshot time T means "after the first T units were applied", so
+// the value at snapshot T is the last version with unit index < T.
+using Versions = std::unordered_map<Addr, std::vector<std::pair<size_t, Word>>>;
+
+// Inclusive snapshot-time intervals [lo, hi].
+using Intervals = std::vector<std::pair<size_t, size_t>>;
+
+// Intervals of snapshot times T in [0, max_t] at which `addr` reads as
+// `want`, given its version history and initial value.
+Intervals matching_snapshots(const Versions& vers,
+                             const std::unordered_map<Addr, Word>& initial,
+                             Addr addr, Word want, size_t max_t) {
+  Intervals out;
+  auto ii = initial.find(addr);
+  Word cur = ii != initial.end() ? ii->second : 0;
+  size_t lo = 0;
+  auto vi = vers.find(addr);
+  if (vi != vers.end()) {
+    for (const auto& [idx, val] : vi->second) {
+      // `cur` holds for T in [lo, idx]: the write at unit `idx` is first
+      // visible to snapshots T >= idx + 1.
+      if (cur == want && lo <= std::min(idx, max_t)) {
+        out.emplace_back(lo, std::min(idx, max_t));
+      }
+      lo = idx + 1;
+      cur = val;
+      if (lo > max_t) return out;
+    }
+  }
+  if (cur == want && lo <= max_t) out.emplace_back(lo, max_t);
+  return out;
+}
+
+Intervals intersect(const Intervals& a, const Intervals& b) {
+  Intervals out;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    size_t lo = std::max(a[i].first, b[j].first);
+    size_t hi = std::min(a[i].second, b[j].second);
+    if (lo <= hi) out.emplace_back(lo, hi);
+    if (a[i].second < b[j].second) ++i; else ++j;
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckResult check_history(const History& h,
+                          const std::function<Word(Addr)>& final_value) {
+  CheckResult r;
+  std::unordered_map<Addr, Word> state = h.initial;
+  Versions versions;
+
+  auto value_of = [&](Addr a) -> Word {
+    auto it = state.find(a);
+    return it != state.end() ? it->second : 0;
+  };
+  auto fail = [&](size_t i, const std::string& why) {
+    r.ok = false;
+    r.unit_index = i;
+    r.error = "unit " + std::to_string(i) + ": " + why;
+    return r;
+  };
+
+  for (size_t i = 0; i < h.units.size(); ++i) {
+    const Unit& u = h.units[i];
+    // Final value per address this unit writes (for the version history).
+    std::unordered_map<Addr, Word> unit_writes;
+
+    if (!u.stm) {
+      // Strict replay: the unit serialized exactly at its seal point, so
+      // every read must see the current replay state.
+      for (const Access& acc : u.accesses) {
+        if (acc.is_write) {
+          state[acc.addr] = acc.value;
+          unit_writes[acc.addr] = acc.value;
+        } else if (Word cur = value_of(acc.addr); cur != acc.value) {
+          std::ostringstream os;
+          os << "ctx " << u.ctx << " read " << hex(acc.addr) << " as "
+             << acc.value << " but serial replay has " << cur
+             << " (non-serializable: a conflicting write was missed)";
+          return fail(i, os.str());
+        }
+      }
+    } else {
+      // Snapshot check: all first-reads must be explained by one snapshot
+      // T <= i; later reads of the same address must repeat it and
+      // read-own-writes must return the buffered value.
+      std::unordered_map<Addr, Word> own;
+      std::vector<std::pair<Addr, Word>> first_reads;
+      std::unordered_map<Addr, Word> seen_read;
+      for (const Access& acc : u.accesses) {
+        if (acc.is_write) {
+          own[acc.addr] = acc.value;
+          unit_writes[acc.addr] = acc.value;
+          continue;
+        }
+        if (auto oi = own.find(acc.addr); oi != own.end()) {
+          if (oi->second != acc.value) {
+            return fail(i, "ctx " + std::to_string(u.ctx) +
+                               " read-own-write of " + hex(acc.addr) +
+                               " returned " + std::to_string(acc.value) +
+                               " instead of " + std::to_string(oi->second));
+          }
+          continue;
+        }
+        if (auto si = seen_read.find(acc.addr); si != seen_read.end()) {
+          if (si->second != acc.value) {
+            return fail(i, "ctx " + std::to_string(u.ctx) +
+                               " non-repeatable read of " + hex(acc.addr));
+          }
+          continue;
+        }
+        seen_read.emplace(acc.addr, acc.value);
+        first_reads.emplace_back(acc.addr, acc.value);
+      }
+      Intervals feasible{{0, i}};
+      for (const auto& [a, v] : first_reads) {
+        feasible =
+            intersect(feasible, matching_snapshots(versions, h.initial, a, v, i));
+        if (feasible.empty()) {
+          std::ostringstream os;
+          os << "ctx " << u.ctx << " has no consistent snapshot: read of "
+             << hex(a) << " = " << v
+             << " cannot coexist with its other reads at any serialization "
+                "point <= "
+             << i;
+          return fail(i, os.str());
+        }
+      }
+      for (const auto& [a, v] : unit_writes) state[a] = v;
+    }
+
+    for (const auto& [a, v] : unit_writes) versions[a].emplace_back(i, v);
+  }
+
+  // Final-state audit: replayed heap vs the machine's backing store.
+  std::map<Addr, Word> touched;  // ordered for a stable first-diff report
+  for (const auto& [a, v] : h.initial) touched[a] = v;
+  for (const auto& [a, v] : state) touched[a] = v;
+  for (const auto& [a, v] : touched) {
+    Word actual = final_value(a);
+    if (actual != v) {
+      r.ok = false;
+      r.unit_index = SIZE_MAX;
+      std::ostringstream os;
+      os << "final state diverges at " << hex(a) << ": machine has " << actual
+         << ", serial replay has " << v;
+      r.error = os.str();
+      return r;
+    }
+  }
+  return r;
+}
+
+CheckResult check_history(const History& h, core::TxRuntime& rt) {
+  return check_history(h, [&](Addr a) { return rt.machine().peek(a); });
+}
+
+}  // namespace tsx::check

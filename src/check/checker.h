@@ -1,0 +1,42 @@
+#pragma once
+// Serializability checker: replays a recorded History (units in seal order)
+// against the latched initial heap values and verifies that
+//
+//   1. every non-STM unit's reads see exactly the replay state at its
+//      serialization point (strict replay: plain, HTM, and lock-protected
+//      units serialize at their seal point, so their reads must match);
+//   2. every STM unit's first-reads are consistent with *some single*
+//      snapshot no later than its seal point (time-based STMs read from a
+//      consistent snapshot that can be slightly older than the
+//      serialization point), its read-own-writes are satisfied, and its
+//      repeated reads are stable;
+//   3. the final replayed heap equals the machine's actual backing store
+//      for every touched word.
+//
+// Any violation means the execution was not serializable in the order the
+// backend claimed — i.e. a concurrency-control bug (see
+// MachineConfig::tsx_ignore_read_set_conflicts for an injectable one).
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "check/history.h"
+
+namespace tsx::check {
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;           // human-readable diagnosis
+  size_t unit_index = SIZE_MAX;  // first violating unit (SIZE_MAX if final-state)
+};
+
+// `final_value(addr)` must return the actual committed value of a heap word
+// after the run (e.g. machine.peek). Units are replayed in recorded order.
+CheckResult check_history(const History& h,
+                          const std::function<Word(Addr)>& final_value);
+
+// Convenience: checks a recorder's history against the runtime's machine.
+CheckResult check_history(const History& h, core::TxRuntime& rt);
+
+}  // namespace tsx::check

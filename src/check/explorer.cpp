@@ -1,0 +1,164 @@
+#include "check/explorer.h"
+
+#include <sstream>
+
+#include "sim/rng.h"
+
+namespace tsx::check {
+
+namespace {
+
+// A failure predicate the shrinker can re-evaluate on candidate configs.
+// Digest mismatches need the reference backend re-run too; direct failures
+// (invariant / history violations) only need the failing backend.
+struct FailureProbe {
+  std::string workload;
+  core::Backend backend;
+  bool digest_mismatch;
+  core::Backend ref_backend;
+
+  bool fails(const OracleConfig& cfg, std::string* error, uint64_t* runs) const {
+    WorkloadResult wr = run_workload(workload, backend, cfg);
+    ++*runs;
+    if (!wr.ok) {
+      *error = wr.error;
+      return true;
+    }
+    if (digest_mismatch && wr.comparable) {
+      WorkloadResult ref = run_workload(workload, ref_backend, cfg);
+      ++*runs;
+      if (ref.ok && ref.digest != wr.digest) {
+        *error = "final-state digest diverges from " +
+                 std::string(core::backend_name(ref_backend));
+        return true;
+      }
+      if (!ref.ok) {
+        *error = ref.error;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+OracleConfig sweep_point(const ExplorerConfig& cfg, uint32_t s) {
+  static constexpr sim::Cycles kJitters[4] = {0, 32, 128, 512};
+  static constexpr uint32_t kQuanta[4] = {0, 1, 4, 16};
+  OracleConfig oc;
+  oc.threads = cfg.threads;
+  oc.loops = cfg.loops;
+  oc.seed = cfg.base_seed + s;
+  // Derived from the workload seed *value* (not the sweep index) so that a
+  // replay with --seeds 1 --seed <value> lands on the identical machine.
+  uint64_t st = oc.seed * 0x9e3779b97f4a7c15ull + 1;
+  oc.machine_seed = sim::splitmix64(st);
+  oc.jitter_window = cfg.jitter_override >= 0
+                         ? static_cast<sim::Cycles>(cfg.jitter_override)
+                         : kJitters[s % 4];
+  oc.quantum_ops = cfg.quantum_override >= 0
+                       ? static_cast<uint32_t>(cfg.quantum_override)
+                       : kQuanta[(s / 4) % 4];
+  oc.break_read_set_conflicts = cfg.break_read_set_conflicts;
+  oc.check_history = cfg.check_history;
+  return oc;
+}
+
+std::string ExploreResult::repro_command() const {
+  std::ostringstream os;
+  os << "tm_fuzz --workloads " << repro.workload << " --backends ";
+  if (repro.digest_mismatch) os << repro.ref_backend << ",";
+  os << core::backend_name(repro.backend) << " --seeds 1 --seed "
+     << repro.cfg.seed << " --threads " << repro.cfg.threads << " --loops "
+     << repro.cfg.loops << " --jitter-window " << repro.cfg.jitter_window
+     << " --quantum " << repro.cfg.quantum_ops;
+  if (repro.cfg.break_read_set_conflicts) os << " --break-read-conflicts";
+  if (!repro.cfg.check_history) os << " --no-history";
+  return os.str();
+}
+
+ExploreResult explore(const ExplorerConfig& cfg) {
+  ExploreResult res;
+  const std::vector<std::string>& workloads =
+      cfg.workloads.empty() ? workload_names() : cfg.workloads;
+  const std::vector<core::Backend>& backends =
+      cfg.backends.empty() ? default_backends() : cfg.backends;
+
+  OracleResult first_fail;
+  uint32_t fail_seed = 0;
+  for (uint32_t s = 0; s < cfg.seeds; ++s) {
+    if (cfg.on_progress) cfg.on_progress(s);
+    OracleConfig oc = sweep_point(cfg, s);
+    OracleResult orr = run_oracle(workloads, backends, oc);
+    res.runs += static_cast<uint64_t>(workloads.size()) * backends.size();
+    if (!orr.ok) {
+      first_fail = orr;
+      fail_seed = s;
+      break;
+    }
+  }
+  if (first_fail.ok) return res;
+
+  res.failed = true;
+  res.first_divergent_seed = fail_seed;
+
+  // ---- shrink to a minimal reproducer ----
+  core::Backend failing_backend = core::Backend::kRtm;
+  core::backend_from_name(first_fail.backend, &failing_backend);
+  FailureProbe probe{first_fail.workload, failing_backend,
+                     first_fail.digest_mismatch, backends[0]};
+  Repro best;
+  best.workload = first_fail.workload;
+  best.backend = failing_backend;
+  best.cfg = sweep_point(cfg, fail_seed);
+  best.digest_mismatch = first_fail.digest_mismatch;
+  best.ref_backend = core::backend_name(backends[0]);
+  best.error = first_fail.error;
+
+  auto try_accept = [&](OracleConfig candidate) {
+    std::string err;
+    if (probe.fails(candidate, &err, &res.runs)) {
+      best.cfg = candidate;
+      best.error = err;
+      ++res.shrink_steps;
+      return true;
+    }
+    return false;
+  };
+
+  // Halve the iteration count while the failure persists.
+  while (best.cfg.loops > 1) {
+    OracleConfig c = best.cfg;
+    c.loops = c.loops / 2;
+    if (!try_accept(c)) break;
+  }
+  // Drop threads toward the two-thread minimum for a race.
+  while (best.cfg.threads > 2) {
+    OracleConfig c = best.cfg;
+    c.threads = c.threads - 1;
+    if (!try_accept(c)) break;
+  }
+  // Turn schedule-perturbation knobs off if the bug survives without them.
+  if (best.cfg.jitter_window != 0) {
+    OracleConfig c = best.cfg;
+    c.jitter_window = 0;
+    try_accept(c);
+  }
+  if (best.cfg.quantum_ops != 0) {
+    OracleConfig c = best.cfg;
+    c.quantum_ops = 0;
+    try_accept(c);
+  }
+  // One more loop-halving pass: fewer threads sometimes unlocks it.
+  while (best.cfg.loops > 1) {
+    OracleConfig c = best.cfg;
+    c.loops = c.loops / 2;
+    if (!try_accept(c)) break;
+  }
+
+  res.repro = best;
+  return res;
+}
+
+}  // namespace tsx::check

@@ -1,0 +1,60 @@
+#pragma once
+// Deterministic schedule exploration. Sweeps the fiber scheduler's seed,
+// jitter window, and yield quantum over a seed range, running the
+// differential oracle at every point; on the first divergence it shrinks
+// the failing configuration (fewer loops, fewer threads, schedule knobs
+// off) to a minimal reproducer and renders the tm_fuzz command line that
+// replays it.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "core/backend.h"
+
+namespace tsx::check {
+
+struct ExplorerConfig {
+  std::vector<std::string> workloads;      // empty = all
+  std::vector<core::Backend> backends;     // empty = the default five
+  uint32_t seeds = 16;                     // sweep points
+  uint64_t base_seed = 1;
+  uint32_t threads = 2;
+  uint32_t loops = 32;
+  bool break_read_set_conflicts = false;
+  bool check_history = true;
+  // >= 0 pins the knob for every sweep point; -1 sweeps it.
+  int64_t jitter_override = -1;
+  int64_t quantum_override = -1;
+  // Progress callback (may be empty): called before each sweep point.
+  std::function<void(uint32_t seed_index)> on_progress;
+};
+
+struct Repro {
+  std::string workload;
+  core::Backend backend = core::Backend::kRtm;
+  OracleConfig cfg;
+  bool digest_mismatch = false;
+  std::string ref_backend;  // digest baseline (digest mismatches only)
+  std::string error;
+};
+
+struct ExploreResult {
+  bool failed = false;
+  uint32_t first_divergent_seed = 0;  // sweep index of the first failure
+  Repro repro;                        // shrunk minimal reproducer
+  uint32_t shrink_steps = 0;          // successful shrinking reductions
+  uint64_t runs = 0;                  // total workload executions
+  // Command line that replays the shrunk reproducer via tm_fuzz.
+  std::string repro_command() const;
+};
+
+// Derives the oracle config for sweep point `s` (exposed so tm_fuzz can
+// replay a specific point with --seed-index).
+OracleConfig sweep_point(const ExplorerConfig& cfg, uint32_t s);
+
+ExploreResult explore(const ExplorerConfig& cfg);
+
+}  // namespace tsx::check

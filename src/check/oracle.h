@@ -1,0 +1,69 @@
+#pragma once
+// Cross-backend differential oracle. Runs seeded workloads (an
+// eigenbench-style increment kernel and the STAMP lib containers) under any
+// concurrency-control backend and verifies
+//
+//   * per-run invariants (container shape, element conservation, expected
+//     final counts derived from a sequential std:: reference);
+//   * history serializability via src/check/checker (opt-out);
+//   * a digest of the canonical final state, which must be identical across
+//     backends for the comparable workloads.
+//
+// All workloads precompute their per-thread operation schedules from the
+// workload seed *outside* transaction bodies, so a retried body re-executes
+// the identical operation — a prerequisite for cross-backend determinism
+// (the real eigenbench kernel draws addresses inside the body and is
+// therefore not digest-comparable across abort patterns).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "sim/types.h"
+
+namespace tsx::check {
+
+struct OracleConfig {
+  uint32_t threads = 2;
+  uint32_t loops = 32;         // operations per thread
+  uint64_t seed = 1;           // workload schedule seed
+  uint64_t machine_seed = 42;  // scheduler / interrupt seed
+  sim::Cycles jitter_window = 0;  // MachineConfig::sched_jitter_window
+  uint32_t quantum_ops = 0;       // MachineConfig::sched_quantum_ops
+  bool break_read_set_conflicts = false;  // fault injection (HTM backends)
+  bool check_history = true;
+};
+
+struct WorkloadResult {
+  bool ok = true;
+  std::string error;
+  bool comparable = true;  // digest is schedule-independent for this workload
+  uint64_t digest = 0;     // FNV-1a over the canonical final state
+};
+
+// Workload names accepted by run_workload: "eigen-inc", "rbtree",
+// "hashtable", "queue".
+const std::vector<std::string>& workload_names();
+
+// The five backends the oracle exercises by default.
+const std::vector<core::Backend>& default_backends();
+
+WorkloadResult run_workload(const std::string& name, core::Backend backend,
+                            const OracleConfig& cfg);
+
+struct OracleResult {
+  bool ok = true;
+  std::string workload;  // failing workload (when !ok)
+  std::string backend;   // failing backend (when !ok)
+  bool digest_mismatch = false;
+  std::string error;
+};
+
+// Runs every workload under every backend; fails on the first invariant or
+// history violation, or on any cross-backend digest divergence.
+OracleResult run_oracle(const std::vector<std::string>& workloads,
+                        const std::vector<core::Backend>& backends,
+                        const OracleConfig& cfg);
+
+}  // namespace tsx::check

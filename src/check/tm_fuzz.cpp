@@ -1,0 +1,152 @@
+// tm_fuzz: deterministic schedule-exploration driver for the differential
+// oracle (src/check). Sweeps scheduler seeds and perturbation knobs over
+// seeded workloads under multiple concurrency-control backends; exits
+// non-zero and prints a shrunk minimal reproducer on the first divergence.
+//
+// Examples:
+//   tm_fuzz --seeds 64                          # full sweep, all defaults
+//   tm_fuzz --workloads rbtree --backends rtm,stm --seeds 16
+//   tm_fuzz --seeds 8 --break-read-conflicts    # must catch the bug
+//   tm_fuzz --workloads eigen-inc --backends rtm --seeds 1 --seed 17
+//           --threads 2 --loops 4 --jitter-window 0 --quantum 0   # replay
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/explorer.h"
+#include "util/flags.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+void usage() {
+  std::printf(
+      "tm_fuzz: schedule exploration + cross-backend differential oracle\n"
+      "  --seeds N            sweep points (default 16)\n"
+      "  --seed S             base workload seed (default 1)\n"
+      "  --workloads a,b      subset of: eigen-inc,rbtree,hashtable,queue\n"
+      "  --backends a,b       subset of: rtm,hle,stm,tl2,spinlock,cas,seq\n"
+      "  --threads N          simulated threads (default 2)\n"
+      "  --loops N            operations per thread (default 32)\n"
+      "  --jitter-window C    pin sched_jitter_window (default: sweep)\n"
+      "  --quantum N          pin sched_quantum_ops (default: sweep)\n"
+      "  --break-read-conflicts  inject the read-set-blind conflict bug\n"
+      "  --no-history         skip the serializability checker\n"
+      "  --fast               smaller workloads (smoke-test mode)\n"
+      "  --progress N         print progress every N sweep points\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tsx::util::Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    usage();
+    return 0;
+  }
+
+  tsx::check::ExplorerConfig cfg;
+  cfg.seeds = static_cast<uint32_t>(flags.get_int("seeds", 16));
+  cfg.base_seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+  cfg.threads = static_cast<uint32_t>(flags.get_int("threads", 2));
+  cfg.loops = static_cast<uint32_t>(flags.get_int("loops", 32));
+  cfg.jitter_override = flags.get_int("jitter-window", -1);
+  cfg.quantum_override = flags.get_int("quantum", -1);
+  cfg.break_read_set_conflicts = flags.get_bool("break-read-conflicts", false);
+  cfg.check_history = !flags.get_bool("no-history", false);
+  if (flags.get_bool("fast", false)) cfg.loops = std::min(cfg.loops, 12u);
+
+  for (const std::string& w :
+       split_csv(flags.get_string("workloads", ""))) {
+    bool known = false;
+    for (const std::string& k : tsx::check::workload_names()) known |= (k == w);
+    if (!known) {
+      std::fprintf(stderr, "tm_fuzz: unknown workload '%s'\n", w.c_str());
+      return 2;
+    }
+    cfg.workloads.push_back(w);
+  }
+  for (const std::string& b : split_csv(flags.get_string("backends", ""))) {
+    tsx::core::Backend backend;
+    if (!tsx::core::backend_from_name(b, &backend)) {
+      std::fprintf(stderr, "tm_fuzz: unknown backend '%s'\n", b.c_str());
+      return 2;
+    }
+    cfg.backends.push_back(backend);
+  }
+
+  int64_t every = flags.get_int("progress", 0);
+  if (every > 0) {
+    cfg.on_progress = [every](uint32_t s) {
+      if (s % static_cast<uint32_t>(every) == 0) {
+        std::printf("tm_fuzz: sweep point %u...\n", s);
+        std::fflush(stdout);
+      }
+    };
+  }
+
+  auto unknown = flags.unconsumed();
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "tm_fuzz: unknown flag '%s' (try --help)\n",
+                 unknown.front().c_str());
+    return 2;
+  }
+  if (cfg.seeds == 0) {
+    std::fprintf(stderr, "tm_fuzz: --seeds must be >= 1\n");
+    return 2;
+  }
+  if (cfg.threads < 1 || cfg.threads > tsx::sim::kMaxCtxs) {
+    std::fprintf(stderr, "tm_fuzz: --threads must be 1..%u\n",
+                 static_cast<unsigned>(tsx::sim::kMaxCtxs));
+    return 2;
+  }
+  if (cfg.loops == 0) {
+    std::fprintf(stderr, "tm_fuzz: --loops must be >= 1\n");
+    return 2;
+  }
+
+  const auto& workloads =
+      cfg.workloads.empty() ? tsx::check::workload_names() : cfg.workloads;
+  const auto& backends = cfg.backends.empty() ? tsx::check::default_backends()
+                                              : cfg.backends;
+  std::printf("tm_fuzz: %u sweep points x %zu workloads x %zu backends "
+              "(threads=%u loops=%u%s)\n",
+              cfg.seeds, workloads.size(), backends.size(), cfg.threads,
+              cfg.loops,
+              cfg.break_read_set_conflicts ? ", FAULT INJECTION ON" : "");
+
+  tsx::check::ExploreResult res = tsx::check::explore(cfg);
+  if (!res.failed) {
+    std::printf("tm_fuzz: PASS — %llu runs, no divergence\n",
+                static_cast<unsigned long long>(res.runs));
+    return 0;
+  }
+
+  std::printf(
+      "tm_fuzz: FAIL at sweep point %u\n"
+      "  workload: %s\n"
+      "  backend:  %s\n"
+      "  error:    %s\n"
+      "  shrunk reproducer (%u reductions, seed %llu, threads %u, loops %u, "
+      "jitter %llu, quantum %u):\n"
+      "    %s\n",
+      res.first_divergent_seed, res.repro.workload.c_str(),
+      tsx::core::backend_name(res.repro.backend), res.repro.error.c_str(),
+      res.shrink_steps, static_cast<unsigned long long>(res.repro.cfg.seed),
+      res.repro.cfg.threads, res.repro.cfg.loops,
+      static_cast<unsigned long long>(res.repro.cfg.jitter_window),
+      res.repro.cfg.quantum_ops, res.repro_command().c_str());
+  return 1;
+}

@@ -11,6 +11,9 @@ enum class Backend {
   kRtm,       // hardware transactions with serial-lock fallback (Algorithm 1)
   kTinyStm,   // TinySTM-style time-based STM
   kTl2,       // TL2 commit-time-locking STM
+  kHle,       // hardware lock elision around one global TAS lock (§I)
+  kCas,       // one global CAS-acquired test-and-set spinlock (Table I's
+              // CAS-style synchronization as a general backend)
 };
 
 inline const char* backend_name(Backend b) {
@@ -20,8 +23,37 @@ inline const char* backend_name(Backend b) {
     case Backend::kRtm: return "RTM";
     case Backend::kTinyStm: return "TinySTM";
     case Backend::kTl2: return "TL2";
+    case Backend::kHle: return "HLE";
+    case Backend::kCas: return "CAS";
   }
   return "?";
+}
+
+// Parses a backend name (as printed by backend_name, case-insensitive
+// ASCII); returns false if unknown.
+inline bool backend_from_name(const std::string& s, Backend* out) {
+  auto eq = [&](const char* n) {
+    if (s.size() != std::char_traits<char>::length(n)) return false;
+    for (size_t i = 0; i < s.size(); ++i) {
+      char a = s[i], b = n[i];
+      if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+      if (b >= 'A' && b <= 'Z') b = static_cast<char>(b - 'A' + 'a');
+      if (a != b) return false;
+    }
+    return true;
+  };
+  for (Backend b : {Backend::kSeq, Backend::kLock, Backend::kRtm,
+                    Backend::kTinyStm, Backend::kTl2, Backend::kHle,
+                    Backend::kCas}) {
+    if (eq(backend_name(b))) {
+      *out = b;
+      return true;
+    }
+  }
+  // Common aliases used by tm_fuzz and the docs.
+  if (eq("stm") || eq("tinystm")) { *out = Backend::kTinyStm; return true; }
+  if (eq("spinlock")) { *out = Backend::kLock; return true; }
+  return false;
 }
 
 inline bool backend_is_stm(Backend b) {

@@ -89,14 +89,56 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
   global_lock_->init();
 
   htm::ScopeHooks rtm_hooks{
-      [this] { heap_->tx_scope_begin(machine_->current_ctx()); },
-      [this] { heap_->tx_scope_commit(machine_->current_ctx()); },
-      [this] { heap_->tx_scope_abort(machine_->current_ctx()); },
+      [this] {
+        sim::CtxId c = machine_->current_ctx();
+        heap_->tx_scope_begin(c);
+        if (observer_) observer_->on_unit_begin(c, 0);
+      },
+      [this] {
+        sim::CtxId c = machine_->current_ctx();
+        heap_->tx_scope_commit(c);
+        if (observer_) observer_->on_unit_commit(c);
+      },
+      [this] {
+        sim::CtxId c = machine_->current_ctx();
+        heap_->tx_scope_abort(c);
+        if (observer_) observer_->on_unit_abort(c);
+      },
   };
   rtm_ = std::make_unique<htm::RtmExecutor>(
       *machine_, mem::kRuntimeRegionBase + sim::kLineBytes, cfg_.rtm);
   rtm_->init();
   rtm_->set_scope_hooks(rtm_hooks);
+
+  // HLE / CAS backend locks: one line each, after the RTM serial lock.
+  hle_lock_ = std::make_unique<htm::HleLock>(
+      *machine_, mem::kRuntimeRegionBase + 2 * sim::kLineBytes,
+      cfg_.hle_elision_attempts);
+  hle_lock_->init();
+  // Same scoping as RTM: heap allocation tracking per attempt, observer
+  // bracketing for src/check. Lock-path sections seal before the unlock;
+  // elided sections seal through the machine's tx-commit trace hook (the
+  // later scope-commit call is an idempotent backstop).
+  hle_lock_->set_scope_hooks(htm::ScopeHooks{
+      [this] {
+        sim::CtxId c = machine_->current_ctx();
+        heap_->tx_scope_begin(c);
+        if (observer_) observer_->on_unit_begin(c, 0);
+      },
+      [this] {
+        sim::CtxId c = machine_->current_ctx();
+        heap_->tx_scope_commit(c);
+        if (observer_) observer_->on_unit_commit(c);
+      },
+      [this] {
+        sim::CtxId c = machine_->current_ctx();
+        heap_->tx_scope_abort(c);
+        if (observer_) observer_->on_unit_abort(c);
+      },
+  });
+  cas_lock_ = std::make_unique<sync::TasSpinLock>(
+      *machine_, mem::kRuntimeRegionBase + 3 * sim::kLineBytes);
+  cas_lock_->init();
 
   if (cfg_.backend == Backend::kTinyStm) {
     stm_ = std::make_unique<stm::TinyStm>(*machine_, mem::kStmRegionBase,
@@ -108,9 +150,17 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
     stm_->init();
     stm_exec_ = std::make_unique<stm::StmExecutor>(*machine_, *stm_, cfg_.stm);
     stm_exec_->set_scope_hooks(stm::ScopeHooks{
-        [this] { heap_->tx_scope_begin(machine_->current_ctx()); },
+        [this] {
+          sim::CtxId c = machine_->current_ctx();
+          heap_->tx_scope_begin(c);
+          if (observer_) observer_->on_unit_begin(c, 0);
+        },
         [this] { heap_->tx_scope_commit(machine_->current_ctx()); },
-        [this] { heap_->tx_scope_abort(machine_->current_ctx()); },
+        [this] {
+          sim::CtxId c = machine_->current_ctx();
+          heap_->tx_scope_abort(c);
+          if (observer_) observer_->on_unit_abort(c);
+        },
     });
   }
 
@@ -121,6 +171,18 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 TxRuntime::~TxRuntime() = default;
+
+void TxRuntime::set_observer(TxObserver* obs) {
+  observer_ = obs;
+  if (stm_) {
+    if (obs) {
+      stm_->set_serialize_hook(
+          [this](sim::CtxId c) { observer_->on_unit_commit(c); });
+    } else {
+      stm_->set_serialize_hook({});
+    }
+  }
+}
 
 void TxRuntime::run(const std::function<void(TxCtx&)>& worker) {
   std::vector<std::function<void(TxCtx&)>> workers(cfg_.threads, worker);
@@ -193,21 +255,50 @@ void TxRuntime::execute_atomic(TxCtx& ctx, const std::function<void()>& body,
   } guard{&ctx.in_atomic_};
   ctx.in_atomic_ = true;
 
+  // Observer bracketing for the non-executor backends. The commit call
+  // lands while the section is still protected (before the unlock), so the
+  // recorder's seal order matches the order in which atomic effects became
+  // visible; RTM/STM bracketing is wired through their executors' scope and
+  // serialize hooks instead.
   switch (cfg_.backend) {
     case Backend::kSeq:
+      if (observer_) observer_->on_unit_begin(ctx.id_, site);
       body();
+      if (observer_) observer_->on_unit_commit(ctx.id_);
       return;
     case Backend::kLock: {
       global_lock_->lock();
+      if (observer_) observer_->on_unit_begin(ctx.id_, site);
       try {
         body();
       } catch (...) {
+        if (observer_) observer_->on_unit_abort(ctx.id_);
         global_lock_->unlock();
         throw;
       }
+      if (observer_) observer_->on_unit_commit(ctx.id_);
       global_lock_->unlock();
       return;
     }
+    case Backend::kCas: {
+      cas_lock_->lock();
+      if (observer_) observer_->on_unit_begin(ctx.id_, site);
+      try {
+        body();
+      } catch (...) {
+        if (observer_) observer_->on_unit_abort(ctx.id_);
+        cas_lock_->unlock();
+        throw;
+      }
+      if (observer_) observer_->on_unit_commit(ctx.id_);
+      cas_lock_->unlock();
+      return;
+    }
+    case Backend::kHle:
+      // Heap scoping and observer bracketing ride on the HleLock's scope
+      // hooks (wired in the constructor), which fire per elision attempt.
+      hle_lock_->critical_section(body);
+      return;
     case Backend::kRtm:
       rtm_->execute(body, site);
       return;
@@ -222,14 +313,23 @@ void TxRuntime::execute_atomic(TxCtx& ctx, const std::function<void()>& body,
 
 Word TxCtx::load(Addr a) {
   if (in_atomic_ && rt_.stm_ && rt_.stm_->tx_active(id_)) {
-    return rt_.stm_->tx_read(id_, a);
+    Word v = rt_.stm_->tx_read(id_, a);
+    // Logical STM access stream for src/check (machine-level events inside
+    // an STM transaction are metadata/speculation, which the recorder
+    // suppresses).
+    if (rt_.observer_) rt_.observer_->on_stm_read(id_, a, v);
+    return v;
   }
   return rt_.machine_->load(a);
 }
 
 void TxCtx::store(Addr a, Word v) {
   if (in_atomic_ && rt_.stm_ && rt_.stm_->tx_active(id_)) {
+    // Latch the committed value before tx_write so the recorder can record
+    // the pre-image for the replay's initial state.
+    Word pre = rt_.observer_ ? rt_.machine_->peek(a) : 0;
     rt_.stm_->tx_write(id_, a, v);
+    if (rt_.observer_) rt_.observer_->on_stm_write(id_, a, v, pre);
     return;
   }
   rt_.machine_->store(a, v);

@@ -26,6 +26,8 @@
 
 #include "core/backend.h"
 #include "core/report.h"
+#include "core/trace.h"
+#include "htm/hle.h"
 #include "htm/rtm.h"
 #include "mem/sim_heap.h"
 #include "sim/config.h"
@@ -51,6 +53,9 @@ struct RunConfig {
   stm::StmConfig stm{};
   mem::HeapConfig heap{};
   uint64_t seed = 42;  // workload-level seed (distinct from machine.seed)
+  // kHle backend: elision attempts before the real acquisition (hardware
+  // re-elides after some abort kinds; 1 models stock HLE).
+  uint32_t hle_elision_attempts = 1;
 };
 
 class TxRuntime;
@@ -131,6 +136,13 @@ class TxRuntime {
   mem::SimHeap& heap() { return *heap_; }
   htm::RtmExecutor* rtm() { return rtm_.get(); }
   stm::StmSystem* stm() { return stm_.get(); }
+  htm::HleLock* hle() { return hle_lock_.get(); }
+
+  // Installs (or clears, with nullptr) the atomic-block observer used by
+  // src/check's history recorder. Call before run(). The observer is also
+  // wired into the STM's serialization hook; machine-level TraceHooks are
+  // the recorder's own responsibility.
+  void set_observer(TxObserver* obs);
 
  private:
   friend class TxCtx;
@@ -145,7 +157,10 @@ class TxRuntime {
   std::unique_ptr<htm::RtmExecutor> rtm_;
   std::unique_ptr<stm::StmSystem> stm_;
   std::unique_ptr<stm::StmExecutor> stm_exec_;
+  std::unique_ptr<htm::HleLock> hle_lock_;
+  std::unique_ptr<sync::TasSpinLock> cas_lock_;
   std::vector<std::unique_ptr<TxCtx>> ctxs_;
+  TxObserver* observer_ = nullptr;
   bool ran_ = false;
 
   // Measurement window.

@@ -1,0 +1,42 @@
+#pragma once
+// Observation interface between the runtime and src/check's history
+// recorder. The runtime reports atomic-block boundaries for every backend
+// plus the *logical* read/write stream of STM transactions (whose physical
+// machine accesses — lock-table probes, log traffic, commit-time write-back
+// — are implementation detail, not workload semantics). Plain and HTM
+// accesses are observed at the machine level via sim::TraceHooks instead;
+// see src/check/history.h for how the two streams combine.
+//
+// All callbacks run on the simulation's single host thread, at well-defined
+// points (documented per method); implementations must not call back into
+// the runtime's simulated ops.
+
+#include "sim/types.h"
+
+namespace tsx::core {
+
+class TxObserver {
+ public:
+  virtual ~TxObserver() = default;
+
+  // An atomic block (one TxCtx::transaction body execution scope) opened
+  // for `ctx`. Re-invoked on every retry attempt; a fresh begin discards
+  // any speculative events buffered for the context.
+  virtual void on_unit_begin(sim::CtxId ctx, uint32_t site) = 0;
+  // The current atomic block committed. For HTM and STM paths the precise
+  // serialization point is reported earlier through sim::TraceHooks /
+  // StmSystem::set_serialize_hook; this call is the backstop that seals
+  // lock-based and sequential blocks (it is idempotent for the others).
+  virtual void on_unit_commit(sim::CtxId ctx) = 0;
+  // The current attempt aborted; buffered speculative events are invalid.
+  virtual void on_unit_abort(sim::CtxId ctx) = 0;
+
+  // Logical STM accesses (value as seen/written by the transaction).
+  // `pre_commit_value` is the word's committed value in the backing store
+  // at the time of the call, used to latch initial values lazily.
+  virtual void on_stm_read(sim::CtxId ctx, sim::Addr addr, sim::Word value) = 0;
+  virtual void on_stm_write(sim::CtxId ctx, sim::Addr addr, sim::Word value,
+                            sim::Word pre_commit_value) = 0;
+};
+
+}  // namespace tsx::core

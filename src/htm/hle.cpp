@@ -5,6 +5,7 @@
 namespace tsx::htm {
 
 bool HleLock::try_elided(const std::function<void()>& body) {
+  hooks_.on_begin();
   AttemptResult r = attempt(m_, [&] {
     // The elided acquisition: the lock word joins the read-set and must
     // look free (a held lock means someone is inside non-speculatively).
@@ -15,9 +16,11 @@ bool HleLock::try_elided(const std::function<void()>& body) {
   });
   if (r.committed) {
     ++stats_.elided_commits;
+    hooks_.on_commit();
     return true;
   }
   ++stats_.elision_aborts;
+  hooks_.on_abort();
   return false;
 }
 
@@ -30,12 +33,17 @@ void HleLock::critical_section(const std::function<void()>& body) {
   // conflicts with every concurrent elided section, aborting them all.
   ++stats_.lock_acquisitions;
   lock_.lock();
+  hooks_.on_begin();
   try {
     body();
   } catch (...) {
+    hooks_.on_abort();
     lock_.unlock();
     throw;
   }
+  // Commit while the lock is still held: the section's effects become
+  // visible to other contexts only at the unlock.
+  hooks_.on_commit();
   lock_.unlock();
 }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "htm/rtm.h"
 #include "sim/machine.h"
 #include "sync/spinlock.h"
 
@@ -54,6 +55,14 @@ class HleLock {
   // then under the real lock.
   void critical_section(const std::function<void()>& body);
 
+  // Per-attempt scope hooks, mirroring RtmExecutor's: `begin` before every
+  // elided attempt and after the fallback lock acquisition; `commit` after
+  // a successful elision, and on the lock path after the body while the
+  // lock is still held (so src/check seals sections in visibility order);
+  // `abort` after every failed attempt. Used by the runtime for
+  // heap-allocation scoping and history recording.
+  void set_scope_hooks(ScopeHooks hooks) { hooks_ = std::move(hooks); }
+
   const HleStats& stats() const { return stats_; }
 
  private:
@@ -63,6 +72,7 @@ class HleLock {
   sync::TasSpinLock lock_;
   uint32_t attempts_;
   HleStats stats_;
+  ScopeHooks hooks_;
 };
 
 }  // namespace tsx::htm

@@ -104,19 +104,20 @@ void RtmExecutor::record(RtmStats& s, const AttemptResult& r,
 }
 
 void RtmExecutor::execute(const std::function<void()>& body, uint32_t site) {
-  RtmStats* site_stats_ptr = nullptr;
-  for (auto& [id, st] : sites_) {
-    if (id == site) {
-      site_stats_ptr = &st;
+  // Hold an index, not a pointer: body() may yield to another fiber whose
+  // execute() appends a new site and reallocates sites_ underneath us.
+  size_t site_idx = sites_.size();
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].first == site) {
+      site_idx = i;
       break;
     }
   }
-  if (!site_stats_ptr) {
+  if (site_idx == sites_.size()) {
     sites_.emplace_back(site, RtmStats{});
-    site_stats_ptr = &sites_.back().second;
   }
   ++total_.transactions;
-  ++site_stats_ptr->transactions;
+  ++sites_[site_idx].second.transactions;
 
   int retries = 0;
   for (;;) {
@@ -137,7 +138,7 @@ void RtmExecutor::execute(const std::function<void()>& body, uint32_t site) {
       hooks_.on_abort();
     }
     record(total_, r, lock_line_);
-    record(*site_stats_ptr, r, lock_line_);
+    record(sites_[site_idx].second, r, lock_line_);
     if (r.committed) return;
 
     // The paper: if the abort says the serial lock was (or is being) held,
@@ -153,7 +154,7 @@ void RtmExecutor::execute(const std::function<void()>& body, uint32_t site) {
   // aborts all of them via the lock line.
   Cycles t0 = m_.now();
   ++total_.fallbacks;
-  ++site_stats_ptr->fallbacks;
+  ++sites_[site_idx].second.fallbacks;
   per_ctx_[m_.current_ctx()].in_fallback = true;
   lock_.write_lock();
   hooks_.on_begin();
@@ -170,7 +171,7 @@ void RtmExecutor::execute(const std::function<void()>& body, uint32_t site) {
   per_ctx_[m_.current_ctx()].in_fallback = false;
   Cycles dt = m_.now() - t0;
   total_.cycles_fallback += dt;
-  site_stats_ptr->cycles_fallback += dt;
+  sites_[site_idx].second.cycles_fallback += dt;
 }
 
 RtmStats RtmExecutor::stats() const { return total_; }

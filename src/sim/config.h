@@ -62,6 +62,27 @@ struct MachineConfig {
   // serial fallback.
   bool mutual_kill_conflicts = false;
 
+  // FAULT INJECTION (testing only): drop the read-set half of conflict
+  // detection — a transactional read-set line written by another thread no
+  // longer aborts the reader. This deliberately breaks serializability
+  // (lost updates / stale reads commit) and exists so src/check's oracle
+  // can demonstrate that it catches a broken conflict policy.
+  bool tsx_ignore_read_set_conflicts = false;
+
+  // Schedule-exploration knobs (src/check's tm_fuzz). Defaults keep the
+  // exact min-clock scheduler, so they are behaviour-neutral unless set.
+  //
+  // sched_jitter_window: contexts whose clock is within this many cycles of
+  // the minimum are all eligible to run; the scheduler picks among them with
+  // a deterministic RNG seeded from `seed`. Models timing noise (frequency
+  // jitter, store-buffer drain, ...) without breaking determinism per seed.
+  Cycles sched_jitter_window = 0;
+  // sched_quantum_ops: once resumed, a context runs this many ops before it
+  // may yield again (0 = yield whenever it ceases to be the clock minimum).
+  // Coarsens the interleaving, exposing schedules where one thread races far
+  // ahead in effect order.
+  uint32_t sched_quantum_ops = 0;
+
   // Two hyper-threads sharing a core slow each other's core-bound work.
   double smt_slowdown = 1.45;
 

@@ -6,6 +6,21 @@
 #include <stdexcept>
 #include <vector>
 
+// Under ASan every stack switch must be announced, or the runtime misjudges
+// stack bounds (e.g. during exception unwinds on a fiber stack) and reports
+// false positives. See sanitizer/common_interface_defs.h.
+#if defined(__SANITIZE_ADDRESS__)
+#define TSX_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TSX_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(TSX_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace tsx::sim {
 
 struct Fiber::Impl {
@@ -16,16 +31,33 @@ struct Fiber::Impl {
   bool finished = false;
   bool running = false;
   std::exception_ptr error;
+#if defined(TSX_ASAN_FIBERS)
+  void* sched_fake_stack = nullptr;  // saved when the scheduler side suspends
+  void* fiber_fake_stack = nullptr;  // saved when the fiber side suspends
+  const void* sched_stack_bottom = nullptr;
+  size_t sched_stack_size = 0;
+#endif
 
   static void trampoline(unsigned hi, unsigned lo) {
     auto* impl = reinterpret_cast<Impl*>(
         (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo));
+#if defined(TSX_ASAN_FIBERS)
+    // First time on this stack: no fake stack of our own yet; learn where we
+    // came from so yield/exit can switch back.
+    __sanitizer_finish_switch_fiber(nullptr, &impl->sched_stack_bottom,
+                                    &impl->sched_stack_size);
+#endif
     try {
       impl->fn();
     } catch (...) {
       impl->error = std::current_exception();
     }
     impl->finished = true;
+#if defined(TSX_ASAN_FIBERS)
+    // Terminal switch: nullptr tells ASan to retire this fiber's fake stack.
+    __sanitizer_start_switch_fiber(nullptr, impl->sched_stack_bottom,
+                                   impl->sched_stack_size);
+#endif
     // Never return from a makecontext entry: swap back to the scheduler
     // forever.
     swapcontext(&impl->self, &impl->scheduler);
@@ -53,12 +85,29 @@ Fiber::~Fiber() = default;
 void Fiber::resume() {
   if (impl_->finished) throw std::logic_error("resume of finished fiber");
   impl_->running = true;
+#if defined(TSX_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&impl_->sched_fake_stack,
+                                 impl_->stack.data(), impl_->stack.size());
+#endif
   swapcontext(&impl_->scheduler, &impl_->self);
+#if defined(TSX_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(impl_->sched_fake_stack, nullptr, nullptr);
+#endif
   impl_->running = false;
 }
 
 void Fiber::yield() {
+#if defined(TSX_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&impl_->fiber_fake_stack,
+                                 impl_->sched_stack_bottom,
+                                 impl_->sched_stack_size);
+#endif
   swapcontext(&impl_->self, &impl_->scheduler);
+#if defined(TSX_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(impl_->fiber_fake_stack,
+                                  &impl_->sched_stack_bottom,
+                                  &impl_->sched_stack_size);
+#endif
 }
 
 bool Fiber::finished() const { return impl_->finished; }

@@ -5,7 +5,8 @@
 namespace tsx::sim {
 
 Machine::Machine(const MachineConfig& cfg, uint32_t num_threads)
-    : cfg_(cfg), num_threads_(num_threads), setup_rng_(cfg.seed ^ 0xabcdef) {
+    : cfg_(cfg), num_threads_(num_threads), setup_rng_(cfg.seed ^ 0xabcdef),
+      sched_rng_(cfg.seed ^ 0x5c4ed01eull) {
   if (num_threads == 0 || num_threads > kMaxCtxs) {
     throw std::invalid_argument("thread count must be 1..8");
   }
@@ -93,11 +94,16 @@ void Machine::advance(Cycles core_cycles, Cycles mem_cycles) {
 void Machine::maybe_yield() {
   if (num_threads_ == 1) return;
   SimContext& c = cur();
+  // sched_quantum_ops: hold the fiber for a full quantum of ops before the
+  // usual clock comparison may deschedule it.
+  if (cfg_.sched_quantum_ops > 0) {
+    if (++c.ops_since_resume < cfg_.sched_quantum_ops) return;
+  }
   for (const auto& other : ctxs_) {
     if (other->id == c.id || other->fiber->finished() || other->waiting) {
       continue;
     }
-    if (other->clock < c.clock ||
+    if (other->clock < c.clock + cfg_.sched_jitter_window ||
         (other->clock == c.clock && other->id < c.id)) {
       c.fiber->yield();
       return;
@@ -122,6 +128,22 @@ Machine::SimContext* Machine::pick_next() {
   if (!best && any_waiting) {
     throw std::logic_error("barrier deadlock: all runnable contexts waiting");
   }
+  // Scheduler jitter: any runnable context within the window of the clock
+  // minimum may run next; the choice is a deterministic function of the
+  // machine seed and the pick sequence. Yield points stay unchanged, only
+  // the order in which eligible fibers interleave varies — exactly the
+  // degree of freedom real timing noise has.
+  if (best && cfg_.sched_jitter_window > 0) {
+    SimContext* eligible[kMaxCtxs];
+    uint32_t n = 0;
+    for (auto& c : ctxs_) {
+      if (c->fiber->finished() || c->waiting) continue;
+      if (c->clock <= best->clock + cfg_.sched_jitter_window) {
+        eligible[n++] = c.get();
+      }
+    }
+    if (n > 1) best = eligible[sched_rng_.below(n)];
+  }
   return best;
 }
 
@@ -133,6 +155,7 @@ void Machine::run() {
   ran_ = true;
   while (SimContext* next = pick_next()) {
     current_ = next;
+    next->ops_since_resume = 0;
     next->fiber->resume();
     current_ = nullptr;
     if (next->fiber->finished() && next->fiber->error()) {
@@ -190,6 +213,7 @@ void Machine::abort_tx(CtxId victim, AbortReason reason, uint64_t line,
   if (v.tx.depth > 1) v.tx.status |= xstatus::kNested;
   ++stats_.tx.aborts_by_reason[static_cast<size_t>(reason)];
   ++stats_.tx.aborts_by_misc[static_cast<size_t>(misc_bucket_for(reason))];
+  if (trace_.on_tx_abort) trace_.on_tx_abort(victim);
 }
 
 Cycles Machine::mem_access(Addr addr, bool is_write) {
@@ -220,7 +244,11 @@ Word Machine::load(Addr addr) {
   op_prologue();
   mem_access(addr, /*is_write=*/false);
   check_doomed();
+  SimContext& c = cur();
   Word v = mem_->backing().peek(addr);
+  if (trace_.on_access) {
+    trace_.on_access(c.id, addr, v, v, /*is_write=*/false, c.tx.active);
+  }
   maybe_yield();
   return v;
 }
@@ -230,10 +258,14 @@ void Machine::store(Addr addr, Word value) {
   mem_access(addr, /*is_write=*/true);
   check_doomed();
   SimContext& c = cur();
+  Word old = mem_->backing().peek(addr);
   if (c.tx.active) {
-    c.tx.undo.emplace_back(addr, mem_->backing().peek(addr));
+    c.tx.undo.emplace_back(addr, old);
   }
   mem_->backing().poke(addr, value);
+  if (trace_.on_access) {
+    trace_.on_access(c.id, addr, old, value, /*is_write=*/true, c.tx.active);
+  }
   maybe_yield();
 }
 
@@ -245,11 +277,18 @@ bool Machine::cas(Addr addr, Word expected, Word desired) {
   advance(4, 0);  // lock-prefixed op overhead beyond the exclusive access
   Word old = mem_->backing().peek(addr);
   if (old != expected) {
+    if (trace_.on_access) {
+      trace_.on_access(c.id, addr, old, old, /*is_write=*/false, c.tx.active);
+    }
     maybe_yield();
     return false;
   }
   if (c.tx.active) c.tx.undo.emplace_back(addr, old);
   mem_->backing().poke(addr, desired);
+  if (trace_.on_access) {
+    trace_.on_access(c.id, addr, old, old, /*is_write=*/false, c.tx.active);
+    trace_.on_access(c.id, addr, old, desired, /*is_write=*/true, c.tx.active);
+  }
   maybe_yield();
   return true;
 }
@@ -263,6 +302,11 @@ Word Machine::fetch_add(Addr addr, Word delta) {
   Word old = mem_->backing().peek(addr);
   if (c.tx.active) c.tx.undo.emplace_back(addr, old);
   mem_->backing().poke(addr, old + delta);
+  if (trace_.on_access) {
+    trace_.on_access(c.id, addr, old, old, /*is_write=*/false, c.tx.active);
+    trace_.on_access(c.id, addr, old, old + delta, /*is_write=*/true,
+                     c.tx.active);
+  }
   maybe_yield();
   return old;
 }
@@ -276,6 +320,9 @@ Word Machine::swap(Addr addr, Word value) {
   Word old = mem_->backing().peek(addr);
   if (c.tx.active) c.tx.undo.emplace_back(addr, old);
   mem_->backing().poke(addr, value);
+  if (trace_.on_access) {
+    trace_.on_access(c.id, addr, old, value, /*is_write=*/true, c.tx.active);
+  }
   maybe_yield();
   return old;
 }
@@ -309,6 +356,7 @@ void Machine::tx_begin() {
   c.tx.undo.clear();
   mem_->tx_begin(c.id, c.clock);
   ++stats_.tx.started;
+  if (trace_.on_tx_begin) trace_.on_tx_begin(c.id);
   maybe_yield();
 }
 
@@ -329,6 +377,10 @@ void Machine::tx_commit() {
   c.tx.depth = 0;
   c.tx.undo.clear();
   ++stats_.tx.committed;
+  // The commit hook fires here — after the speculative state became the
+  // committed state, before the next scheduling point — so a recorder sees
+  // transactions in exactly their serialization order.
+  if (trace_.on_tx_commit) trace_.on_tx_commit(c.id);
   maybe_yield();
 }
 

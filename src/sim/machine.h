@@ -38,6 +38,25 @@ struct TxAborted {
   uint64_t conflict_line = ~0ull;
 };
 
+// Observation hooks for src/check's history recorder. Every hook fires at
+// the op's linearization point — after the value moved in the backing store
+// and (for tx_commit) after the transaction's effects became permanent, but
+// BEFORE the op's scheduling point (maybe_yield) — so the order of hook
+// invocations is exactly the order in which effects hit simulated memory.
+// All hooks are optional; unset hooks cost one branch per op.
+struct TraceHooks {
+  // One data access. `old_value` is the pre-op value of the word (equal to
+  // `value` for reads), `in_tx` whether the context was inside a live
+  // hardware transaction. RMW ops (cas/fetch_add/swap) fire a read followed
+  // by a write; a failed CAS fires only the read.
+  std::function<void(CtxId, Addr addr, Word old_value, Word value,
+                     bool is_write, bool in_tx)>
+      on_access;
+  std::function<void(CtxId)> on_tx_begin;   // outermost tx_begin
+  std::function<void(CtxId)> on_tx_commit;  // outermost tx_commit, effects final
+  std::function<void(CtxId)> on_tx_abort;   // after rollback, any abort cause
+};
+
 class Machine {
  public:
   using ThreadFn = std::function<void()>;
@@ -107,6 +126,10 @@ class Machine {
   // Read-only view of the last abort delivered to `ctx` (testing).
   AbortReason last_abort_reason(CtxId ctx) const { return ctxs_[ctx]->tx.reason; }
 
+  // Installs (or clears) the observation hooks. Safe to call between ops;
+  // typically done before run() by src/check's recorder.
+  void set_trace_hooks(TraceHooks hooks) { trace_ = std::move(hooks); }
+
  private:
   struct HwTx {
     bool active = false;
@@ -128,6 +151,7 @@ class Machine {
     HwTx tx;
     Rng rng;
     double next_interrupt = 0;
+    uint32_t ops_since_resume = 0;  // for the sched_quantum_ops knob
   };
 
   SimContext& cur();
@@ -164,6 +188,8 @@ class Machine {
   uint64_t barrier_generation_ = 0;
 
   Rng setup_rng_;
+  Rng sched_rng_;  // scheduler jitter (sched_jitter_window)
+  TraceHooks trace_;
 };
 
 }  // namespace tsx::sim

@@ -60,7 +60,8 @@ void MemorySystem::check_conflicts(CtxId requester, uint64_t line,
     if (other == requester || !tx_[other].active) continue;
     const TxTrack& t = tx_[other];
     bool hit = t.write_lines.count(line) ||
-               (is_write && t.read_lines.count(line));
+               (is_write && !cfg_.tsx_ignore_read_set_conflicts &&
+                t.read_lines.count(line));
     if (hit) {
       // The existing (victim) transaction aborts, requester-wins style.
       Cycles victim_begin = t.begin_clock;

@@ -159,14 +159,27 @@ class StmSystem {
   StmStats& stats() { return stats_; }
   const StmStats& stats() const { return stats_; }
 
+  // Observation hook for src/check's history recorder: implementations call
+  // it from tx_commit at the transaction's serialization point — after
+  // validation has succeeded (commit is now inevitable) and before the
+  // write-back makes the new values readable by other contexts.
+  void set_serialize_hook(std::function<void(CtxId)> fn) {
+    serialize_hook_ = std::move(fn);
+  }
+
  protected:
   [[noreturn]] void abort_tx(StmAbortCause cause) {
     ++stats_.aborts_by_cause[static_cast<size_t>(cause)];
     throw StmAborted{cause};
   }
 
+  void notify_serialized(CtxId ctx) {
+    if (serialize_hook_) serialize_hook_(ctx);
+  }
+
   Machine& m_;
   StmStats stats_;
+  std::function<void(CtxId)> serialize_hook_;
 };
 
 // Hooks so the simulated heap can undo allocations made in aborted attempts.

@@ -141,6 +141,7 @@ void TinyStm::tx_commit(CtxId ctx) {
   if (!tx.active) throw std::logic_error("TinySTM: commit outside tx");
   if (tx.write_list.empty()) {
     // Read-only: the snapshot is consistent by LSA invariants.
+    notify_serialized(ctx);
     tx.active = false;
     ++stats_.commits;
     return;
@@ -153,6 +154,9 @@ void TinyStm::tx_commit(CtxId ctx) {
       abort_tx(StmAbortCause::kValidation);
     }
   }
+  // Serialization point: validation succeeded and every written stripe is
+  // still locked, so the commit can no longer fail or be observed early.
+  notify_serialized(ctx);
   // Write back, then release the stripes at the new version.
   for (const auto& [addr, value] : tx.write_list) {
     m_.store(addr, value);

@@ -87,6 +87,7 @@ void Tl2::tx_commit(CtxId ctx) {
   TxDesc& tx = tx_[ctx];
   if (!tx.active) throw std::logic_error("TL2: commit outside tx");
   if (tx.write_list.empty()) {
+    notify_serialized(ctx);
     tx.active = false;
     ++stats_.commits;
     return;
@@ -121,6 +122,8 @@ void Tl2::tx_commit(CtxId ctx) {
       }
     }
   }
+  // Serialization point: read-set validated, all written stripes locked.
+  notify_serialized(ctx);
   for (const auto& [addr, value] : tx.write_list) {
     m_.store(addr, value);
   }

@@ -1,0 +1,217 @@
+// Tests for the src/check subsystem: the serializability checker's replay
+// semantics on hand-built histories, the history recorder's integration
+// with every backend, and the schedule explorer's ability to catch (and
+// shrink) an intentionally broken conflict-detection policy.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "check/checker.h"
+#include "check/explorer.h"
+#include "check/history.h"
+#include "check/oracle.h"
+#include "mem/layout.h"
+
+namespace {
+
+using tsx::check::Access;
+using tsx::check::CheckResult;
+using tsx::check::ExplorerConfig;
+using tsx::check::History;
+using tsx::check::OracleConfig;
+using tsx::check::Unit;
+using tsx::core::Backend;
+using tsx::sim::Addr;
+using tsx::sim::Word;
+
+constexpr Addr kX = tsx::mem::kHeapBase;
+constexpr Addr kY = tsx::mem::kHeapBase + 8;
+
+Unit strict_unit(tsx::sim::CtxId ctx, std::vector<Access> accs) {
+  Unit u;
+  u.ctx = ctx;
+  u.accesses = std::move(accs);
+  return u;
+}
+
+Unit stm_unit(tsx::sim::CtxId ctx, std::vector<Access> accs) {
+  Unit u = strict_unit(ctx, std::move(accs));
+  u.stm = true;
+  return u;
+}
+
+// A final-state oracle that replays the expected values.
+std::function<Word(Addr)> final_is(std::unordered_map<Addr, Word> vals) {
+  return [vals = std::move(vals)](Addr a) {
+    auto it = vals.find(a);
+    return it != vals.end() ? it->second : Word{0};
+  };
+}
+
+TEST(Checker, AcceptsSerialHistory) {
+  History h;
+  h.initial = {{kX, 0}};
+  h.units.push_back(strict_unit(0, {{kX, 0, false}, {kX, 1, true}}));
+  h.units.push_back(strict_unit(1, {{kX, 1, false}, {kX, 2, true}}));
+  CheckResult r = tsx::check::check_history(h, final_is({{kX, 2}}));
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Checker, DetectsLostUpdate) {
+  // Both units read 0 and write 1: the second one's read missed the first
+  // one's committed write — the classic read-set-conflict-ignored bug.
+  History h;
+  h.initial = {{kX, 0}};
+  h.units.push_back(strict_unit(0, {{kX, 0, false}, {kX, 1, true}}));
+  h.units.push_back(strict_unit(1, {{kX, 0, false}, {kX, 1, true}}));
+  CheckResult r = tsx::check::check_history(h, final_is({{kX, 1}}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.unit_index, 1u);
+}
+
+TEST(Checker, DetectsFinalStateDivergence) {
+  History h;
+  h.initial = {{kX, 0}};
+  h.units.push_back(strict_unit(0, {{kX, 5, true}}));
+  CheckResult r = tsx::check::check_history(h, final_is({{kX, 7}}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.unit_index, SIZE_MAX);
+}
+
+TEST(Checker, StmUnitMayReadAnOlderSnapshot) {
+  // A time-based STM transaction can serialize after a writer it did not
+  // observe, as long as all its reads come from one consistent snapshot.
+  History h;
+  h.initial = {{kX, 0}};
+  h.units.push_back(strict_unit(0, {{kX, 1, true}}));
+  h.units.push_back(stm_unit(1, {{kX, 0, false}, {kY, 9, true}}));
+  CheckResult r = tsx::check::check_history(h, final_is({{kX, 1}, {kY, 9}}));
+  EXPECT_TRUE(r.ok) << r.error;
+
+  // The same history is NOT valid for a strict (lock/HTM) unit.
+  h.units[1].stm = false;
+  r = tsx::check::check_history(h, final_is({{kX, 1}, {kY, 9}}));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Checker, StmSnapshotMustBeSingleInstant) {
+  // x and y are written together (unit 0); an STM unit that sees the new y
+  // but the old x mixed two snapshots — torn read, must be rejected.
+  History h;
+  h.initial = {{kX, 0}, {kY, 0}};
+  h.units.push_back(strict_unit(0, {{kX, 1, true}, {kY, 1, true}}));
+  h.units.push_back(stm_unit(1, {{kY, 1, false}, {kX, 0, false}}));
+  CheckResult r = tsx::check::check_history(h, final_is({{kX, 1}, {kY, 1}}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.unit_index, 1u);
+}
+
+TEST(Checker, StmReadOwnWriteMustReturnBufferedValue) {
+  History h;
+  h.initial = {{kX, 0}};
+  h.units.push_back(stm_unit(0, {{kX, 5, true}, {kX, 4, false}}));
+  CheckResult r = tsx::check::check_history(h, final_is({{kX, 5}}));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Checker, StmRepeatedReadMustBeStable) {
+  History h;
+  h.initial = {{kX, 0}};
+  h.units.push_back(strict_unit(0, {{kX, 1, true}}));
+  h.units.push_back(stm_unit(1, {{kX, 0, false}, {kX, 1, false}}));
+  CheckResult r = tsx::check::check_history(h, final_is({{kX, 1}}));
+  EXPECT_FALSE(r.ok);
+}
+
+// ---- recorder + oracle integration ----
+
+class OracleBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(OracleBackends, EigenIncHistorySerializable) {
+  OracleConfig cfg;
+  cfg.threads = 2;
+  cfg.loops = 24;
+  cfg.seed = 11;
+  tsx::check::WorkloadResult r =
+      tsx::check::run_workload("eigen-inc", GetParam(), cfg);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST_P(OracleBackends, EigenIncSurvivesScheduleJitter) {
+  OracleConfig cfg;
+  cfg.threads = 4;
+  cfg.loops = 16;
+  cfg.seed = 3;
+  cfg.jitter_window = 128;
+  cfg.quantum_ops = 4;
+  tsx::check::WorkloadResult r =
+      tsx::check::run_workload("eigen-inc", GetParam(), cfg);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, OracleBackends,
+                         ::testing::Values(Backend::kRtm, Backend::kHle,
+                                           Backend::kTinyStm, Backend::kTl2,
+                                           Backend::kLock, Backend::kCas),
+                         [](const auto& inf) {
+                           return std::string(
+                               tsx::core::backend_name(inf.param));
+                         });
+
+TEST(Oracle, DigestsAgreeAcrossBackends) {
+  OracleConfig cfg;
+  cfg.threads = 2;
+  cfg.loops = 24;
+  cfg.seed = 5;
+  tsx::check::OracleResult r = tsx::check::run_oracle(
+      {"eigen-inc", "rbtree"}, tsx::check::default_backends(), cfg);
+  EXPECT_TRUE(r.ok) << r.workload << "/" << r.backend << ": " << r.error;
+}
+
+TEST(Oracle, RunsAreDeterministic) {
+  OracleConfig cfg;
+  cfg.threads = 2;
+  cfg.loops = 24;
+  cfg.seed = 9;
+  auto a = tsx::check::run_workload("rbtree", Backend::kRtm, cfg);
+  auto b = tsx::check::run_workload("rbtree", Backend::kRtm, cfg);
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+// ---- fault injection: the oracle must catch a broken conflict policy ----
+
+TEST(Explorer, CatchesIgnoredReadSetConflicts) {
+  ExplorerConfig cfg;
+  cfg.workloads = {"eigen-inc"};
+  cfg.backends = {Backend::kRtm};
+  cfg.seeds = 16;
+  cfg.threads = 2;
+  cfg.loops = 32;
+  cfg.break_read_set_conflicts = true;
+  tsx::check::ExploreResult res = tsx::check::explore(cfg);
+  ASSERT_TRUE(res.failed)
+      << "a conflict policy that ignores read sets must lose updates";
+  EXPECT_FALSE(res.repro.error.empty());
+  EXPECT_NE(res.repro_command().find("--break-read-conflicts"),
+            std::string::npos);
+
+  // The shrunk reproducer must still fail when replayed directly.
+  tsx::check::WorkloadResult replay = tsx::check::run_workload(
+      res.repro.workload, res.repro.backend, res.repro.cfg);
+  EXPECT_FALSE(replay.ok);
+}
+
+TEST(Explorer, CleanPolicyPassesSameSweep) {
+  ExplorerConfig cfg;
+  cfg.workloads = {"eigen-inc"};
+  cfg.backends = {Backend::kRtm};
+  cfg.seeds = 16;
+  cfg.threads = 2;
+  cfg.loops = 32;
+  tsx::check::ExploreResult res = tsx::check::explore(cfg);
+  EXPECT_FALSE(res.failed) << res.repro.error;
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Unit tests for the RAPL-like package-energy model (sim/energy_model.h):
+// the dynamic / core-active / package-idle decomposition, the package-vs-
+// core power split, and degenerate zero-cycle inputs.
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+#include "sim/energy_model.h"
+
+namespace {
+
+using tsx::sim::EnergyBreakdown;
+using tsx::sim::EnergyModel;
+using tsx::sim::EnergyParams;
+
+constexpr double kFreqGhz = 3.4;
+constexpr double kFreqHz = kFreqGhz * 1e9;
+
+TEST(EnergyModel, DynamicTermIsExactEventAccounting) {
+  EnergyParams p;
+  EnergyModel em(p, kFreqGhz);
+  EnergyBreakdown e = em.compute(/*ops=*/1000, /*l1=*/500, /*l2=*/100,
+                                 /*l3=*/10, /*mem=*/5, /*coherence=*/7,
+                                 /*writebacks=*/3, /*core_busy=*/0,
+                                 /*wall=*/0);
+  double expected_nj = 1000 * p.nj_per_op + 500 * p.nj_per_l1 +
+                       100 * p.nj_per_l2 + 10 * p.nj_per_l3 +
+                       5 * p.nj_per_mem + 7 * p.nj_per_coherence +
+                       3 * p.nj_per_writeback;
+  EXPECT_DOUBLE_EQ(e.dynamic_j, 1e-9 * expected_nj);
+  EXPECT_DOUBLE_EQ(e.core_active_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.package_idle_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_j(), e.dynamic_j);
+}
+
+TEST(EnergyModel, ZeroCycleRunCostsNothing) {
+  EnergyModel em(EnergyParams{}, kFreqGhz);
+  EnergyBreakdown e = em.compute(0, 0, 0, 0, 0, 0, 0, 0.0, 0);
+  EXPECT_DOUBLE_EQ(e.dynamic_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.core_active_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.package_idle_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_j(), 0.0);
+  EXPECT_FALSE(std::isnan(e.total_j()));
+}
+
+TEST(EnergyModel, PackagePowerAccruesOverWallTimeEvenWhenIdle) {
+  // RAPL package energy keeps integrating static + uncore power while the
+  // cores sleep: a run with zero busy cycles still pays w_package_idle.
+  EnergyParams p;
+  EnergyModel em(p, kFreqGhz);
+  tsx::sim::Cycles wall = static_cast<tsx::sim::Cycles>(kFreqHz);  // 1 s
+  EnergyBreakdown e = em.compute(0, 0, 0, 0, 0, 0, 0, /*core_busy=*/0.0, wall);
+  EXPECT_NEAR(e.package_idle_j, p.w_package_idle, 1e-9);
+  EXPECT_DOUBLE_EQ(e.core_active_j, 0.0);
+  EXPECT_NEAR(e.total_j(), p.w_package_idle, 1e-9);
+}
+
+TEST(EnergyModel, CorePowerScalesWithBusyCyclesNotWallTime) {
+  EnergyParams p;
+  EnergyModel em(p, kFreqGhz);
+  tsx::sim::Cycles wall = static_cast<tsx::sim::Cycles>(kFreqHz);  // 1 s
+
+  // One core busy the whole second vs four cores busy the whole second:
+  // package-idle identical, core-active 4x.
+  EnergyBreakdown one = em.compute(0, 0, 0, 0, 0, 0, 0, kFreqHz, wall);
+  EnergyBreakdown four = em.compute(0, 0, 0, 0, 0, 0, 0, 4 * kFreqHz, wall);
+  EXPECT_DOUBLE_EQ(one.package_idle_j, four.package_idle_j);
+  EXPECT_NEAR(one.core_active_j, p.w_core_active, 1e-9);
+  EXPECT_NEAR(four.core_active_j, 4 * p.w_core_active, 1e-9);
+
+  // Halving utilization at fixed wall time halves only the core term.
+  EnergyBreakdown half = em.compute(0, 0, 0, 0, 0, 0, 0, kFreqHz / 2, wall);
+  EXPECT_NEAR(half.core_active_j, one.core_active_j / 2, 1e-9);
+  EXPECT_DOUBLE_EQ(half.package_idle_j, one.package_idle_j);
+}
+
+TEST(EnergyModel, SecondsConversionUsesConfiguredFrequency) {
+  EnergyModel em(EnergyParams{}, 2.0);
+  EXPECT_DOUBLE_EQ(em.seconds(2'000'000'000ull), 1.0);
+  EXPECT_DOUBLE_EQ(em.seconds(0), 0.0);
+}
+
+TEST(EnergyModel, RunReportEnergyIsConsistentWithModel) {
+  // End-to-end: a real (tiny) run's RunReport energy must decompose into
+  // the same terms the model computes from the report's own counters.
+  tsx::core::RunConfig cfg;
+  cfg.backend = tsx::core::Backend::kLock;
+  cfg.threads = 2;
+  tsx::core::TxRuntime rt(cfg);
+  tsx::sim::Addr a = rt.heap().host_alloc(64, 64);
+  rt.run([&](tsx::core::TxCtx& ctx) {
+    for (int i = 0; i < 50; ++i) {
+      ctx.transaction([&] { ctx.store(a, ctx.load(a) + 1); });
+    }
+  });
+  tsx::core::RunReport r = rt.report();
+
+  ASSERT_GT(r.wall_cycles, 0u);
+  EXPECT_GT(r.energy.dynamic_j, 0.0);
+  EXPECT_GT(r.energy.core_active_j, 0.0);
+  EXPECT_GT(r.energy.package_idle_j, 0.0);
+
+  EnergyModel em(cfg.machine.energy, cfg.machine.freq_ghz);
+  const tsx::sim::MemStats& ms = r.machine.mem;
+  EnergyBreakdown want = em.compute(
+      r.machine.ops, ms.l1_accesses(), ms.l2_accesses(), ms.l3_accesses(),
+      ms.mem_accesses, ms.invalidations + ms.c2c_transfers, ms.writebacks,
+      r.machine.core_busy_cycles, r.wall_cycles);
+  EXPECT_DOUBLE_EQ(r.energy.total_j(), want.total_j());
+  // The measured region is the whole run, so package-idle power integrates
+  // over exactly wall_cycles.
+  EXPECT_NEAR(r.energy.package_idle_j,
+              cfg.machine.energy.w_package_idle * em.seconds(r.wall_cycles),
+              1e-12);
+}
+
+}  // namespace
