@@ -7,7 +7,7 @@
 // running and abort later for other reasons — avoiding lock aborts does not
 // necessarily help because they mask other abort types.
 //
-// kNoSubscription is measured only on a workload whose fallback body is
+// LockSubscription::kNone is measured only on a workload whose fallback body is
 // idempotent-safe here (shared counter with ticketed stores would be unsafe
 // in general; we use it to show WHY subscription is required: lost updates).
 
@@ -25,14 +25,14 @@ int main(int argc, char** argv) {
 
   util::Table t({"policy", "Mcycles", "abort rate", "lock-abort share",
                  "confl share", "fallback rate"});
-  for (auto policy : {htm::SubscriptionPolicy::kSubscribeInTx,
-                      htm::SubscriptionPolicy::kWaitThenSubscribe}) {
+  for (auto mode : {core::LockSubscription::kSubscribeInTx,
+                    core::LockSubscription::kWaitThenSubscribe}) {
     std::vector<double> time, ar, lock_share, confl_share, fb;
     for (int rep = 0; rep < args.reps; ++rep) {
       core::RunConfig cfg;
       cfg.backend = core::Backend::kRtm;
       cfg.threads = 4;
-      cfg.rtm.policy = policy;
+      cfg.retry.subscription = mode;
       cfg.machine.seed = 9400 + rep;
       cfg.seed = cfg.machine.seed;
       stamp::IntruderConfig app;
@@ -54,9 +54,9 @@ int main(int argc, char** argv) {
           aborts);
       fb.push_back(s.fallback_rate());
     }
-    const char* name =
-        policy == htm::SubscriptionPolicy::kSubscribeInTx ? "subscribe-in-tx"
-                                                          : "wait-then-subscribe";
+    const char* name = mode == core::LockSubscription::kSubscribeInTx
+                           ? "subscribe-in-tx"
+                           : "wait-then-subscribe";
     t.add_row({name, util::Table::fmt(util::mean(time), 2),
                util::Table::fmt(util::mean(ar), 3),
                util::Table::fmt(util::mean(lock_share), 3),

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     core::RunConfig cfg;
     cfg.backend = core::Backend::kRtm;
     cfg.threads = 4;
-    cfg.rtm.max_retries = budget;
+    cfg.retry.max_attempts = budget;
 
     stamp::IntruderConfig iapp;
     iapp.flows = args.fast ? 128 : 384;

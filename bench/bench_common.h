@@ -36,7 +36,11 @@ struct BenchArgs {
     a.verify = flags.get_bool("verify", false);
     auto un = flags.unconsumed();
     if (!un.empty()) {
-      std::string msg = "unknown flag --" + un[0];
+      std::string msg = un.size() == 1 ? "unknown flag " : "unknown flags ";
+      for (size_t i = 0; i < un.size(); ++i) {
+        if (i) msg += ", ";
+        msg += "--" + un[i];
+      }
       throw std::invalid_argument(msg);
     }
     return a;

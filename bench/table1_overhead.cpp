@@ -36,8 +36,6 @@ double drain_cycles(Sync sync, uint32_t threads, uint64_t elements,
   sim::Addr lock_mem = rt.heap().host_alloc(256, 64);
   sync::TicketSpinLock lock(m, lock_mem);
   lock.init();
-  htm::ExecutorConfig rcfg;
-  rcfg.max_retries = 1 << 30;  // paper: "we simply retry on aborts"
 
   rt.run([&](core::TxCtx& ctx) {
     stamp::measured_region_begin(ctx);

@@ -18,7 +18,7 @@ namespace tsx::check {
 
 struct ExplorerConfig {
   std::vector<std::string> workloads;      // empty = all
-  std::vector<core::Backend> backends;     // empty = the default five
+  std::vector<core::Backend> backends;     // empty = default_backends()
   uint32_t seeds = 16;                     // sweep points
   uint64_t base_seed = 1;
   uint32_t threads = 2;

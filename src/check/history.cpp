@@ -37,10 +37,10 @@ void Recorder::latch_initial(Addr a, Word v) {
 void Recorder::machine_access(CtxId ctx, Addr a, Word old_v, Word v,
                               bool is_write, bool /*in_tx*/) {
   if (!in_heap(a)) return;
-  // Machine traffic inside an STM transaction is metadata/speculation
-  // (logging, validation, commit write-back); the logical stream arrives
-  // through on_stm_read/on_stm_write instead.
-  if (rt_.stm() && rt_.stm()->tx_active(ctx)) return;
+  // Machine traffic inside a live software transaction is metadata/
+  // speculation (logging, validation, commit write-back); the logical
+  // stream arrives through on_stm_read/on_stm_write instead.
+  if (rt_.executor().stm_active(ctx)) return;
   latch_initial(a, is_write ? old_v : v);
   OpenUnit& u = open_[ctx];
   if (u.active) {
@@ -90,9 +90,12 @@ void Recorder::on_unit_begin(CtxId ctx, uint32_t site) {
   u.active = true;
   u.implicit = false;
   u.site = site;
-  // With an STM system present, atomic blocks run as STM transactions and
-  // get snapshot-consistency checking; everything else replays strictly.
-  u.stm = rt_.stm() != nullptr;
+  // Units that run as software transactions get snapshot-consistency
+  // checking; everything else replays strictly. Queried per unit (not per
+  // backend) because the Hybrid executor mixes hardware units with STM
+  // fallback units: STM executors call tx_start before this hook fires, so
+  // stm_active() is exactly "this unit is a software transaction".
+  u.stm = rt_.executor().stm_active(ctx);
   u.buf.clear();  // a fresh begin discards any stale speculative buffer
 }
 

@@ -400,7 +400,7 @@ const std::vector<std::string>& workload_names() {
 const std::vector<core::Backend>& default_backends() {
   static const std::vector<core::Backend> backends = {
       Backend::kRtm, Backend::kHle, Backend::kTinyStm, Backend::kLock,
-      Backend::kCas};
+      Backend::kCas, Backend::kHybrid};
   return backends;
 }
 

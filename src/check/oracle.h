@@ -46,7 +46,8 @@ struct WorkloadResult {
 // "hashtable", "queue".
 const std::vector<std::string>& workload_names();
 
-// The five backends the oracle exercises by default.
+// The backends the oracle exercises by default (kHybrid included so the
+// STM-fallback seal point stays covered).
 const std::vector<core::Backend>& default_backends();
 
 WorkloadResult run_workload(const std::string& name, core::Backend backend,

@@ -37,7 +37,7 @@ void usage() {
       "  --seeds N            sweep points (default 16)\n"
       "  --seed S             base workload seed (default 1)\n"
       "  --workloads a,b      subset of: eigen-inc,rbtree,hashtable,queue\n"
-      "  --backends a,b       subset of: rtm,hle,stm,tl2,spinlock,cas,seq\n"
+      "  --backends a,b       subset of: rtm,hle,stm,tl2,spinlock,cas,seq,hybrid\n"
       "  --threads N          simulated threads (default 2)\n"
       "  --loops N            operations per thread (default 32)\n"
       "  --jitter-window C    pin sched_jitter_window (default: sweep)\n"

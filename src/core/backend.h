@@ -1,30 +1,45 @@
 #pragma once
 // Concurrency-control backends the runtime can execute atomic blocks with.
+//
+// The X-macro table below is the single source of truth: the enum, the
+// printable names, parse(), and kAllBackends are all generated from it, so a
+// new backend can never be visible to one and missing from another.
 
+#include <array>
 #include <string>
 
 namespace tsx::core {
 
+// X(enumerator, printable-name)
+#define TSX_BACKEND_LIST(X)                                                    \
+  X(kSeq, "SEQ")         /* no synchronization (sequential baseline) */       \
+  X(kLock, "Lock")       /* one global ticket spinlock per atomic block */    \
+  X(kRtm, "RTM")         /* HTM with serial-lock fallback (Algorithm 1) */    \
+  X(kTinyStm, "TinySTM") /* TinySTM-style time-based STM */                   \
+  X(kTl2, "TL2")         /* TL2 commit-time-locking STM */                    \
+  X(kHle, "HLE")         /* hardware lock elision of one TAS lock (§I) */     \
+  X(kCas, "CAS")         /* one global CAS-acquired test-and-set lock */      \
+  X(kHybrid, "Hybrid")   /* HTM fast path with a TinySTM fallback (HyTM) */
+
 enum class Backend {
-  kSeq = 0,   // no synchronization (sequential baseline / "None" in Table I)
-  kLock,      // one global ticket spinlock around every atomic block
-  kRtm,       // hardware transactions with serial-lock fallback (Algorithm 1)
-  kTinyStm,   // TinySTM-style time-based STM
-  kTl2,       // TL2 commit-time-locking STM
-  kHle,       // hardware lock elision around one global TAS lock (§I)
-  kCas,       // one global CAS-acquired test-and-set spinlock (Table I's
-              // CAS-style synchronization as a general backend)
+#define TSX_BACKEND_ENUM(e, name) e,
+  TSX_BACKEND_LIST(TSX_BACKEND_ENUM)
+#undef TSX_BACKEND_ENUM
+};
+
+inline constexpr std::array kAllBackends = {
+#define TSX_BACKEND_VALUE(e, name) Backend::e,
+    TSX_BACKEND_LIST(TSX_BACKEND_VALUE)
+#undef TSX_BACKEND_VALUE
 };
 
 inline const char* backend_name(Backend b) {
   switch (b) {
-    case Backend::kSeq: return "SEQ";
-    case Backend::kLock: return "Lock";
-    case Backend::kRtm: return "RTM";
-    case Backend::kTinyStm: return "TinySTM";
-    case Backend::kTl2: return "TL2";
-    case Backend::kHle: return "HLE";
-    case Backend::kCas: return "CAS";
+#define TSX_BACKEND_NAME(e, name) \
+  case Backend::e:                \
+    return name;
+    TSX_BACKEND_LIST(TSX_BACKEND_NAME)
+#undef TSX_BACKEND_NAME
   }
   return "?";
 }
@@ -42,9 +57,7 @@ inline bool backend_from_name(const std::string& s, Backend* out) {
     }
     return true;
   };
-  for (Backend b : {Backend::kSeq, Backend::kLock, Backend::kRtm,
-                    Backend::kTinyStm, Backend::kTl2, Backend::kHle,
-                    Backend::kCas}) {
+  for (Backend b : kAllBackends) {
     if (eq(backend_name(b))) {
       *out = b;
       return true;
@@ -53,9 +66,12 @@ inline bool backend_from_name(const std::string& s, Backend* out) {
   // Common aliases used by tm_fuzz and the docs.
   if (eq("stm") || eq("tinystm")) { *out = Backend::kTinyStm; return true; }
   if (eq("spinlock")) { *out = Backend::kLock; return true; }
+  if (eq("hytm")) { *out = Backend::kHybrid; return true; }
   return false;
 }
 
+// Backends whose atomic blocks run as pure software transactions. (kHybrid
+// is excluded: its fast path is hardware, only the fallback is STM.)
 inline bool backend_is_stm(Backend b) {
   return b == Backend::kTinyStm || b == Backend::kTl2;
 }

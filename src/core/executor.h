@@ -1,0 +1,97 @@
+#pragma once
+// core::TxExecutor: the uniform interface every concurrency-control backend
+// implements. TxRuntime holds exactly one executor, built by make_executor()
+// from the configured Backend — there is no per-backend dispatch anywhere
+// else in the runtime.
+//
+// Responsibilities of an executor:
+//   * execute(): run a body as one atomic block (attempts, retries,
+//     fallback — per its core::RetryPolicy where applicable), including the
+//     heap transaction-scope hooks and the check recorder's unit bracketing;
+//   * load()/store(): the transactional data path used by TxCtx inside
+//     atomic blocks (STM-backed executors route these through tx_read/
+//     tx_write; everything else goes straight to the machine);
+//   * report its statistics for RunReport.
+//
+// Concrete executors live in executors.cpp; nothing outside it needs their
+// types.
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/trace.h"
+#include "htm/rtm.h"
+#include "mem/sim_heap.h"
+#include "sim/machine.h"
+#include "stm/common.h"
+
+namespace tsx::core {
+
+struct RunConfig;  // core/runtime.h
+
+// What the runtime lends its executor. `observer` points at the runtime's
+// observer slot (not the observer itself): executors read it at call time,
+// so TxRuntime::set_observer needs no re-wiring.
+struct ExecutorEnv {
+  sim::Machine* machine = nullptr;
+  mem::SimHeap* heap = nullptr;
+  TxObserver* const* observer = nullptr;
+};
+
+class TxExecutor {
+ public:
+  explicit TxExecutor(const ExecutorEnv& env) : env_(env) {}
+  virtual ~TxExecutor() = default;
+  TxExecutor(const TxExecutor&) = delete;
+  TxExecutor& operator=(const TxExecutor&) = delete;
+
+  virtual const char* name() const = 0;
+
+  // Runs `body` as one atomic block for the calling context. `site` labels
+  // the static transaction site for per-site statistics.
+  virtual void execute(const std::function<void()>& body, uint32_t site) = 0;
+
+  // Transactional data path for TxCtx inside atomic blocks. The default is
+  // a plain machine access (hardware or a lock does the bookkeeping).
+  virtual sim::Word load(sim::CtxId ctx, sim::Addr a) {
+    (void)ctx;
+    return env_.machine->load(a);
+  }
+  virtual void store(sim::CtxId ctx, sim::Addr a, sim::Word v) {
+    (void)ctx;
+    env_.machine->store(a, v);
+  }
+
+  // True while `ctx` runs a live software transaction (raw atomics are then
+  // a programming error, and machine-level trace events are metadata).
+  virtual bool stm_active(sim::CtxId ctx) const {
+    (void)ctx;
+    return false;
+  }
+
+  // True while the calling context executes under a serial fallback lock
+  // (i.e. non-speculatively and exclusively).
+  virtual bool in_serial_fallback() const { return false; }
+
+  // Statistics views merged into RunReport; zeroed when not applicable.
+  virtual htm::RtmStats rtm_stats() const { return {}; }
+  virtual stm::StmStats stm_stats() const { return {}; }
+  virtual std::vector<std::pair<uint32_t, htm::RtmStats>> rtm_site_stats()
+      const {
+    return {};
+  }
+
+ protected:
+  TxObserver* obs() const { return env_.observer ? *env_.observer : nullptr; }
+
+  ExecutorEnv env_;
+};
+
+// Registry keyed on RunConfig::backend. Throws std::invalid_argument for a
+// Backend value outside the X-macro table.
+std::unique_ptr<TxExecutor> make_executor(const RunConfig& cfg,
+                                          const ExecutorEnv& env);
+
+}  // namespace tsx::core

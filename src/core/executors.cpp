@@ -1,0 +1,452 @@
+// Concrete TxExecutor implementations for every Backend, plus the
+// make_executor() registry. This file is the only place that knows which
+// synchronization object a backend uses, where it lives in the runtime
+// region, and how heap scoping / history observation wrap its attempts.
+//
+// Runtime-region line assignment (one object per line, see mem/layout.h):
+//   line 0: global ticket spinlock (kLock)
+//   line 1: RTM serial fallback reader/writer lock (kRtm)
+//   line 2: HLE elided TAS lock (kHle)
+//   line 3: CAS test-and-set lock (kCas)
+
+#include "core/executor.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/runtime.h"
+#include "htm/hle.h"
+#include "mem/layout.h"
+#include "stm/tinystm.h"
+#include "stm/tl2.h"
+#include "sync/spinlock.h"
+
+namespace tsx::core {
+
+namespace {
+
+using sim::Addr;
+using sim::CtxId;
+using sim::Cycles;
+using sim::Word;
+
+// Heap transaction scoping + recorder unit bracketing around every
+// speculative attempt / fallback execution. When `observe_commit` is false
+// the commit hook only closes the heap scope: STM executors seal their units
+// through the serialize hook at the true serialization point instead.
+template <class Hooks>
+Hooks make_scope_hooks(const ExecutorEnv& env, bool observe_commit) {
+  return Hooks{
+      [env] {
+        CtxId c = env.machine->current_ctx();
+        env.heap->tx_scope_begin(c);
+        if (TxObserver* o = *env.observer) o->on_unit_begin(c, 0);
+      },
+      [env, observe_commit] {
+        CtxId c = env.machine->current_ctx();
+        env.heap->tx_scope_commit(c);
+        if (!observe_commit) return;
+        if (TxObserver* o = *env.observer) o->on_unit_commit(c);
+      },
+      [env] {
+        CtxId c = env.machine->current_ctx();
+        env.heap->tx_scope_abort(c);
+        if (TxObserver* o = *env.observer) o->on_unit_abort(c);
+      },
+  };
+}
+
+// ---- kSeq ----
+
+class SeqExecutor final : public TxExecutor {
+ public:
+  using TxExecutor::TxExecutor;
+
+  const char* name() const override { return "SEQ"; }
+
+  void execute(const std::function<void()>& body, uint32_t site) override {
+    CtxId c = env_.machine->current_ctx();
+    if (TxObserver* o = obs()) o->on_unit_begin(c, site);
+    body();
+    if (TxObserver* o = obs()) o->on_unit_commit(c);
+  }
+};
+
+// ---- kLock / kCas ----
+
+// One global spinlock around every atomic block. The observer's commit call
+// lands while the lock is still held, so the recorder seals sections in the
+// order their effects became visible.
+template <class Lock>
+class SpinLockExecutor final : public TxExecutor {
+ public:
+  SpinLockExecutor(const ExecutorEnv& env, const char* name, Addr lock_base)
+      : TxExecutor(env), name_(name), lock_(*env.machine, lock_base) {
+    lock_.init();
+  }
+
+  const char* name() const override { return name_; }
+
+  void execute(const std::function<void()>& body, uint32_t site) override {
+    CtxId c = env_.machine->current_ctx();
+    lock_.lock();
+    if (TxObserver* o = obs()) o->on_unit_begin(c, site);
+    try {
+      body();
+    } catch (...) {
+      if (TxObserver* o = obs()) o->on_unit_abort(c);
+      lock_.unlock();
+      throw;
+    }
+    if (TxObserver* o = obs()) o->on_unit_commit(c);
+    lock_.unlock();
+  }
+
+ private:
+  const char* name_;
+  Lock lock_;
+};
+
+// ---- kHle ----
+
+class HleExecutor final : public TxExecutor {
+ public:
+  HleExecutor(const ExecutorEnv& env, uint32_t elision_attempts)
+      : TxExecutor(env),
+        lock_(*env.machine, mem::kRuntimeRegionBase + 2 * sim::kLineBytes,
+              elision_attempts) {
+    lock_.init();
+    // Heap scoping and observer bracketing fire per elision attempt;
+    // lock-path sections seal before the unlock, elided sections seal
+    // through the machine's tx-commit trace hook (the later scope-commit
+    // call is an idempotent backstop).
+    lock_.set_scope_hooks(make_scope_hooks<htm::ScopeHooks>(env, true));
+  }
+
+  const char* name() const override { return "HLE"; }
+
+  void execute(const std::function<void()>& body, uint32_t /*site*/) override {
+    lock_.critical_section(body);
+  }
+
+ private:
+  htm::HleLock lock_;
+};
+
+// ---- kRtm ----
+
+class RtmSerialExecutor final : public TxExecutor {
+ public:
+  RtmSerialExecutor(const ExecutorEnv& env, const RetryPolicy& policy)
+      : TxExecutor(env),
+        rtm_(*env.machine, mem::kRuntimeRegionBase + sim::kLineBytes, policy) {
+    rtm_.init();
+    rtm_.set_scope_hooks(make_scope_hooks<htm::ScopeHooks>(env, true));
+  }
+
+  const char* name() const override { return "RTM"; }
+
+  void execute(const std::function<void()>& body, uint32_t site) override {
+    rtm_.execute(body, site);
+  }
+
+  bool in_serial_fallback() const override { return rtm_.in_fallback(); }
+  htm::RtmStats rtm_stats() const override { return rtm_.stats(); }
+  std::vector<std::pair<uint32_t, htm::RtmStats>> rtm_site_stats()
+      const override {
+    return rtm_.all_site_stats();
+  }
+
+ private:
+  htm::RtmExecutor rtm_;
+};
+
+// ---- STM-backed executors (kTinyStm, kTl2, and kHybrid's fallback) ----
+
+// Owns an StmSystem + its retry executor and provides the software
+// transactional data path: loads/stores inside a live software transaction
+// route through tx_read/tx_write, with the logical access stream mirrored
+// to the observer (machine-level traffic of an STM transaction is metadata,
+// which the recorder suppresses via stm_active()).
+class StmBackedExecutor : public TxExecutor {
+ public:
+  StmBackedExecutor(const ExecutorEnv& env,
+                    std::unique_ptr<stm::StmSystem> sys,
+                    const stm::StmConfig& cfg)
+      : TxExecutor(env),
+        stm_(std::move(sys)),
+        stm_exec_(*env.machine, *stm_, cfg) {
+    stm_->init();
+    stm_->set_serialize_hook([this](CtxId c) {
+      if (TxObserver* o = obs()) o->on_unit_commit(c);
+    });
+    stm_exec_.set_scope_hooks(make_scope_hooks<stm::ScopeHooks>(env, false));
+  }
+
+  Word load(CtxId ctx, Addr a) override {
+    if (!stm_->tx_active(ctx)) return env_.machine->load(a);
+    Word v = stm_->tx_read(ctx, a);
+    if (TxObserver* o = obs()) o->on_stm_read(ctx, a, v);
+    return v;
+  }
+
+  void store(CtxId ctx, Addr a, Word v) override {
+    if (!stm_->tx_active(ctx)) {
+      env_.machine->store(a, v);
+      return;
+    }
+    // Latch the committed value before tx_write so the recorder can record
+    // the pre-image for the replay's initial state.
+    Word pre = obs() ? env_.machine->peek(a) : 0;
+    stm_->tx_write(ctx, a, v);
+    if (TxObserver* o = obs()) o->on_stm_write(ctx, a, v, pre);
+  }
+
+  bool stm_active(CtxId ctx) const override { return stm_->tx_active(ctx); }
+  stm::StmStats stm_stats() const override { return stm_->stats(); }
+
+ protected:
+  std::unique_ptr<stm::StmSystem> stm_;
+  stm::StmExecutor stm_exec_;
+};
+
+class StmExecutorAdapter final : public StmBackedExecutor {
+ public:
+  using StmBackedExecutor::StmBackedExecutor;
+
+  const char* name() const override { return stm_->name(); }
+
+  void execute(const std::function<void()>& body, uint32_t /*site*/) override {
+    stm_exec_.execute(body);
+  }
+};
+
+// ---- kHybrid ----
+
+// Hybrid TM in the HyTM-with-orecs style: hardware transaction attempts,
+// then a full TinySTM transaction as the fallback — no serial lock, so an
+// overflowing or conflicting transaction degrades to *concurrent* software
+// mode instead of stopping the world.
+//
+// Coupling invariants (see DESIGN.md for the full argument):
+//   * Every hardware access first loads the word's stripe lock. If the
+//     stripe is locked, the attempt aborts (code kAbortCodeStmLocked) —
+//     a software transaction owns the word (encounter-time write lock held
+//     until post-write-back release), so reading the data word could see a
+//     torn snapshot. The load also puts the stripe line into the hardware
+//     read set, so a later STM lock acquisition dooms the attempt via the
+//     machine's requester-wins conflict path.
+//   * A writing hardware transaction publishes its commit to STM timestamp
+//     validation: inside the transaction, after the body, it bumps the
+//     global clock and writes the new version into every written stripe.
+//     Without this, a software transaction that read a word before the
+//     hardware commit would revalidate against a stale stripe version and
+//     miss the conflict. The clock write also serializes concurrent
+//     hardware writers against each other (write-write conflict on the
+//     clock line) — the classic HyTM clock-contention cost, measured by
+//     bench/extension_hybrid.
+//   * STM commits doom overlapping hardware transactions for free: the
+//     stripe CAS, the commit-time clock fetch_add and the write-back all
+//     hit lines in hardware read/write sets.
+//   * Read-only hardware transactions publish nothing: their snapshot is
+//     guaranteed by hardware conflict detection alone, and STM read-only
+//     transactions validate per-read against the clock as usual.
+class HybridExecutor final : public StmBackedExecutor {
+ public:
+  // Explicit abort code for "stripe locked by a software transaction";
+  // classified as a lock-class abort (the STM lock *is* our fallback lock).
+  static constexpr uint8_t kAbortCodeStmLocked = 0xfe;
+
+  HybridExecutor(const ExecutorEnv& env, const RetryPolicy& policy,
+                 const stm::StmConfig& cfg)
+      : StmBackedExecutor(
+            env, std::make_unique<stm::TinyStm>(*env.machine, mem::kStmRegionBase, cfg),
+            cfg),
+        m_(*env.machine),
+        policy_(policy),
+        tiny_(static_cast<stm::TinyStm*>(stm_.get())),
+        clock_line_(sim::line_of(tiny_->clock_addr())),
+        hw_hooks_(make_scope_hooks<htm::ScopeHooks>(env, true)) {}
+
+  const char* name() const override { return "Hybrid"; }
+
+  void execute(const std::function<void()>& body, uint32_t site) override {
+    // Index, not pointer: body() may yield to a fiber whose execute()
+    // appends a new site and reallocates sites_ underneath us.
+    size_t site_idx = sites_.size();
+    for (size_t i = 0; i < sites_.size(); ++i) {
+      if (sites_[i].first == site) {
+        site_idx = i;
+        break;
+      }
+    }
+    if (site_idx == sites_.size()) sites_.emplace_back(site, htm::RtmStats{});
+    ++total_.transactions;
+    ++sites_[site_idx].second.transactions;
+
+    CtxId ctx = m_.current_ctx();
+    PerCtx& pc = per_ctx_[ctx];
+    uint32_t attempts = 0;
+    while (!policy_.exhausted(attempts)) {
+      ++attempts;
+      hw_hooks_.on_begin();
+      pc.hw = true;
+      pc.write_stripes.clear();
+      htm::AttemptResult r = htm::attempt(m_, [&] {
+        body();
+        publish(pc);
+      });
+      pc.hw = false;
+      record(total_, r);
+      record(sites_[site_idx].second, r);
+      if (r.committed) {
+        hw_hooks_.on_commit();
+        return;
+      }
+      hw_hooks_.on_abort();
+      // Capacity aborts are deterministic: the transaction cannot fit, so
+      // retrying in hardware is futile (real TSX clears the RETRY hint for
+      // them). Go straight to the software fallback — it is concurrent, so
+      // unlike the serial-lock scheme there is no reason to be reluctant.
+      if (r.reason == sim::AbortReason::kWriteCapacity ||
+          r.reason == sim::AbortReason::kReadCapacity) {
+        break;
+      }
+      if (policy_.exhausted(attempts)) break;
+      Cycles wait = policy_.backoff_cycles(attempts, m_.setup_rng());
+      if (wait) m_.compute(wait);
+    }
+
+    // Software fallback: a full TinySTM transaction, concurrent with other
+    // contexts' hardware attempts (which it dooms on true conflict).
+    Cycles t0 = m_.now();
+    ++total_.fallbacks;
+    ++sites_[site_idx].second.fallbacks;
+    stm_exec_.execute(body);
+    Cycles dt = m_.now() - t0;
+    total_.cycles_fallback += dt;
+    sites_[site_idx].second.cycles_fallback += dt;
+  }
+
+  Word load(CtxId ctx, Addr a) override {
+    PerCtx& pc = per_ctx_[ctx];
+    if (!pc.hw) return StmBackedExecutor::load(ctx, a);
+    subscribe_stripe(a);
+    return m_.load(a);
+  }
+
+  void store(CtxId ctx, Addr a, Word v) override {
+    PerCtx& pc = per_ctx_[ctx];
+    if (!pc.hw) {
+      StmBackedExecutor::store(ctx, a, v);
+      return;
+    }
+    Addr stripe = subscribe_stripe(a);
+    bool seen = false;
+    for (Addr s : pc.write_stripes) seen |= (s == stripe);
+    if (!seen) pc.write_stripes.push_back(stripe);
+    m_.store(a, v);
+  }
+
+  htm::RtmStats rtm_stats() const override { return total_; }
+  std::vector<std::pair<uint32_t, htm::RtmStats>> rtm_site_stats()
+      const override {
+    return sites_;
+  }
+
+ private:
+  struct PerCtx {
+    bool hw = false;                  // inside a hardware attempt's body
+    std::vector<Addr> write_stripes;  // deduped stripes written this attempt
+  };
+
+  // Loads the stripe word (joining the hardware read set) and aborts the
+  // attempt if a software transaction holds it.
+  Addr subscribe_stripe(Addr a) {
+    Addr stripe = tiny_->stripe_addr(a);
+    Word lw = m_.load(stripe);
+    if (stm::LockTable::is_locked(lw)) m_.tx_abort(kAbortCodeStmLocked);
+    return stripe;
+  }
+
+  // Runs inside the hardware transaction, after the body: make this commit
+  // visible to STM timestamp validation. All these stores are speculative
+  // and roll back with the attempt.
+  void publish(const PerCtx& pc) {
+    if (pc.write_stripes.empty()) return;  // read-only: nothing to publish
+    Word next = m_.load(tiny_->clock_addr()) + 1;
+    m_.store(tiny_->clock_addr(), next);
+    for (Addr stripe : pc.write_stripes) {
+      m_.store(stripe, stm::LockTable::make_version(next));
+    }
+  }
+
+  htm::AbortClass classify(const htm::AttemptResult& r) const {
+    if (r.reason == sim::AbortReason::kExplicit &&
+        sim::xstatus::unpack_code(r.status) == kAbortCodeStmLocked) {
+      return htm::AbortClass::kLock;
+    }
+    // Conflicts on the clock line are commit-serialization conflicts with
+    // other writers (hardware or software) — the hybrid's lock-class bucket.
+    return htm::RtmExecutor::classify(r, clock_line_);
+  }
+
+  void record(htm::RtmStats& s, const htm::AttemptResult& r) const {
+    ++s.attempts;
+    if (r.committed) {
+      ++s.commits;
+      s.cycles_committed += r.cycles;
+      return;
+    }
+    s.cycles_aborted += r.cycles;
+    ++s.aborts_by_class[static_cast<size_t>(classify(r))];
+    ++s.aborts_by_reason[static_cast<size_t>(r.reason)];
+  }
+
+  sim::Machine& m_;
+  RetryPolicy policy_;
+  stm::TinyStm* tiny_;  // the same object stm_ owns, concretely typed
+  uint64_t clock_line_;
+  htm::ScopeHooks hw_hooks_;
+  std::array<PerCtx, sim::kMaxCtxs> per_ctx_{};
+  htm::RtmStats total_;
+  std::vector<std::pair<uint32_t, htm::RtmStats>> sites_;
+};
+
+}  // namespace
+
+std::unique_ptr<TxExecutor> make_executor(const RunConfig& cfg,
+                                          const ExecutorEnv& env) {
+  switch (cfg.backend) {
+    case Backend::kSeq:
+      return std::make_unique<SeqExecutor>(env);
+    case Backend::kLock:
+      return std::make_unique<SpinLockExecutor<sync::TicketSpinLock>>(
+          env, "Lock", mem::kRuntimeRegionBase);
+    case Backend::kRtm:
+      return std::make_unique<RtmSerialExecutor>(env, cfg.retry);
+    case Backend::kTinyStm:
+      return std::make_unique<StmExecutorAdapter>(
+          env,
+          std::make_unique<stm::TinyStm>(*env.machine, mem::kStmRegionBase,
+                                         cfg.stm),
+          cfg.stm);
+    case Backend::kTl2:
+      return std::make_unique<StmExecutorAdapter>(
+          env,
+          std::make_unique<stm::Tl2>(*env.machine, mem::kStmRegionBase,
+                                     cfg.stm),
+          cfg.stm);
+    case Backend::kHle:
+      return std::make_unique<HleExecutor>(env, cfg.hle_elision_attempts);
+    case Backend::kCas:
+      return std::make_unique<SpinLockExecutor<sync::TasSpinLock>>(
+          env, "CAS", mem::kRuntimeRegionBase + 3 * sim::kLineBytes);
+    case Backend::kHybrid:
+      return std::make_unique<HybridExecutor>(env, cfg.retry, cfg.stm);
+  }
+  throw std::invalid_argument("make_executor: unknown backend");
+}
+
+}  // namespace tsx::core

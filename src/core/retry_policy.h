@@ -1,0 +1,69 @@
+#pragma once
+// core::RetryPolicy: the retry/backoff/fallback decision, hoisted out of the
+// individual executors so every backend (RTM serial-fallback, Hybrid TM,
+// the STMs' suicide loop) answers the same three questions the same way:
+//   * how many speculative attempts before the fallback path? (budget)
+//   * how long to wait between attempts? (backoff shape)
+//   * how does the fast path watch the fallback lock? (subscription)
+//
+// Leaf header: depends only on sim/, so htm/ and stm/ can accept a policy
+// without linking against tsx_core.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace tsx::core {
+
+// How an HTM fast path watches its fallback lock (the ablation's knob).
+enum class LockSubscription : uint8_t {
+  kSubscribeInTx = 0,  // Algorithm 1: read the lock inside the transaction
+  kWaitThenSubscribe,  // spin for lock-free before xbegin, then subscribe
+  kNone,               // unsafe in general; provided for the ablation only
+};
+
+// Shape of the wait between failed attempts.
+enum class BackoffShape : uint8_t {
+  kNone = 0,     // retry immediately (the paper's Algorithm 1)
+  kLinear,       // window grows linearly in the attempt number
+  kExponential,  // window doubles per attempt (TinySTM suicide backoff)
+};
+
+struct RetryPolicy {
+  // Speculative attempts before the executor takes its fallback path;
+  // <= 0 means unbounded (no fallback — retry until commit).
+  int max_attempts = 8;  // the paper's MAX_RETRIES
+  LockSubscription subscription = LockSubscription::kSubscribeInTx;
+  BackoffShape backoff = BackoffShape::kNone;
+  sim::Cycles backoff_base_cycles = 120;
+  uint32_t backoff_cap_shift = 10;  // window stops growing after 2^shift
+
+  bool unbounded() const { return max_attempts <= 0; }
+
+  // True once `attempts` tries have been burned and the fallback is due.
+  bool exhausted(uint32_t attempts) const {
+    return !unbounded() && attempts >= static_cast<uint32_t>(max_attempts);
+  }
+
+  // Simulated cycles to wait before the attempt following `attempt_no`
+  // failed tries. Randomized within the shape's window (exactly one rng draw
+  // for any shape but kNone, which draws nothing). Callers must skip the
+  // machine compute() entirely when this returns 0 so a no-backoff policy
+  // introduces no extra scheduling points.
+  sim::Cycles backoff_cycles(uint32_t attempt_no, sim::Rng& rng) const {
+    if (backoff == BackoffShape::kNone) return 0;
+    uint64_t window;
+    if (backoff == BackoffShape::kLinear) {
+      uint64_t cap = uint64_t{1} << backoff_cap_shift;
+      window = backoff_base_cycles * std::min<uint64_t>(attempt_no, cap);
+    } else {
+      uint32_t shift = std::min(attempt_no, backoff_cap_shift);
+      window = static_cast<uint64_t>(backoff_base_cycles) << shift;
+    }
+    return backoff_base_cycles + rng.below(window | 1);
+  }
+};
+
+}  // namespace tsx::core

@@ -82,87 +82,11 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
   machine_ = std::make_unique<sim::Machine>(cfg_.machine, cfg_.threads);
   heap_ = std::make_unique<mem::SimHeap>(*machine_, cfg_.heap);
 
-  // Runtime region: global lock (line 0), RTM serial lock (line 1).
+  // Runtime region: the backends' synchronization objects, one line each
+  // (assigned in executors.cpp). All initialization is host-side pokes.
   machine_->prefault(mem::kRuntimeRegionBase, sim::kPageBytes);
-  global_lock_ = std::make_unique<sync::TicketSpinLock>(*machine_,
-                                                        mem::kRuntimeRegionBase);
-  global_lock_->init();
-
-  htm::ScopeHooks rtm_hooks{
-      [this] {
-        sim::CtxId c = machine_->current_ctx();
-        heap_->tx_scope_begin(c);
-        if (observer_) observer_->on_unit_begin(c, 0);
-      },
-      [this] {
-        sim::CtxId c = machine_->current_ctx();
-        heap_->tx_scope_commit(c);
-        if (observer_) observer_->on_unit_commit(c);
-      },
-      [this] {
-        sim::CtxId c = machine_->current_ctx();
-        heap_->tx_scope_abort(c);
-        if (observer_) observer_->on_unit_abort(c);
-      },
-  };
-  rtm_ = std::make_unique<htm::RtmExecutor>(
-      *machine_, mem::kRuntimeRegionBase + sim::kLineBytes, cfg_.rtm);
-  rtm_->init();
-  rtm_->set_scope_hooks(rtm_hooks);
-
-  // HLE / CAS backend locks: one line each, after the RTM serial lock.
-  hle_lock_ = std::make_unique<htm::HleLock>(
-      *machine_, mem::kRuntimeRegionBase + 2 * sim::kLineBytes,
-      cfg_.hle_elision_attempts);
-  hle_lock_->init();
-  // Same scoping as RTM: heap allocation tracking per attempt, observer
-  // bracketing for src/check. Lock-path sections seal before the unlock;
-  // elided sections seal through the machine's tx-commit trace hook (the
-  // later scope-commit call is an idempotent backstop).
-  hle_lock_->set_scope_hooks(htm::ScopeHooks{
-      [this] {
-        sim::CtxId c = machine_->current_ctx();
-        heap_->tx_scope_begin(c);
-        if (observer_) observer_->on_unit_begin(c, 0);
-      },
-      [this] {
-        sim::CtxId c = machine_->current_ctx();
-        heap_->tx_scope_commit(c);
-        if (observer_) observer_->on_unit_commit(c);
-      },
-      [this] {
-        sim::CtxId c = machine_->current_ctx();
-        heap_->tx_scope_abort(c);
-        if (observer_) observer_->on_unit_abort(c);
-      },
-  });
-  cas_lock_ = std::make_unique<sync::TasSpinLock>(
-      *machine_, mem::kRuntimeRegionBase + 3 * sim::kLineBytes);
-  cas_lock_->init();
-
-  if (cfg_.backend == Backend::kTinyStm) {
-    stm_ = std::make_unique<stm::TinyStm>(*machine_, mem::kStmRegionBase,
-                                          cfg_.stm);
-  } else if (cfg_.backend == Backend::kTl2) {
-    stm_ = std::make_unique<stm::Tl2>(*machine_, mem::kStmRegionBase, cfg_.stm);
-  }
-  if (stm_) {
-    stm_->init();
-    stm_exec_ = std::make_unique<stm::StmExecutor>(*machine_, *stm_, cfg_.stm);
-    stm_exec_->set_scope_hooks(stm::ScopeHooks{
-        [this] {
-          sim::CtxId c = machine_->current_ctx();
-          heap_->tx_scope_begin(c);
-          if (observer_) observer_->on_unit_begin(c, 0);
-        },
-        [this] { heap_->tx_scope_commit(machine_->current_ctx()); },
-        [this] {
-          sim::CtxId c = machine_->current_ctx();
-          heap_->tx_scope_abort(c);
-          if (observer_) observer_->on_unit_abort(c);
-        },
-    });
-  }
+  exec_ = make_executor(cfg_,
+                        ExecutorEnv{machine_.get(), heap_.get(), &observer_});
 
   for (CtxId i = 0; i < cfg_.threads; ++i) {
     // Distinct, deterministic per-thread workload seeds.
@@ -171,18 +95,6 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 TxRuntime::~TxRuntime() = default;
-
-void TxRuntime::set_observer(TxObserver* obs) {
-  observer_ = obs;
-  if (stm_) {
-    if (obs) {
-      stm_->set_serialize_hook(
-          [this](sim::CtxId c) { observer_->on_unit_commit(c); });
-    } else {
-      stm_->set_serialize_hook({});
-    }
-  }
-}
 
 void TxRuntime::run(const std::function<void(TxCtx&)>& worker) {
   std::vector<std::function<void(TxCtx&)>> workers(cfg_.threads, worker);
@@ -207,8 +119,8 @@ void TxRuntime::mark_measurement_start() {
   mark_stats_ = machine_->snapshot();
   mark_wall_ = machine_->wall();
   mark_core_busy_ = machine_->core_busy_cycles();
-  mark_rtm_ = rtm_->stats();
-  if (stm_) mark_stm_ = stm_->stats();
+  mark_rtm_ = exec_->rtm_stats();
+  mark_stm_ = exec_->stm_stats();
 }
 
 RunReport TxRuntime::report() const {
@@ -222,16 +134,16 @@ RunReport TxRuntime::report() const {
     m0.core_busy_cycles = mark_core_busy_;
     r.machine = diff(end, m0);
     r.wall_cycles = end_wall - mark_wall_;
-    r.rtm = diff(rtm_->stats(), mark_rtm_);
-    if (stm_) r.stm = diff(stm_->stats(), mark_stm_);
+    r.rtm = diff(exec_->rtm_stats(), mark_rtm_);
+    r.stm = diff(exec_->stm_stats(), mark_stm_);
   } else {
     r.machine = end;
     r.wall_cycles = end_wall;
-    r.rtm = rtm_->stats();
-    if (stm_) r.stm = stm_->stats();
+    r.rtm = exec_->rtm_stats();
+    r.stm = exec_->stm_stats();
   }
 
-  r.rtm_sites = rtm_->all_site_stats();
+  r.rtm_sites = exec_->rtm_site_stats();
 
   sim::EnergyModel em(cfg_.machine.energy, cfg_.machine.freq_ghz);
   r.seconds = em.seconds(r.wall_cycles);
@@ -255,95 +167,35 @@ void TxRuntime::execute_atomic(TxCtx& ctx, const std::function<void()>& body,
   } guard{&ctx.in_atomic_};
   ctx.in_atomic_ = true;
 
-  // Observer bracketing for the non-executor backends. The commit call
-  // lands while the section is still protected (before the unlock), so the
-  // recorder's seal order matches the order in which atomic effects became
-  // visible; RTM/STM bracketing is wired through their executors' scope and
-  // serialize hooks instead.
-  switch (cfg_.backend) {
-    case Backend::kSeq:
-      if (observer_) observer_->on_unit_begin(ctx.id_, site);
-      body();
-      if (observer_) observer_->on_unit_commit(ctx.id_);
-      return;
-    case Backend::kLock: {
-      global_lock_->lock();
-      if (observer_) observer_->on_unit_begin(ctx.id_, site);
-      try {
-        body();
-      } catch (...) {
-        if (observer_) observer_->on_unit_abort(ctx.id_);
-        global_lock_->unlock();
-        throw;
-      }
-      if (observer_) observer_->on_unit_commit(ctx.id_);
-      global_lock_->unlock();
-      return;
-    }
-    case Backend::kCas: {
-      cas_lock_->lock();
-      if (observer_) observer_->on_unit_begin(ctx.id_, site);
-      try {
-        body();
-      } catch (...) {
-        if (observer_) observer_->on_unit_abort(ctx.id_);
-        cas_lock_->unlock();
-        throw;
-      }
-      if (observer_) observer_->on_unit_commit(ctx.id_);
-      cas_lock_->unlock();
-      return;
-    }
-    case Backend::kHle:
-      // Heap scoping and observer bracketing ride on the HleLock's scope
-      // hooks (wired in the constructor), which fire per elision attempt.
-      hle_lock_->critical_section(body);
-      return;
-    case Backend::kRtm:
-      rtm_->execute(body, site);
-      return;
-    case Backend::kTinyStm:
-    case Backend::kTl2:
-      stm_exec_->execute(body);
-      return;
-  }
+  // Attempt/retry/fallback structure, heap scoping and observer bracketing
+  // all live behind the executor interface.
+  exec_->execute(body, site);
 }
 
 // ---- TxCtx ----
 
 Word TxCtx::load(Addr a) {
-  if (in_atomic_ && rt_.stm_ && rt_.stm_->tx_active(id_)) {
-    Word v = rt_.stm_->tx_read(id_, a);
-    // Logical STM access stream for src/check (machine-level events inside
-    // an STM transaction are metadata/speculation, which the recorder
-    // suppresses).
-    if (rt_.observer_) rt_.observer_->on_stm_read(id_, a, v);
-    return v;
-  }
+  if (in_atomic_) return rt_.exec_->load(id_, a);
   return rt_.machine_->load(a);
 }
 
 void TxCtx::store(Addr a, Word v) {
-  if (in_atomic_ && rt_.stm_ && rt_.stm_->tx_active(id_)) {
-    // Latch the committed value before tx_write so the recorder can record
-    // the pre-image for the replay's initial state.
-    Word pre = rt_.observer_ ? rt_.machine_->peek(a) : 0;
-    rt_.stm_->tx_write(id_, a, v);
-    if (rt_.observer_) rt_.observer_->on_stm_write(id_, a, v, pre);
+  if (in_atomic_) {
+    rt_.exec_->store(id_, a, v);
     return;
   }
   rt_.machine_->store(a, v);
 }
 
 bool TxCtx::cas(Addr a, Word expected, Word desired) {
-  if (in_atomic_ && rt_.stm_ && rt_.stm_->tx_active(id_)) {
+  if (in_atomic_ && rt_.exec_->stm_active(id_)) {
     throw std::logic_error("raw CAS inside an STM transaction");
   }
   return rt_.machine_->cas(a, expected, desired);
 }
 
 Word TxCtx::fetch_add(Addr a, Word delta) {
-  if (in_atomic_ && rt_.stm_ && rt_.stm_->tx_active(id_)) {
+  if (in_atomic_ && rt_.exec_->stm_active(id_)) {
     throw std::logic_error("raw fetch_add inside an STM transaction");
   }
   return rt_.machine_->fetch_add(a, delta);
@@ -368,8 +220,6 @@ Cycles TxCtx::now() const { return rt_.machine_->now(); }
 
 uint32_t TxCtx::threads() const { return rt_.cfg_.threads; }
 
-bool TxCtx::in_rtm_fallback() const {
-  return rt_.cfg_.backend == Backend::kRtm && rt_.rtm_->in_fallback();
-}
+bool TxCtx::in_rtm_fallback() const { return rt_.exec_->in_serial_fallback(); }
 
 }  // namespace tsx::core

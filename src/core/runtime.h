@@ -25,18 +25,15 @@
 #include <vector>
 
 #include "core/backend.h"
+#include "core/executor.h"
 #include "core/report.h"
+#include "core/retry_policy.h"
 #include "core/trace.h"
-#include "htm/hle.h"
-#include "htm/rtm.h"
 #include "mem/sim_heap.h"
 #include "sim/config.h"
 #include "sim/machine.h"
 #include "sim/rng.h"
 #include "stm/common.h"
-#include "stm/tinystm.h"
-#include "stm/tl2.h"
-#include "sync/spinlock.h"
 
 namespace tsx::core {
 
@@ -49,7 +46,8 @@ struct RunConfig {
   Backend backend = Backend::kSeq;
   uint32_t threads = 1;
   sim::MachineConfig machine{};
-  htm::ExecutorConfig rtm{};
+  // Retry/backoff/fallback knobs for the HTM-first backends (kRtm, kHybrid).
+  RetryPolicy retry{};
   stm::StmConfig stm{};
   mem::HeapConfig heap{};
   uint64_t seed = 42;  // workload-level seed (distinct from machine.seed)
@@ -134,15 +132,15 @@ class TxRuntime {
 
   sim::Machine& machine() { return *machine_; }
   mem::SimHeap& heap() { return *heap_; }
-  htm::RtmExecutor* rtm() { return rtm_.get(); }
-  stm::StmSystem* stm() { return stm_.get(); }
-  htm::HleLock* hle() { return hle_lock_.get(); }
+  // The one concurrency-control executor this runtime dispatches through.
+  TxExecutor& executor() { return *exec_; }
+  const TxExecutor& executor() const { return *exec_; }
 
   // Installs (or clears, with nullptr) the atomic-block observer used by
-  // src/check's history recorder. Call before run(). The observer is also
-  // wired into the STM's serialization hook; machine-level TraceHooks are
-  // the recorder's own responsibility.
-  void set_observer(TxObserver* obs);
+  // src/check's history recorder. Call before run(). Executors read the
+  // observer slot at call time (including from their STM serialize hooks);
+  // machine-level TraceHooks are the recorder's own responsibility.
+  void set_observer(TxObserver* obs) { observer_ = obs; }
 
  private:
   friend class TxCtx;
@@ -153,12 +151,7 @@ class TxRuntime {
   RunConfig cfg_;
   std::unique_ptr<sim::Machine> machine_;
   std::unique_ptr<mem::SimHeap> heap_;
-  std::unique_ptr<sync::TicketSpinLock> global_lock_;
-  std::unique_ptr<htm::RtmExecutor> rtm_;
-  std::unique_ptr<stm::StmSystem> stm_;
-  std::unique_ptr<stm::StmExecutor> stm_exec_;
-  std::unique_ptr<htm::HleLock> hle_lock_;
-  std::unique_ptr<sync::TasSpinLock> cas_lock_;
+  std::unique_ptr<TxExecutor> exec_;
   std::vector<std::unique_ptr<TxCtx>> ctxs_;
   TxObserver* observer_ = nullptr;
   bool ran_ = false;

@@ -51,8 +51,9 @@ AttemptResult attempt(Machine& m, const std::function<void()>& body) {
   return r;
 }
 
-RtmExecutor::RtmExecutor(Machine& m, Addr lock_base, ExecutorConfig cfg)
-    : m_(m), lock_(m, lock_base), cfg_(cfg), lock_line_(sim::line_of(lock_base)) {}
+RtmExecutor::RtmExecutor(Machine& m, Addr lock_base, core::RetryPolicy policy)
+    : m_(m), lock_(m, lock_base), policy_(policy),
+      lock_line_(sim::line_of(lock_base)) {}
 
 void RtmExecutor::init() { lock_.init(); }
 
@@ -119,15 +120,15 @@ void RtmExecutor::execute(const std::function<void()>& body, uint32_t site) {
   ++total_.transactions;
   ++sites_[site_idx].second.transactions;
 
-  int retries = 0;
+  uint32_t retries = 0;
   for (;;) {
     ++retries;
-    if (cfg_.policy == SubscriptionPolicy::kWaitThenSubscribe) {
+    if (policy_.subscription == core::LockSubscription::kWaitThenSubscribe) {
       while (!lock_.read_can_lock()) m_.pause();
     }
     hooks_.on_begin();
     AttemptResult r = attempt(m_, [&] {
-      if (cfg_.policy != SubscriptionPolicy::kNoSubscription) {
+      if (policy_.subscription != core::LockSubscription::kNone) {
         if (!lock_.read_can_lock()) m_.tx_abort(kAbortCodeLockBusy);
       }
       body();
@@ -146,7 +147,11 @@ void RtmExecutor::execute(const std::function<void()>& body, uint32_t site) {
     if (classify(r, lock_line_) == AbortClass::kLock) {
       while (!lock_.read_can_lock()) m_.pause();
     }
-    if (retries >= cfg_.max_retries) break;
+    if (policy_.exhausted(retries)) break;
+    // With the default kNone shape this is 0 and must not reach compute():
+    // an extra scheduling point would perturb deterministic schedules.
+    Cycles wait = policy_.backoff_cycles(retries, m_.setup_rng());
+    if (wait) m_.compute(wait);
   }
 
   // Serial fallback. With kNoSubscription this is unsafe against running

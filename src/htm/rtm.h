@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/retry_policy.h"
 #include "sim/machine.h"
 #include "sim/types.h"
 #include "sync/spinlock.h"
@@ -102,27 +103,16 @@ struct ScopeHooks {
   void on_abort() const { if (abort) abort(); }
 };
 
-// Lock-subscription policies for the fallback (ablation study).
-enum class SubscriptionPolicy : uint8_t {
-  kSubscribeInTx = 0,  // paper's Algorithm 1: read lock inside the tx
-  kWaitThenSubscribe,  // spin for lock-free before xbegin, then subscribe
-  kNoSubscription,     // unsafe in general; provided for the ablation only
-};
-
-struct ExecutorConfig {
-  int max_retries = 8;  // the paper's MAX_RETRIES
-  SubscriptionPolicy policy = SubscriptionPolicy::kSubscribeInTx;
-};
-
 // Algorithm 1: transactional execution with serial-lock fallback. One
 // executor per Machine; all threads share it (its mutable statistics are
 // per-context, merged on demand, so fibers never race on counters — not
-// that they could, single host thread).
+// that they could, single host thread). Attempt budget, backoff shape and
+// lock-subscription mode all come from the core::RetryPolicy.
 class RtmExecutor {
  public:
   // `lock_base` must point at SerialRwLock::kFootprintBytes of simulated
   // memory, line-aligned so the subscription line is exclusive to the lock.
-  RtmExecutor(Machine& m, Addr lock_base, ExecutorConfig cfg = {});
+  RtmExecutor(Machine& m, Addr lock_base, core::RetryPolicy policy = {});
 
   // Host-side initialization of the lock words.
   void init();
@@ -140,6 +130,7 @@ class RtmExecutor {
   bool in_fallback() const;
 
   sync::SerialRwLock& lock() { return lock_; }
+  const core::RetryPolicy& policy() const { return policy_; }
 
   // Aggregate statistics across all contexts / sites.
   RtmStats stats() const;
@@ -160,7 +151,7 @@ class RtmExecutor {
 
   Machine& m_;
   sync::SerialRwLock lock_;
-  ExecutorConfig cfg_;
+  core::RetryPolicy policy_;
   ScopeHooks hooks_;
   uint64_t lock_line_;
   std::array<PerCtx, sim::kMaxCtxs> per_ctx_{};

@@ -39,11 +39,10 @@ void StmExecutor::execute(const std::function<void()>& body) {
     } catch (const StmAborted&) {
       stm_.tx_abort_cleanup(ctx);
       hooks_.on_abort();
-      // Suicide + randomized exponential backoff.
-      uint32_t shift = std::min(attempt_no, cfg_.backoff_cap_shift);
-      uint64_t window = cfg_.backoff_base_cycles << shift;
-      uint64_t jitter = m_.setup_rng().below(window | 1);
-      m_.compute(cfg_.backoff_base_cycles + jitter);
+      // Suicide + policy-shaped backoff (randomized exponential by default;
+      // same rng-draw sequence as the historical inline formula).
+      Cycles wait = policy_.backoff_cycles(attempt_no, m_.setup_rng());
+      if (wait) m_.compute(wait);
     }
   }
 }

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/retry_policy.h"
 #include "sim/machine.h"
 #include "sim/types.h"
 
@@ -193,13 +194,23 @@ struct ScopeHooks {
   void on_abort() const { if (abort) abort(); }
 };
 
-// Retry loop with suicide + randomized exponential backoff.
+// Retry loop with suicide contention management. The wait between attempts
+// is delegated to a core::RetryPolicy (randomized exponential backoff by
+// default, matching TinySTM); the attempt budget is unbounded because an
+// STM has no fallback path — it retries until it commits.
 class StmExecutor {
  public:
-  StmExecutor(Machine& m, StmSystem& stm, StmConfig cfg = {})
-      : m_(m), stm_(stm), cfg_(cfg) {}
+  StmExecutor(Machine& m, StmSystem& stm, StmConfig cfg = {}) : m_(m), stm_(stm) {
+    policy_.max_attempts = 0;  // unbounded: no fallback
+    policy_.subscription = core::LockSubscription::kNone;  // no lock to watch
+    policy_.backoff = core::BackoffShape::kExponential;
+    policy_.backoff_base_cycles = cfg.backoff_base_cycles;
+    policy_.backoff_cap_shift = cfg.backoff_cap_shift;
+  }
 
   void set_scope_hooks(ScopeHooks hooks) { hooks_ = std::move(hooks); }
+
+  const core::RetryPolicy& retry_policy() const { return policy_; }
 
   // Executes `body` as one atomic STM transaction (retrying as needed).
   // The body routes its shared-memory accesses through tx_read/tx_write of
@@ -209,7 +220,7 @@ class StmExecutor {
  private:
   Machine& m_;
   StmSystem& stm_;
-  StmConfig cfg_;
+  core::RetryPolicy policy_;
   ScopeHooks hooks_;
 };
 

@@ -34,6 +34,13 @@ class TinyStm final : public StmSystem {
 
   static uint64_t region_bytes(const StmConfig& cfg);
 
+  // Metadata addresses, exposed for the Hybrid TM executor: hardware
+  // transactions subscribe to the stripe of every accessed word and publish
+  // committed writes by bumping the clock and the written stripes' versions,
+  // so STM validation sees them.
+  Addr clock_addr() const { return clock_addr_; }
+  Addr stripe_addr(Addr data_addr) const { return locks_.lock_addr(data_addr); }
+
  private:
   struct ReadEntry {
     Addr lock_addr;

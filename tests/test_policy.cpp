@@ -1,0 +1,229 @@
+// The core::RetryPolicy seam: attempt budget, backoff shape and
+// lock-subscription mode, exercised both directly and through the public
+// TxExecutor interface (TxRuntime with a kRtm backend).
+
+#include <gtest/gtest.h>
+
+#include "core/retry_policy.h"
+#include "core/runtime.h"
+
+namespace {
+
+using namespace tsx::core;
+using tsx::sim::Addr;
+using tsx::sim::Word;
+
+RunConfig make_cfg(Backend b, uint32_t threads) {
+  RunConfig cfg;
+  cfg.backend = b;
+  cfg.threads = threads;
+  cfg.machine.interrupts_enabled = false;
+  cfg.stm.lock_table_entries = 1u << 14;  // fast init in tests
+  return cfg;
+}
+
+// ---- The policy object itself ----
+
+TEST(RetryPolicy, BudgetExhaustion) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  EXPECT_FALSE(p.unbounded());
+  EXPECT_FALSE(p.exhausted(0));
+  EXPECT_FALSE(p.exhausted(2));
+  EXPECT_TRUE(p.exhausted(3));
+  EXPECT_TRUE(p.exhausted(100));
+
+  p.max_attempts = 0;  // unbounded: no fallback, retry forever
+  EXPECT_TRUE(p.unbounded());
+  EXPECT_FALSE(p.exhausted(1u << 30));
+}
+
+TEST(RetryPolicy, NoBackoffReturnsZeroAndDrawsNoRandomness) {
+  RetryPolicy p;  // default BackoffShape::kNone
+  tsx::sim::Rng used(7), untouched(7);
+  for (uint32_t attempt = 1; attempt < 20; ++attempt) {
+    EXPECT_EQ(p.backoff_cycles(attempt, used), 0u);
+  }
+  // The rng stream was not consumed — critical for schedule determinism of
+  // the default policy.
+  EXPECT_EQ(used.next(), untouched.next());
+}
+
+TEST(RetryPolicy, ExponentialBackoffWindowMonotoneAndCapped) {
+  RetryPolicy p;
+  p.backoff = BackoffShape::kExponential;
+  p.backoff_base_cycles = 120;
+  p.backoff_cap_shift = 6;
+  tsx::sim::Rng rng(99);
+  uint64_t prev_window = 0;
+  for (uint32_t attempt = 1; attempt <= 12; ++attempt) {
+    uint64_t shift = std::min(attempt, p.backoff_cap_shift);
+    uint64_t window = static_cast<uint64_t>(p.backoff_base_cycles) << shift;
+    // The window doubles per attempt until the cap, then freezes: never
+    // shrinks (the monotonicity the contention manager relies on).
+    EXPECT_GE(window, prev_window);
+    if (attempt > p.backoff_cap_shift) {
+      EXPECT_EQ(window, prev_window);
+    }
+    prev_window = window;
+    for (int draw = 0; draw < 32; ++draw) {
+      uint64_t w = p.backoff_cycles(attempt, rng);
+      EXPECT_GE(w, p.backoff_base_cycles);
+      EXPECT_LE(w, p.backoff_base_cycles + window);
+    }
+  }
+}
+
+TEST(RetryPolicy, LinearBackoffGrowsLinearly) {
+  RetryPolicy p;
+  p.backoff = BackoffShape::kLinear;
+  p.backoff_base_cycles = 100;
+  tsx::sim::Rng rng(3);
+  for (uint32_t attempt = 1; attempt <= 8; ++attempt) {
+    for (int draw = 0; draw < 16; ++draw) {
+      uint64_t w = p.backoff_cycles(attempt, rng);
+      EXPECT_GE(w, 100u);
+      EXPECT_LE(w, 100u + 100u * attempt);
+    }
+  }
+}
+
+// ---- Through the public TxExecutor interface ----
+
+TEST(RetryPolicySeam, BudgetExhaustionTakesFallbackAfterExactlyMaxAttempts) {
+  RunConfig cfg = make_cfg(Backend::kRtm, 1);
+  cfg.retry.max_attempts = 2;
+  TxRuntime rt(cfg);
+  Addr data = rt.heap().host_alloc(8, 64);
+  const int txs = 5;
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < txs; ++i) {
+      ctx.transaction([&] {
+        ctx.store(data, ctx.load(data) + 1);
+        if (!ctx.in_rtm_fallback()) {
+          rt.machine().tx_abort(0x1);  // doom every speculative attempt
+        }
+      });
+    }
+  });
+  RunReport r = rt.report();
+  EXPECT_EQ(r.rtm.transactions, static_cast<uint64_t>(txs));
+  EXPECT_EQ(r.rtm.attempts, static_cast<uint64_t>(txs) * 2);  // the budget
+  EXPECT_EQ(r.rtm.commits, 0u);
+  EXPECT_EQ(r.rtm.fallbacks, static_cast<uint64_t>(txs));
+  EXPECT_EQ(rt.machine().peek(data), static_cast<Word>(txs));
+}
+
+TEST(RetryPolicySeam, UnboundedBudgetNeverTakesFallback) {
+  RunConfig cfg = make_cfg(Backend::kRtm, 1);
+  cfg.retry.max_attempts = 0;  // unbounded
+  TxRuntime rt(cfg);
+  Addr data = rt.heap().host_alloc(8, 64);
+  int aborts_left = 3;
+  rt.run([&](TxCtx& ctx) {
+    ctx.transaction([&] {
+      ctx.store(data, ctx.load(data) + 1);
+      if (aborts_left > 0) {
+        --aborts_left;
+        rt.machine().tx_abort(0x1);
+      }
+    });
+  });
+  RunReport r = rt.report();
+  EXPECT_EQ(r.rtm.attempts, 4u);  // 3 aborted + 1 committed
+  EXPECT_EQ(r.rtm.commits, 1u);
+  EXPECT_EQ(r.rtm.fallbacks, 0u);
+  EXPECT_EQ(rt.machine().peek(data), 1u);
+}
+
+TEST(RetryPolicySeam, ExponentialBackoffKeepsRtmCorrect) {
+  RunConfig cfg = make_cfg(Backend::kRtm, 4);
+  cfg.retry.backoff = BackoffShape::kExponential;
+  TxRuntime rt(cfg);
+  Addr counter = rt.heap().host_alloc(8, 64);
+  const int iters = 150;
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < iters; ++i) {
+      ctx.transaction([&] {
+        Word v = ctx.load(counter);
+        ctx.compute(7);
+        ctx.store(counter, v + 1);
+      });
+    }
+  });
+  EXPECT_EQ(rt.machine().peek(counter), 4u * iters);
+}
+
+// One thread repeatedly overflows write capacity (guaranteed fallback) while
+// another runs short increments: the subscription mode decides how the
+// speculative side observes the serial sections.
+class SubscriptionMode : public ::testing::TestWithParam<LockSubscription> {};
+
+TEST_P(SubscriptionMode, FallbackHeavyWorkload) {
+  LockSubscription mode = GetParam();
+  RunConfig cfg = make_cfg(Backend::kRtm, 2);
+  cfg.retry.max_attempts = 2;
+  cfg.retry.subscription = mode;
+  TxRuntime rt(cfg);
+  const int kLines = 700;  // beyond hardware write capacity
+  Addr big = rt.heap().host_alloc(kLines * 64, 64);
+  Addr counter = rt.heap().host_alloc(8, 64);
+  // Thread 1 needs enough iterations to still be issuing transactions while
+  // thread 0 is inside its (long) serial sections; each overflow costs
+  // thread 0 roughly max_attempts*kLines + kLines accesses.
+  const int overflows = 4, iters = 2000;
+  std::vector<std::function<void(TxCtx&)>> workers;
+  workers.emplace_back([&](TxCtx& ctx) {
+    for (int r = 0; r < overflows; ++r) {
+      ctx.transaction([&] {
+        for (int i = 0; i < kLines; ++i) {
+          ctx.store(big + static_cast<Addr>(i) * 64, r);
+        }
+      });
+    }
+  });
+  workers.emplace_back([&](TxCtx& ctx) {
+    for (int i = 0; i < iters; ++i) {
+      ctx.transaction(
+          [&] { ctx.store(counter, ctx.load(counter) + 1); });
+    }
+  });
+  rt.run(std::move(workers));
+
+  RunReport r = rt.report();
+  EXPECT_EQ(r.rtm.fallbacks, static_cast<uint64_t>(overflows));
+  uint64_t lock_aborts =
+      r.rtm.aborts_by_class[static_cast<size_t>(tsx::htm::AbortClass::kLock)];
+  if (mode == LockSubscription::kNone) {
+    // Nothing ever reads the lock line speculatively and nothing aborts
+    // with the lock-busy code, so the lock-abort bucket must stay empty.
+    // (Correctness of the counter is NOT guaranteed in this mode — that is
+    // the point of the ablation — so it is not asserted.)
+    EXPECT_EQ(lock_aborts, 0u);
+  } else {
+    // Subscribed modes keep the counter exact even with serial sections
+    // interleaved.
+    EXPECT_EQ(rt.machine().peek(counter), static_cast<Word>(iters));
+  }
+  if (mode == LockSubscription::kSubscribeInTx) {
+    // In-tx subscription converts overlapping serial sections into
+    // observable lock-class aborts.
+    EXPECT_GT(lock_aborts, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SubscriptionMode,
+    ::testing::Values(LockSubscription::kSubscribeInTx,
+                      LockSubscription::kWaitThenSubscribe,
+                      LockSubscription::kNone),
+    [](const auto& param_info) {
+      switch (param_info.param) {
+        case LockSubscription::kSubscribeInTx: return "SubscribeInTx";
+        case LockSubscription::kWaitThenSubscribe: return "WaitThenSubscribe";
+        case LockSubscription::kNone: return "None";
+      }
+      return "Unknown";
+    });
+
+}  // namespace

@@ -184,7 +184,7 @@ TEST(EnergyModel, AbortedWorkCostsEnergy) {
   // aborting run must burn more energy.
   auto run_with_aborts = [](bool force_aborts) {
     core::RunConfig cfg = cfg_for(Backend::kRtm, 2, 5);
-    cfg.rtm.max_retries = 4;
+    cfg.retry.max_attempts = 4;
     core::TxRuntime rt(cfg);
     Addr data = rt.heap().host_alloc(8, 64);
     rt.run([&](core::TxCtx& ctx) {

@@ -180,7 +180,7 @@ INSTANTIATE_TEST_SUITE_P(Backends, RbTreeConcurrent,
 
 TEST(RbTree, AbortedInsertLeavesTreeUntouched) {
   core::RunConfig cfg = cfg_for(Backend::kRtm, 1);
-  cfg.rtm.max_retries = 1;
+  cfg.retry.max_attempts = 1;
   core::TxRuntime rt(cfg);
   RbTree t = RbTree::create_host(rt);
   rt.run([&](core::TxCtx& ctx) {

@@ -124,7 +124,7 @@ TEST(RtmExecutor, FallbackSerializesAgainstTransactions) {
   Machine m(quiet(), 2);
   m.prefault(kLockBase, 4096);
   m.prefault(kData, 1024 * 1024);
-  RtmExecutor ex(m, kLockBase, ExecutorConfig{.max_retries = 2});
+  RtmExecutor ex(m, kLockBase, tsx::core::RetryPolicy{.max_attempts = 2});
   ex.init();
   m.set_thread(0, [&] {
     for (int r = 0; r < 5; ++r) {

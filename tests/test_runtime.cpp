@@ -42,7 +42,8 @@ TEST_P(BackendCounter, SharedCounterIsExact) {
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendCounter,
     ::testing::Combine(::testing::Values(Backend::kLock, Backend::kRtm,
-                                         Backend::kTinyStm, Backend::kTl2),
+                                         Backend::kTinyStm, Backend::kTl2,
+                                         Backend::kHybrid),
                        ::testing::Values(1u, 2u, 4u, 8u)),
     [](const auto& info) {
       return std::string(backend_name(std::get<0>(info.param))) + "_" +
@@ -127,7 +128,7 @@ TEST(TxRuntime, NestedTransactionsFlatten) {
 
 TEST(TxRuntime, MallocInsideAbortedRtmTxIsReclaimed) {
   RunConfig cfg = make_cfg(Backend::kRtm, 1);
-  cfg.rtm.max_retries = 1;
+  cfg.retry.max_attempts = 1;
   TxRuntime rt(cfg);
   Addr data = rt.heap().host_alloc(8, 64);
   uint64_t allocs_live_before = 0;
