@@ -12,6 +12,7 @@
 #include "check/checker.h"
 #include "check/history.h"
 #include "core/runtime.h"
+#include "harness/runner.h"
 #include "util/flags.h"
 #include "util/summary.h"
 #include "util/table.h"
@@ -20,32 +21,65 @@ namespace tsx::bench {
 
 // Standard bench flags: --reps (seeds averaged), --csv, --fast (smaller
 // workloads for smoke runs), --verify (record every simulated access and
-// check each run for serializability via src/check — slower, opt-in).
+// check each run for serializability via src/check — slower, opt-in),
+// --jobs N (host threads for the sweep harness; 0/default = all cores,
+// 1 = the exact serial path; stdout is byte-identical for every N),
+// --manifest[=FILE] (JSON run manifest to FILE, or stderr when bare).
 struct BenchArgs {
   int reps = 2;
   bool csv = false;
   bool fast = false;
   bool verify = false;
+  int jobs = 0;
+  std::string manifest;
 
+  // Exits 2 with a message on stderr for any usage error (malformed value,
+  // duplicate/unknown flag, stray positional) — drivers never see a throw.
   static BenchArgs parse(int argc, char** argv) {
-    util::Flags flags(argc, argv);
-    BenchArgs a;
-    a.reps = static_cast<int>(flags.get_int("reps", 2));
-    a.csv = flags.get_bool("csv", false);
-    a.fast = flags.get_bool("fast", false);
-    a.verify = flags.get_bool("verify", false);
-    auto un = flags.unconsumed();
-    if (!un.empty()) {
-      std::string msg = un.size() == 1 ? "unknown flag " : "unknown flags ";
-      for (size_t i = 0; i < un.size(); ++i) {
-        if (i) msg += ", ";
-        msg += "--" + un[i];
+    try {
+      util::Flags flags(argc, argv);
+      BenchArgs a;
+      a.reps = static_cast<int>(flags.get_int("reps", 2));
+      a.csv = flags.get_bool("csv", false);
+      a.fast = flags.get_bool("fast", false);
+      a.verify = flags.get_bool("verify", false);
+      a.jobs = static_cast<int>(flags.get_int("jobs", 0));
+      if (a.jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
+      a.manifest = flags.get_string("manifest", "");
+      auto un = flags.unconsumed();
+      if (!un.empty()) {
+        std::string msg = un.size() == 1 ? "unknown flag " : "unknown flags ";
+        for (size_t i = 0; i < un.size(); ++i) {
+          if (i) msg += ", ";
+          msg += "--" + un[i];
+        }
+        throw std::invalid_argument(msg);
       }
-      throw std::invalid_argument(msg);
+      auto pos = flags.positional();
+      if (!pos.empty()) {
+        throw std::invalid_argument("unexpected argument '" + pos[0] +
+                                    "' (benches take no positional arguments)");
+      }
+      return a;
+    } catch (const std::invalid_argument& e) {
+      std::cerr << argv[0] << ": " << e.what() << "\n";
+      std::exit(2);
     }
-    return a;
   }
 };
+
+// Builds the Runner options for a driver's sweep: thread count and manifest
+// destination from the flags, bench id and config digest from the driver.
+inline harness::RunnerOptions runner_options(const BenchArgs& args,
+                                             const std::string& bench_id,
+                                             uint64_t config_digest) {
+  harness::RunnerOptions opt;
+  opt.jobs = static_cast<unsigned>(args.jobs);
+  opt.bench_id = bench_id;
+  opt.config_digest = config_digest;
+  opt.manifest = args.manifest;
+  return opt;
+}
 
 // Opt-in history verification for benches that own their TxRuntime:
 // construct (with args.verify) before rt.run(), call check() after. On a

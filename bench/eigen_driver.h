@@ -29,30 +29,113 @@ inline core::RunConfig eigen_run_cfg(core::Backend b, uint32_t threads,
   return cfg;
 }
 
+// One rep of one (backend, threads, config) cell: the backend run plus its
+// SEQ/1-thread baseline with the same per-thread workload and seed. This is
+// the unit of work the parallel sweep harness shards across host cores —
+// each call builds its own TxRuntime/Machine pair and shares nothing.
+inline EigenPoint eigen_rep(core::Backend backend, uint32_t threads,
+                            const eigenbench::EigenConfig& eb, uint64_t seed) {
+  auto seq = eigenbench::run(eigen_run_cfg(core::Backend::kSeq, 1, seed), eb);
+  auto run = eigenbench::run(eigen_run_cfg(backend, threads, seed), eb);
+  // The parallel run does `threads` times the sequential per-thread work,
+  // so speedup = threads * t_seq / t_par (the paper normalizes to the
+  // sequential execution of the same total work).
+  double work_ratio = static_cast<double>(threads);
+  EigenPoint p;
+  p.speedup = work_ratio * static_cast<double>(seq.report.wall_cycles) /
+              static_cast<double>(run.report.wall_cycles);
+  p.energy_eff = work_ratio * seq.report.joules() / run.report.joules();
+  p.abort_rate = backend == core::Backend::kRtm ? run.report.rtm.abort_rate()
+                                                : run.report.stm.abort_rate();
+  return p;
+}
+
 // Runs `eb` under `backend`/`threads` and under SEQ/1-thread with the same
-// per-thread workload, averaged over `reps` seeds.
+// per-thread workload, averaged over `reps` seeds (serial; the sweep
+// drivers go through eigen_points instead).
 inline EigenPoint eigen_point(core::Backend backend, uint32_t threads,
                               const eigenbench::EigenConfig& eb, int reps,
                               uint64_t seed0 = 7000) {
   std::vector<double> sp, ee, ar;
   for (int rep = 0; rep < reps; ++rep) {
-    uint64_t seed = seed0 + rep;
-    auto seq = eigenbench::run(
-        eigen_run_cfg(core::Backend::kSeq, 1, seed), eb);
-    auto run = eigenbench::run(eigen_run_cfg(backend, threads, seed), eb);
-    // The parallel run does `threads` times the sequential per-thread work,
-    // so speedup = threads * t_seq / t_par (the paper normalizes to the
-    // sequential execution of the same total work).
-    double work_ratio = static_cast<double>(threads);
-    sp.push_back(work_ratio *
-                 static_cast<double>(seq.report.wall_cycles) /
-                 static_cast<double>(run.report.wall_cycles));
-    ee.push_back(work_ratio * seq.report.joules() / run.report.joules());
-    ar.push_back(backend == core::Backend::kRtm
-                     ? run.report.rtm.abort_rate()
-                     : run.report.stm.abort_rate());
+    EigenPoint p = eigen_rep(backend, threads, eb, seed0 + rep);
+    sp.push_back(p.speedup);
+    ee.push_back(p.energy_eff);
+    ar.push_back(p.abort_rate);
   }
   return {util::mean(sp), util::mean(ee), util::mean(ar)};
+}
+
+// One cell of a figure's sweep grid: a backend/thread-count to measure under
+// a fixed Eigenbench configuration.
+struct EigenTask {
+  core::Backend backend = core::Backend::kRtm;
+  uint32_t threads = 4;
+  eigenbench::EigenConfig eb;
+  uint64_t seed0 = 7000;
+};
+
+inline void digest_eigen_task(harness::Digest& d, const EigenTask& t) {
+  d.add(static_cast<uint64_t>(t.backend));
+  d.add(t.threads);
+  d.add(t.seed0);
+  const eigenbench::EigenConfig& e = t.eb;
+  d.add(e.loops);
+  d.add(e.reads_mild);
+  d.add(e.writes_mild);
+  d.add(e.ws_bytes);
+  d.add(e.reads_hot);
+  d.add(e.writes_hot);
+  d.add(e.hot_bytes);
+  d.add(e.reads_cold);
+  d.add(e.writes_cold);
+  d.add(e.cold_bytes);
+  d.add(e.nops_in_tx);
+  d.add(e.nops_out_tx);
+  d.add(e.locality);
+}
+
+// Computes every task (x reps) through the parallel sweep harness; returns
+// one averaged EigenPoint per task, in task order. Results are aggregated
+// in (task, rep) index order, so the output — including floating-point
+// summation order — is byte-identical for any --jobs value.
+inline std::vector<EigenPoint> eigen_points(const std::string& bench_id,
+                                            const std::vector<EigenTask>& tasks,
+                                            const BenchArgs& args) {
+  const size_t reps = static_cast<size_t>(args.reps);
+  harness::Digest dig;
+  dig.add(static_cast<uint64_t>(reps));
+  for (const EigenTask& t : tasks) digest_eigen_task(dig, t);
+
+  harness::Runner runner(runner_options(args, bench_id, dig.value()));
+  std::vector<EigenPoint> samples = runner.map<EigenPoint>(
+      tasks.size() * reps,
+      [&](size_t i) {
+        const EigenTask& t = tasks[i / reps];
+        return eigen_rep(t.backend, t.threads, t.eb, t.seed0 + i % reps);
+      },
+      [&](size_t i) {
+        const EigenTask& t = tasks[i / reps];
+        harness::Job j;
+        j.seed = t.seed0 + i % reps;
+        j.label = bench_id + ":task" + std::to_string(i / reps) + ":" +
+                  core::backend_name(t.backend) + ":rep" +
+                  std::to_string(i % reps);
+        return j;
+      });
+
+  std::vector<EigenPoint> out(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    std::vector<double> sp, ee, ar;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      const EigenPoint& p = samples[t * reps + rep];
+      sp.push_back(p.speedup);
+      ee.push_back(p.energy_eff);
+      ar.push_back(p.abort_rate);
+    }
+    out[t] = {util::mean(sp), util::mean(ee), util::mean(ar)};
+  }
+  return out;
 }
 
 // The paper's default eigenbench setup (§III-B): 100 accesses per tx
@@ -72,6 +155,40 @@ struct EigenRow {
   std::string x_label;
   EigenPoint rtm_small, rtm_medium, stm_small;
 };
+
+// One x-axis point of a standard three-config figure: the base EigenConfig
+// (ws_bytes is overridden to 16K/256K per column) at a thread count.
+struct EigenRowSpec {
+  std::string x_label;
+  uint32_t threads = 4;
+  eigenbench::EigenConfig eb;
+};
+
+// Expands each spec into its RTM-16K / TinySTM-16K / RTM-256K cells, runs
+// the whole grid through the sweep harness, and returns the assembled rows
+// in spec order.
+inline std::vector<EigenRow> eigen_rows(const std::string& bench_id,
+                                        const std::vector<EigenRowSpec>& specs,
+                                        const BenchArgs& args) {
+  std::vector<EigenTask> tasks;
+  for (const EigenRowSpec& s : specs) {
+    eigenbench::EigenConfig eb = s.eb;
+    eb.ws_bytes = 16 * 1024;
+    tasks.push_back({core::Backend::kRtm, s.threads, eb, 7000});
+    tasks.push_back({core::Backend::kTinyStm, s.threads, eb, 7000});
+    eb.ws_bytes = 256 * 1024;
+    tasks.push_back({core::Backend::kRtm, s.threads, eb, 7000});
+  }
+  std::vector<EigenPoint> points = eigen_points(bench_id, tasks, args);
+  std::vector<EigenRow> rows(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    rows[i].x_label = specs[i].x_label;
+    rows[i].rtm_small = points[3 * i];
+    rows[i].stm_small = points[3 * i + 1];
+    rows[i].rtm_medium = points[3 * i + 2];
+  }
+  return rows;
+}
 
 inline void print_eigen_table(const std::string& x_name,
                               const std::vector<EigenRow>& rows,

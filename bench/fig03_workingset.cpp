@@ -24,16 +24,27 @@ int main(int argc, char** argv) {
     ws_bytes = {8ull << 10, 256ull << 10, 4ull << 20, 16ull << 20};
   }
 
-  util::Table t({"WS/thread", "RTM speedup", "TinySTM speedup",
-                 "RTM energy-eff", "TinySTM energy-eff", "RTM aborts",
-                 "TinySTM aborts"});
+  // Sweep grid: per working-set size, an RTM and a TinySTM cell. All
+  // (cell x rep) runs are independent simulations — the harness shards them
+  // across host cores (--jobs) and returns points in grid order.
+  std::vector<EigenTask> tasks;
   for (uint64_t ws : ws_bytes) {
     eigenbench::EigenConfig eb = paper_default_eb(args.fast ? 120 : 250);
     eb.ws_bytes = ws;
     // Keep total accesses constant across sizes (loops fixed): larger sets
     // are colder, exactly the effect under study.
-    EigenPoint rtm = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
-    EigenPoint stm = eigen_point(core::Backend::kTinyStm, 4, eb, args.reps);
+    tasks.push_back({core::Backend::kRtm, 4, eb, 7000});
+    tasks.push_back({core::Backend::kTinyStm, 4, eb, 7000});
+  }
+  std::vector<EigenPoint> points = eigen_points("fig03_workingset", tasks, args);
+
+  util::Table t({"WS/thread", "RTM speedup", "TinySTM speedup",
+                 "RTM energy-eff", "TinySTM energy-eff", "RTM aborts",
+                 "TinySTM aborts"});
+  for (size_t i = 0; i < ws_bytes.size(); ++i) {
+    uint64_t ws = ws_bytes[i];
+    const EigenPoint& rtm = points[2 * i];
+    const EigenPoint& stm = points[2 * i + 1];
     std::string label = ws >= (1 << 20)
                             ? std::to_string(ws >> 20) + "M"
                             : std::to_string(ws >> 10) + "K";

@@ -20,21 +20,13 @@ int main(int argc, char** argv) {
   std::vector<uint32_t> lengths = {10, 40, 100, 160, 280, 400, 520};
   if (args.fast) lengths = {10, 100, 280, 520};
 
-  std::vector<EigenRow> rows;
+  std::vector<EigenRowSpec> specs;
   for (uint32_t len : lengths) {
     eigenbench::EigenConfig eb = paper_default_eb(args.fast ? 100 : 200);
     eb.reads_mild = len * 9 / 10;
     eb.writes_mild = len - eb.reads_mild;
-
-    EigenRow row;
-    row.x_label = std::to_string(len);
-    eb.ws_bytes = 16 * 1024;
-    row.rtm_small = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
-    row.stm_small = eigen_point(core::Backend::kTinyStm, 4, eb, args.reps);
-    eb.ws_bytes = 256 * 1024;
-    row.rtm_medium = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
-    rows.push_back(row);
+    specs.push_back({std::to_string(len), 4, eb});
   }
-  print_eigen_table("tx length", rows, args);
+  print_eigen_table("tx length", eigen_rows("fig04_txlen", specs, args), args);
   return 0;
 }

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   std::vector<double> pollution = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
   if (args.fast) pollution = {0.0, 0.4, 1.0};
 
-  std::vector<EigenRow> rows;
+  std::vector<EigenRowSpec> specs;
   for (double p : pollution) {
     eigenbench::EigenConfig eb = paper_default_eb(args.fast ? 100 : 200);
     // 280 accesses: at the 256K working set this sits at the L1-pressure
@@ -27,16 +27,9 @@ int main(int argc, char** argv) {
     uint32_t len = 280;
     eb.writes_mild = static_cast<uint32_t>(len * p + 0.5);
     eb.reads_mild = len - eb.writes_mild;
-
-    EigenRow row;
-    row.x_label = util::Table::fmt(p, 1);
-    eb.ws_bytes = 16 * 1024;
-    row.rtm_small = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
-    row.stm_small = eigen_point(core::Backend::kTinyStm, 4, eb, args.reps);
-    eb.ws_bytes = 256 * 1024;
-    row.rtm_medium = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
-    rows.push_back(row);
+    specs.push_back({util::Table::fmt(p, 1), 4, eb});
   }
-  print_eigen_table("pollution", rows, args);
+  print_eigen_table("pollution", eigen_rows("fig05_pollution", specs, args),
+                    args);
   return 0;
 }

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   std::vector<double> locality = {0.0, 0.2, 0.4, 0.6, 0.8, 0.95};
   if (args.fast) locality = {0.0, 0.5, 0.95};
 
-  std::vector<EigenRow> rows;
+  std::vector<EigenRowSpec> specs;
   for (double l : locality) {
     eigenbench::EigenConfig eb = paper_default_eb(args.fast ? 100 : 200);
     // 280 accesses, like Fig. 5: with the 256K working set at the L1 edge,
@@ -28,16 +28,9 @@ int main(int argc, char** argv) {
     eb.reads_mild = 252;
     eb.writes_mild = 28;
     eb.locality = l;
-
-    EigenRow row;
-    row.x_label = util::Table::fmt(l, 2);
-    eb.ws_bytes = 16 * 1024;
-    row.rtm_small = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
-    row.stm_small = eigen_point(core::Backend::kTinyStm, 4, eb, args.reps);
-    eb.ws_bytes = 256 * 1024;
-    row.rtm_medium = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
-    rows.push_back(row);
+    specs.push_back({util::Table::fmt(l, 2), 4, eb});
   }
-  print_eigen_table("locality", rows, args);
+  print_eigen_table("locality", eigen_rows("fig06_locality", specs, args),
+                    args);
   return 0;
 }

@@ -30,9 +30,7 @@ int main(int argc, char** argv) {
   if (args.fast) hot_bytes = {16ull << 20, 256ull << 10, 16ull << 10};
 
   const uint32_t threads = 4;
-  util::Table t({"P(conflict) word", "P(conflict) line", "RTM speedup",
-                 "TinySTM speedup", "RTM energy-eff", "TinySTM energy-eff",
-                 "RTM aborts", "TinySTM aborts"});
+  std::vector<EigenTask> tasks;
   for (uint64_t hot : hot_bytes) {
     eigenbench::EigenConfig eb = paper_default_eb(args.fast ? 100 : 200);
     eb.ws_bytes = 64 * 1024;  // per-thread private remainder (warmed)
@@ -41,14 +39,23 @@ int main(int argc, char** argv) {
     eb.reads_hot = 90;
     eb.writes_hot = 10;
     eb.hot_bytes = hot;
+    tasks.push_back({core::Backend::kRtm, threads, eb, 7000});
+    tasks.push_back({core::Backend::kTinyStm, threads, eb, 7000});
+  }
+  std::vector<EigenPoint> points = eigen_points("fig07_contention", tasks, args);
 
+  util::Table t({"P(conflict) word", "P(conflict) line", "RTM speedup",
+                 "TinySTM speedup", "RTM energy-eff", "TinySTM energy-eff",
+                 "RTM aborts", "TinySTM aborts"});
+  for (size_t i = 0; i < hot_bytes.size(); ++i) {
+    uint64_t hot = hot_bytes[i];
+    const eigenbench::EigenConfig& eb = tasks[2 * i].eb;
     double p_word = eigenbench::conflict_probability(
         threads, eb.reads_hot, eb.writes_hot, hot / 8);
     double p_line = eigenbench::conflict_probability_lines(
         threads, eb.reads_hot, eb.writes_hot, hot);
-    EigenPoint rtm = eigen_point(core::Backend::kRtm, threads, eb, args.reps);
-    EigenPoint stm =
-        eigen_point(core::Backend::kTinyStm, threads, eb, args.reps);
+    const EigenPoint& rtm = points[2 * i];
+    const EigenPoint& stm = points[2 * i + 1];
     t.add_row({util::Table::fmt(p_word, 4), util::Table::fmt(p_line, 4),
                util::Table::fmt(rtm.speedup, 2),
                util::Table::fmt(stm.speedup, 2),

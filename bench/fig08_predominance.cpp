@@ -20,9 +20,7 @@ int main(int argc, char** argv) {
                                       0.625, 0.75, 0.875};
   if (args.fast) predominance = {0.125, 0.5, 0.875};
 
-  util::Table t({"predominance", "RTM speedup", "TinySTM speedup",
-                 "RTM energy-eff", "TinySTM energy-eff", "RTM aborts",
-                 "TinySTM aborts"});
+  std::vector<EigenTask> tasks;
   for (double p : predominance) {
     eigenbench::EigenConfig eb = paper_default_eb(args.fast ? 100 : 200);
     eb.ws_bytes = 256 * 1024;  // paper: larger working set for this analysis
@@ -33,9 +31,19 @@ int main(int argc, char** argv) {
     uint32_t out_ops = static_cast<uint32_t>(tx_ops * (1.0 - p) / p + 0.5);
     eb.reads_cold = out_ops * 9 / 10;
     eb.writes_cold = out_ops - eb.reads_cold;
+    tasks.push_back({core::Backend::kRtm, 4, eb, 7000});
+    tasks.push_back({core::Backend::kTinyStm, 4, eb, 7000});
+  }
+  std::vector<EigenPoint> points =
+      eigen_points("fig08_predominance", tasks, args);
 
-    EigenPoint rtm = eigen_point(core::Backend::kRtm, 4, eb, args.reps);
-    EigenPoint stm = eigen_point(core::Backend::kTinyStm, 4, eb, args.reps);
+  util::Table t({"predominance", "RTM speedup", "TinySTM speedup",
+                 "RTM energy-eff", "TinySTM energy-eff", "RTM aborts",
+                 "TinySTM aborts"});
+  for (size_t i = 0; i < predominance.size(); ++i) {
+    double p = predominance[i];
+    const EigenPoint& rtm = points[2 * i];
+    const EigenPoint& stm = points[2 * i + 1];
     t.add_row({util::Table::fmt(p, 3), util::Table::fmt(rtm.speedup, 2),
                util::Table::fmt(stm.speedup, 2),
                util::Table::fmt(rtm.energy_eff, 2),

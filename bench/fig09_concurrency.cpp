@@ -19,19 +19,12 @@ int main(int argc, char** argv) {
 
   std::vector<uint32_t> threads = {1, 2, 4, 8};
 
-  std::vector<EigenRow> rows;
+  std::vector<EigenRowSpec> specs;
   for (uint32_t n : threads) {
     eigenbench::EigenConfig eb = paper_default_eb(args.fast ? 100 : 200);
-
-    EigenRow row;
-    row.x_label = std::to_string(n);
-    eb.ws_bytes = 16 * 1024;
-    row.rtm_small = eigen_point(core::Backend::kRtm, n, eb, args.reps);
-    row.stm_small = eigen_point(core::Backend::kTinyStm, n, eb, args.reps);
-    eb.ws_bytes = 256 * 1024;
-    row.rtm_medium = eigen_point(core::Backend::kRtm, n, eb, args.reps);
-    rows.push_back(row);
+    specs.push_back({std::to_string(n), n, eb});
   }
-  print_eigen_table("threads", rows, args);
+  print_eigen_table("threads", eigen_rows("fig09_concurrency", specs, args),
+                    args);
   return 0;
 }

@@ -16,16 +16,22 @@ int main(int argc, char** argv) {
                "lower is better; see per-app shapes in the paper's §IV");
 
   std::vector<uint32_t> threads = {1, 2, 4, 8};
-  util::Table t({"app", "system", "1t", "2t", "4t", "8t"});
+  std::vector<StampTask> tasks;
   for (const auto& app : stamp_apps()) {
     for (core::Backend b : {core::Backend::kRtm, core::Backend::kTinyStm}) {
-      std::vector<std::string> row{app.name, core::backend_name(b)};
-      for (uint32_t n : threads) {
-        StampCell cell = stamp_cell(app, b, n, args);
-        row.push_back(util::Table::fmt(cell.norm_time, 2));
-      }
-      t.add_row(row);
+      for (uint32_t n : threads) tasks.push_back({app, b, n, 9000});
     }
+  }
+  std::vector<StampCell> cells = stamp_cells("fig10_stamp_perf", tasks, args);
+
+  util::Table t({"app", "system", "1t", "2t", "4t", "8t"});
+  for (size_t i = 0; i < tasks.size(); i += threads.size()) {
+    std::vector<std::string> row{tasks[i].app.name,
+                                 core::backend_name(tasks[i].backend)};
+    for (size_t k = 0; k < threads.size(); ++k) {
+      row.push_back(util::Table::fmt(cells[i + k].norm_time, 2));
+    }
+    t.add_row(row);
   }
   emit(t, args);
   std::cout << "All runs validated their final application state.\n";

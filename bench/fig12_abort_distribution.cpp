@@ -20,26 +20,31 @@ int main(int argc, char** argv) {
                "thread count");
 
   std::vector<uint32_t> threads = {1, 2, 4, 8};
-  util::Table t({"app", "threads", "abort rate", "confl/read-cap",
-                 "write-cap", "lock", "misc3", "misc5"});
+  std::vector<StampTask> tasks;
   for (const auto& app : stamp_apps()) {
     for (uint32_t n : threads) {
-      StampCell cell = stamp_cell(app, core::Backend::kRtm, n, args);
-      const htm::RtmStats& s = cell.result.report.rtm;
-      double attempts = static_cast<double>(std::max<uint64_t>(s.attempts, 1));
-      auto share = [&](htm::AbortClass c) {
-        return static_cast<double>(
-                   s.aborts_by_class[static_cast<size_t>(c)]) /
-               attempts;
-      };
-      t.add_row({app.name, std::to_string(n),
-                 util::Table::fmt(s.abort_rate(), 3),
-                 util::Table::fmt(share(htm::AbortClass::kConflictOrReadCap), 3),
-                 util::Table::fmt(share(htm::AbortClass::kWriteCapacity), 3),
-                 util::Table::fmt(share(htm::AbortClass::kLock), 3),
-                 util::Table::fmt(share(htm::AbortClass::kMisc3), 3),
-                 util::Table::fmt(share(htm::AbortClass::kMisc5), 3)});
+      tasks.push_back({app, core::Backend::kRtm, n, 9000});
     }
+  }
+  std::vector<StampCell> cells =
+      stamp_cells("fig12_abort_distribution", tasks, args);
+
+  util::Table t({"app", "threads", "abort rate", "confl/read-cap",
+                 "write-cap", "lock", "misc3", "misc5"});
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const htm::RtmStats& s = cells[i].result.report.rtm;
+    double attempts = static_cast<double>(std::max<uint64_t>(s.attempts, 1));
+    auto share = [&](htm::AbortClass c) {
+      return static_cast<double>(s.aborts_by_class[static_cast<size_t>(c)]) /
+             attempts;
+    };
+    t.add_row({tasks[i].app.name, std::to_string(tasks[i].threads),
+               util::Table::fmt(s.abort_rate(), 3),
+               util::Table::fmt(share(htm::AbortClass::kConflictOrReadCap), 3),
+               util::Table::fmt(share(htm::AbortClass::kWriteCapacity), 3),
+               util::Table::fmt(share(htm::AbortClass::kLock), 3),
+               util::Table::fmt(share(htm::AbortClass::kMisc3), 3),
+               util::Table::fmt(share(htm::AbortClass::kMisc5), 3)});
   }
   emit(t, args);
   std::cout

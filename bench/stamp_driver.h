@@ -141,33 +141,110 @@ struct StampCell {
   stamp::AppResult result;
 };
 
+// One rep of one (app, backend, threads) cell: the backend run plus its
+// SEQ/1-thread baseline with the same seed. Each call owns two fresh
+// TxRuntime instances, so reps can run concurrently on host threads.
+struct StampRep {
+  double norm_time = 0;
+  double norm_energy = 0;
+  stamp::AppResult result;
+};
+
+inline StampRep stamp_rep(const StampApp& app, core::Backend backend,
+                          uint32_t threads, bool fast, uint64_t seed) {
+  auto seq = app.run(core::Backend::kSeq, 1, seed, fast);
+  auto run = app.run(backend, threads, seed, fast);
+  if (!seq.valid) {
+    throw std::runtime_error(app.name + " SEQ invalid: " +
+                             seq.validation_message);
+  }
+  if (!run.valid) {
+    throw std::runtime_error(app.name + " invalid: " + run.validation_message);
+  }
+  StampRep r;
+  r.norm_time = static_cast<double>(run.report.wall_cycles) /
+                static_cast<double>(seq.report.wall_cycles);
+  r.norm_energy = run.report.joules() / seq.report.joules();
+  r.result = run;
+  return r;
+}
+
 // Runs one (app, backend, threads) cell, normalized to a SEQ 1-thread run
-// with the same seed, averaged over reps.
+// with the same seed, averaged over reps (serial; the figure drivers sweep
+// whole grids through stamp_cells instead).
 inline StampCell stamp_cell(const StampApp& app, core::Backend backend,
                             uint32_t threads, const BenchArgs& args,
                             uint64_t seed0 = 9000) {
   std::vector<double> nt, ne;
   StampCell cell;
   for (int rep = 0; rep < args.reps; ++rep) {
-    uint64_t seed = seed0 + rep;
-    auto seq = app.run(core::Backend::kSeq, 1, seed, args.fast);
-    auto run = app.run(backend, threads, seed, args.fast);
-    if (!seq.valid) {
-      throw std::runtime_error(app.name + " SEQ invalid: " +
-                               seq.validation_message);
-    }
-    if (!run.valid) {
-      throw std::runtime_error(app.name + " invalid: " +
-                               run.validation_message);
-    }
-    nt.push_back(static_cast<double>(run.report.wall_cycles) /
-                 static_cast<double>(seq.report.wall_cycles));
-    ne.push_back(run.report.joules() / seq.report.joules());
-    cell.result = run;
+    StampRep r = stamp_rep(app, backend, threads, args.fast, seed0 + rep);
+    nt.push_back(r.norm_time);
+    ne.push_back(r.norm_energy);
+    cell.result = r.result;
   }
   cell.norm_time = util::mean(nt);
   cell.norm_energy = util::mean(ne);
   return cell;
+}
+
+// One cell of a STAMP figure's sweep grid.
+struct StampTask {
+  StampApp app;
+  core::Backend backend = core::Backend::kRtm;
+  uint32_t threads = 1;
+  uint64_t seed0 = 9000;
+};
+
+// Computes every task (x reps) through the parallel sweep harness; returns
+// one averaged StampCell per task, in task order. Per-task aggregation runs
+// in rep order, so output is byte-identical for any --jobs value.
+inline std::vector<StampCell> stamp_cells(const std::string& bench_id,
+                                          const std::vector<StampTask>& tasks,
+                                          const BenchArgs& args) {
+  const size_t reps = static_cast<size_t>(args.reps);
+  harness::Digest dig;
+  dig.add(static_cast<uint64_t>(reps));
+  dig.add(static_cast<uint64_t>(args.fast));
+  for (const StampTask& t : tasks) {
+    dig.add(t.app.name);
+    dig.add(static_cast<uint64_t>(t.backend));
+    dig.add(t.threads);
+    dig.add(t.seed0);
+  }
+
+  harness::Runner runner(runner_options(args, bench_id, dig.value()));
+  std::vector<StampRep> samples = runner.map<StampRep>(
+      tasks.size() * reps,
+      [&](size_t i) {
+        const StampTask& t = tasks[i / reps];
+        return stamp_rep(t.app, t.backend, t.threads, args.fast,
+                         t.seed0 + i % reps);
+      },
+      [&](size_t i) {
+        const StampTask& t = tasks[i / reps];
+        harness::Job j;
+        j.seed = t.seed0 + i % reps;
+        j.label = bench_id + ":" + t.app.name + ":" +
+                  core::backend_name(t.backend) + ":" +
+                  std::to_string(t.threads) + "t:rep" +
+                  std::to_string(i % reps);
+        return j;
+      });
+
+  std::vector<StampCell> out(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    std::vector<double> nt, ne;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      const StampRep& r = samples[t * reps + rep];
+      nt.push_back(r.norm_time);
+      ne.push_back(r.norm_energy);
+      out[t].result = r.result;
+    }
+    out[t].norm_time = util::mean(nt);
+    out[t].norm_energy = util::mean(ne);
+  }
+  return out;
 }
 
 }  // namespace tsx::bench

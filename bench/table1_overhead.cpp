@@ -93,26 +93,69 @@ int main(int argc, char** argv) {
       {"high", 4, 0, false},
   };
 
-  util::Table t({"contention", "None", "Lock", "CAS", "RTM"});
-  for (const auto& row : rows) {
-    double none = 0, lck = 0, cas = 0, rtm = 0;
+  // One job per (contention row, rep, sync variant) — every drain is an
+  // independent simulation. The grid is laid out in the serial nesting
+  // order (row -> rep -> sync), and sums are accumulated in that same order
+  // after the harness returns, so stdout is byte-identical for any --jobs.
+  struct Cell {
+    size_t row;
+    int rep;
+    Sync sync;
+    const char* sync_name;
+  };
+  std::vector<Cell> grid;
+  for (size_t r = 0; r < rows.size(); ++r) {
     for (int rep = 0; rep < args.reps; ++rep) {
-      uint64_t seed = 5000 + rep;
-      if (row.include_none) {
-        none += drain_cycles(Sync::kNone, row.threads, elements,
-                             row.local_work, seed);
-      }
-      lck += drain_cycles(Sync::kLock, row.threads, elements, row.local_work,
-                          seed);
-      cas += drain_cycles(Sync::kCas, row.threads, elements, row.local_work,
-                          seed);
-      rtm += drain_cycles(Sync::kRtm, row.threads, elements, row.local_work,
-                          seed);
+      if (rows[r].include_none) grid.push_back({r, rep, Sync::kNone, "none"});
+      grid.push_back({r, rep, Sync::kLock, "lock"});
+      grid.push_back({r, rep, Sync::kCas, "cas"});
+      grid.push_back({r, rep, Sync::kRtm, "rtm"});
     }
-    t.add_row({row.name,
-               row.include_none ? util::Table::fmt(none / lck, 2) : "-",
-               "1.00", util::Table::fmt(cas / lck, 2),
-               util::Table::fmt(rtm / lck, 2)});
+  }
+
+  harness::Digest dig;
+  dig.add(elements);
+  dig.add(static_cast<uint64_t>(args.reps));
+  for (const Cell& c : grid) {
+    dig.add(c.row);
+    dig.add(static_cast<uint64_t>(c.sync));
+    dig.add(rows[c.row].threads);
+    dig.add(rows[c.row].local_work);
+  }
+  harness::Runner runner(
+      bench::runner_options(args, "table1_overhead", dig.value()));
+  std::vector<double> cycles = runner.map<double>(
+      grid.size(),
+      [&](size_t i) {
+        const Cell& c = grid[i];
+        return drain_cycles(c.sync, rows[c.row].threads, elements,
+                            rows[c.row].local_work, 5000 + c.rep);
+      },
+      [&](size_t i) {
+        const Cell& c = grid[i];
+        harness::Job j;
+        j.seed = 5000 + static_cast<uint64_t>(c.rep);
+        j.label = std::string("table1:") + rows[c.row].name + ":" +
+                  c.sync_name + ":rep" + std::to_string(c.rep);
+        return j;
+      });
+
+  util::Table t({"contention", "None", "Lock", "CAS", "RTM"});
+  {
+    size_t i = 0;
+    for (const auto& row : rows) {
+      double none = 0, lck = 0, cas = 0, rtm = 0;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        if (row.include_none) none += cycles[i++];
+        lck += cycles[i++];
+        cas += cycles[i++];
+        rtm += cycles[i++];
+      }
+      t.add_row({row.name,
+                 row.include_none ? util::Table::fmt(none / lck, 2) : "-",
+                 "1.00", util::Table::fmt(cas / lck, 2),
+                 util::Table::fmt(rtm / lck, 2)});
+    }
   }
   bench::emit(t, args);
   std::cout << "Shape check: RTM loses without contention (begin/commit "

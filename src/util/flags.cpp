@@ -4,87 +4,161 @@
 
 namespace tsx::util {
 
+namespace {
+
+bool parses_as_int(const std::string& s, int64_t* out) {
+  try {
+    size_t pos = 0;
+    int64_t v = std::stoll(s, &pos, 0);
+    if (pos != s.size()) return false;
+    *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parses_as_double(const std::string& s, double* out) {
+  try {
+    size_t pos = 0;
+    double v = std::stod(s, &pos);
+    if (pos != s.size()) return false;
+    *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      positional_.push_back(arg);
+      tokens_.push_back(arg);
       continue;
     }
     std::string body = arg.substr(2);
     auto eq = body.find('=');
+    std::string name = eq == std::string::npos ? body : body.substr(0, eq);
+    if (entries_.count(name)) {
+      throw std::invalid_argument("duplicate flag --" + name);
+    }
+    Entry e;
     if (eq != std::string::npos) {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
-      continue;
+      e.value = body.substr(eq + 1);
+      e.has_eq_value = true;
+      e.resolved = true;
+    } else if (i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // Candidate space-separated value: the typed lookup decides whether
+      // it is this flag's value or a positional argument.
+      e.candidate = static_cast<int>(tokens_.size());
     }
-    // "--name value" when the next token is not itself a flag; otherwise a
-    // bare boolean.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[body] = argv[++i];
-    } else {
-      values_[body] = "true";
-    }
+    entries_[name] = e;
   }
+  claimed_.assign(tokens_.size(), false);
+}
+
+const Flags::Entry* Flags::find(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  consumed_[name] = true;
+  return &it->second;
 }
 
 std::string Flags::get_string(const std::string& name, std::string def) const {
-  auto it = values_.find(name);
-  if (it == values_.end()) return def;
-  consumed_[name] = true;
-  return it->second;
+  const Entry* ce = find(name);
+  if (!ce) return def;
+  Entry& e = entries_[name];
+  if (!e.resolved) {
+    // Any token is a valid string, so a candidate always becomes the value.
+    if (e.candidate >= 0) {
+      e.value = tokens_[e.candidate];
+      claimed_[e.candidate] = true;
+    }
+    e.resolved = true;
+  }
+  return e.value;
 }
 
 int64_t Flags::get_int(const std::string& name, int64_t def) const {
-  auto it = values_.find(name);
-  if (it == values_.end()) return def;
-  consumed_[name] = true;
-  try {
-    size_t pos = 0;
-    int64_t v = std::stoll(it->second, &pos, 0);
-    if (pos != it->second.size()) throw std::invalid_argument(name);
-    return v;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
-                                it->second + "'");
+  const Entry* ce = find(name);
+  if (!ce) return def;
+  Entry& e = entries_[name];
+  int64_t v = 0;
+  if (!e.resolved) {
+    if (e.candidate >= 0) {
+      if (!parses_as_int(tokens_[e.candidate], &v)) {
+        throw std::invalid_argument("flag --" + name +
+                                    " expects an integer, got '" +
+                                    tokens_[e.candidate] + "'");
+      }
+      e.value = tokens_[e.candidate];
+      claimed_[e.candidate] = true;
+    }
+    e.resolved = true;
   }
+  if (!parses_as_int(e.value, &v)) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                e.value + "'");
+  }
+  return v;
 }
 
 double Flags::get_double(const std::string& name, double def) const {
-  auto it = values_.find(name);
-  if (it == values_.end()) return def;
-  consumed_[name] = true;
-  try {
-    size_t pos = 0;
-    double v = std::stod(it->second, &pos);
-    if (pos != it->second.size()) throw std::invalid_argument(name);
-    return v;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
-                                it->second + "'");
+  const Entry* ce = find(name);
+  if (!ce) return def;
+  Entry& e = entries_[name];
+  double v = 0;
+  if (!e.resolved) {
+    if (e.candidate >= 0) {
+      if (!parses_as_double(tokens_[e.candidate], &v)) {
+        throw std::invalid_argument("flag --" + name +
+                                    " expects a number, got '" +
+                                    tokens_[e.candidate] + "'");
+      }
+      e.value = tokens_[e.candidate];
+      claimed_[e.candidate] = true;
+    }
+    e.resolved = true;
   }
+  if (!parses_as_double(e.value, &v)) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                e.value + "'");
+  }
+  return v;
 }
 
 bool Flags::get_bool(const std::string& name, bool def) const {
-  auto it = values_.find(name);
-  if (it == values_.end()) return def;
-  consumed_[name] = true;
-  const std::string& v = it->second;
+  const Entry* ce = find(name);
+  if (!ce) return def;
+  Entry& e = entries_[name];
+  // Booleans never take a space-separated value: "--csv out.txt" means the
+  // bare boolean --csv followed by the positional "out.txt". Explicit
+  // boolean values use the "=" form ("--csv=false").
+  if (!e.resolved) e.resolved = true;
+  const std::string& v = e.value;
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + v +
                               "'");
 }
 
-bool Flags::has(const std::string& name) const {
-  auto it = values_.find(name);
-  if (it == values_.end()) return false;
-  consumed_[name] = true;
-  return true;
+bool Flags::has(const std::string& name) const { return find(name) != nullptr; }
+
+std::vector<std::string> Flags::positional() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (!claimed_[i]) out.push_back(tokens_[i]);
+  }
+  return out;
 }
 
 std::vector<std::string> Flags::unconsumed() const {
   std::vector<std::string> out;
-  for (const auto& [k, v] : values_) {
+  for (const auto& [k, v] : entries_) {
     (void)v;
     if (!consumed_.count(k)) out.push_back(k);
   }

@@ -2,7 +2,12 @@
 // Minimal command-line flag parser used by the bench drivers and examples.
 //
 // Supports "--name=value", "--name value" and bare "--name" (boolean true).
-// Unrecognized flags are collected so drivers can reject typos.
+// A space-separated token is taken as the flag's value only when it parses
+// as the requested type; booleans never consume a following token (use
+// "--name=false" for an explicit boolean value). Giving the same flag twice
+// is a hard error — sweep scripts must not be able to mask a typo with a
+// silent last-wins overwrite. Unrecognized flags are collected so drivers
+// can reject typos.
 
 #include <cstdint>
 #include <map>
@@ -13,10 +18,13 @@ namespace tsx::util {
 
 class Flags {
  public:
+  // Throws std::invalid_argument on a duplicate flag.
   Flags(int argc, char** argv);
 
   // Value lookups with defaults. get_* throw std::invalid_argument if the
-  // value is present but cannot be parsed as the requested type.
+  // value is present but cannot be parsed as the requested type. The first
+  // typed lookup of a flag decides whether the following bare token is its
+  // value or a positional argument.
   std::string get_string(const std::string& name, std::string def) const;
   int64_t get_int(const std::string& name, int64_t def) const;
   double get_double(const std::string& name, double def) const;
@@ -24,17 +32,31 @@ class Flags {
 
   bool has(const std::string& name) const;
 
-  // Positional (non-flag) arguments in order of appearance.
-  const std::vector<std::string>& positional() const { return positional_; }
+  // Positional (non-flag) arguments in order of appearance, excluding
+  // tokens consumed as space-separated flag values. Call after all flag
+  // lookups — typed lookups are what claim candidate tokens.
+  std::vector<std::string> positional() const;
 
   // Names that were present on the command line but never queried.
   // Drivers call this after reading all flags to catch typos.
   std::vector<std::string> unconsumed() const;
 
  private:
-  std::map<std::string, std::string> values_;
+  struct Entry {
+    std::string value = "true";  // "--name=value" value, or resolved value
+    bool has_eq_value = false;   // came from the "=" form
+    int candidate = -1;          // index into tokens_ of a possible value
+    bool resolved = false;       // a typed lookup has decided `candidate`
+  };
+
+  const Entry* find(const std::string& name) const;
+
+  // All non-flag tokens in order; claimed_[i] is set once a typed lookup
+  // consumes tokens_[i] as a flag value.
+  std::vector<std::string> tokens_;
+  mutable std::vector<bool> claimed_;
+  mutable std::map<std::string, Entry> entries_;
   mutable std::map<std::string, bool> consumed_;
-  std::vector<std::string> positional_;
 };
 
 }  // namespace tsx::util

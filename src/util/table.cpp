@@ -49,9 +49,27 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
+// RFC-4180 quoting: cells containing a comma, quote or newline are wrapped
+// in double quotes with embedded quotes doubled; all other cells are emitted
+// raw, byte-identical to the unquoted format.
+std::string Table::csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 void Table::print_csv(std::ostream& os) const {
   auto emit = [&](const std::vector<std::string>& row) {
-    for (size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << row[c];
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << csv_escape(row[c]);
+    }
     os << '\n';
   };
   emit(header_);

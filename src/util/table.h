@@ -18,9 +18,13 @@ class Table {
   static std::string fmt(double v, int precision = 2);
   static std::string fmt_int(int64_t v);
 
+  // RFC-4180 quoting for a single cell; returns the cell unchanged when no
+  // quoting is needed.
+  static std::string csv_escape(const std::string& cell);
+
   // Renders with column alignment and a rule under the header.
   void print(std::ostream& os) const;
-  // Comma-separated (no quoting: cells must not contain commas).
+  // Comma-separated, RFC-4180-quoted where a cell needs it.
   void print_csv(std::ostream& os) const;
 
   size_t rows() const { return rows_.size(); }

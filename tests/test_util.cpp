@@ -62,6 +62,60 @@ TEST(Flags, PositionalArguments) {
   EXPECT_EQ(f.positional()[1], "beta");
 }
 
+// Regression: "fig07_contention --csv out.txt" used to attach "out.txt" as
+// the value of --csv and throw "expects a boolean". A boolean flag must
+// never swallow a following non-flag token.
+TEST(Flags, BareBooleanDoesNotSwallowFollowingToken) {
+  const char* argv[] = {"prog", "--csv", "out.txt"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_TRUE(f.get_bool("csv", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "out.txt");
+}
+
+// Regression: "--fast 7000" used to silently consume 7000 as the value of
+// --fast. The token must stay positional (drivers then reject it).
+TEST(Flags, BareBooleanLeavesNumberPositional) {
+  const char* argv[] = {"prog", "--fast", "7000"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_TRUE(f.get_bool("fast", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "7000");
+}
+
+TEST(Flags, BooleanExplicitValueRequiresEqualsForm) {
+  const char* argv[] = {"prog", "--csv=false", "--fast=no"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_FALSE(f.get_bool("csv", true));
+  EXPECT_FALSE(f.get_bool("fast", true));
+}
+
+TEST(Flags, IntConsumesOnlyParsableToken) {
+  const char* argv[] = {"prog", "--reps", "8", "--threads", "x"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("reps", 1), 8);
+  EXPECT_THROW(f.get_int("threads", 1), std::invalid_argument);
+}
+
+TEST(Flags, StringConsumesFollowingToken) {
+  const char* argv[] = {"prog", "--manifest", "run.json"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_string("manifest", ""), "run.json");
+  EXPECT_TRUE(f.positional().empty());
+}
+
+// Regression: a flag given twice used to silently last-win via map
+// overwrite; a typo'd sweep script must fail loudly instead.
+TEST(Flags, DuplicateFlagThrows) {
+  const char* argv[] = {"prog", "--reps", "2", "--reps", "8"};
+  EXPECT_THROW(Flags(5, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+TEST(Flags, DuplicateFlagThrowsAcrossForms) {
+  const char* argv[] = {"prog", "--csv", "--csv=false"};
+  EXPECT_THROW(Flags(3, const_cast<char**>(argv)), std::invalid_argument);
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table t({"name", "value"});
   t.add_row({"a", "1"});
@@ -84,6 +138,30 @@ TEST(Table, CsvOutput) {
   std::ostringstream os;
   t.print_csv(os);
   EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+// Regression: cells containing a comma or quote used to be emitted raw,
+// corrupting the CSV for post-processing. RFC-4180 quoting, with untouched
+// output for cells that need none.
+TEST(Table, CsvQuotesCommaCells) {
+  Table t({"name", "note"});
+  t.add_row({"a", "x, y"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,note\na,\"x, y\"\n");
+}
+
+TEST(Table, CsvQuotesQuoteAndNewlineCells) {
+  Table t({"say \"hi\"", "v"});
+  t.add_row({"line1\nline2", "plain"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\",v\n\"line1\nline2\",plain\n");
+}
+
+TEST(Table, CsvEscapePassthroughWhenClean) {
+  EXPECT_EQ(Table::csv_escape("1.23"), "1.23");
+  EXPECT_EQ(Table::csv_escape("RTM-16K speedup"), "RTM-16K speedup");
 }
 
 TEST(Table, FormatsDoubles) {
