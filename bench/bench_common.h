@@ -4,27 +4,110 @@
 // simulated measurements, and (c) optionally CSV for post-processing.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/checker.h"
 #include "check/history.h"
 #include "core/runtime.h"
 #include "harness/runner.h"
+#include "obs/abort_report.h"
+#include "obs/chrome_trace.h"
+#include "obs/registry.h"
 #include "util/flags.h"
 #include "util/summary.h"
 #include "util/table.h"
 
 namespace tsx::bench {
 
+// --trace / --abort-report settings, parsed into a process-global so the
+// drivers' run-config helpers (which never see BenchArgs) can consult them.
+struct ObsSettings {
+  bool trace = false;
+  bool abort_report = false;
+  core::Cycles energy_window = 0;
+  bool enabled() const { return trace || abort_report; }
+};
+
+inline ObsSettings& obs_settings() {
+  static ObsSettings s;
+  return s;
+}
+
+// Fills cfg.obs for a traced run registered under `label`. No-op when
+// tracing is off or the label is empty (SEQ baselines stay untraced, so the
+// exporters only see the measured runs).
+inline void apply_obs(core::RunConfig& cfg, const std::string& label) {
+  const ObsSettings& s = obs_settings();
+  if (!s.enabled() || label.empty()) return;
+  cfg.obs.enabled = true;
+  cfg.obs.energy_window = s.energy_window;
+  cfg.obs.label = label;
+}
+
+// Label for runs whose RunConfig is built deep inside an app lambda (the
+// STAMP drivers): ObsLabelScope sets it around the traced run and
+// stamp_run_cfg picks it up. Thread-local because sweep jobs run
+// concurrently on host threads.
+inline std::string& tls_obs_label() {
+  thread_local std::string label;
+  return label;
+}
+
+class ObsLabelScope {
+ public:
+  explicit ObsLabelScope(std::string label) {
+    tls_obs_label() = std::move(label);
+  }
+  ~ObsLabelScope() { tls_obs_label().clear(); }
+  ObsLabelScope(const ObsLabelScope&) = delete;
+  ObsLabelScope& operator=(const ObsLabelScope&) = delete;
+};
+
+// Drains the global capture registry when the last BenchArgs copy dies (end
+// of main), so the exporters cover every traced run of the process. Both
+// outputs avoid stdout: the Chrome trace goes to its file, the abort
+// report to stderr — driver stdout stays byte-identical with tracing on.
+class ObsFlusher {
+ public:
+  ObsFlusher(std::string trace_file, bool abort_report)
+      : trace_file_(std::move(trace_file)), abort_report_(abort_report) {}
+  ~ObsFlusher() {
+    std::vector<obs::Capture> caps = obs::Registry::global().drain();
+    if (!trace_file_.empty()) {
+      std::ofstream out(trace_file_);
+      if (!out) {
+        std::cerr << "[obs] cannot write trace to '" << trace_file_ << "'\n";
+      } else {
+        obs::write_chrome_trace(out, caps);
+        std::cerr << "[obs] wrote " << caps.size() << " capture(s) to "
+                  << trace_file_ << "\n";
+      }
+    }
+    if (abort_report_) obs::write_abort_report(std::cerr, caps);
+  }
+
+ private:
+  std::string trace_file_;
+  bool abort_report_;
+};
+
 // Standard bench flags: --reps (seeds averaged), --csv, --fast (smaller
 // workloads for smoke runs), --verify (record every simulated access and
 // check each run for serializability via src/check — slower, opt-in),
 // --jobs N (host threads for the sweep harness; 0/default = all cores,
 // 1 = the exact serial path; stdout is byte-identical for every N),
-// --manifest[=FILE] (JSON run manifest to FILE, or stderr when bare).
+// --manifest[=FILE] (JSON run manifest to FILE, or stderr when bare),
+// --trace[=FILE] (Chrome trace-event JSON of every measured run, default
+// trace.json; load in Perfetto / chrome://tracing), --abort-report
+// (per-call-site abort attribution table on stderr at exit),
+// --energy-window=CYCLES (per-window energy-model samples in the trace),
+// --progress[=BOOL] (force sweep progress lines on/off; default: only when
+// stderr is a TTY, see harness::RunnerOptions::assume_tty).
 struct BenchArgs {
   int reps = 2;
   bool csv = false;
@@ -32,6 +115,11 @@ struct BenchArgs {
   bool verify = false;
   int jobs = 0;
   std::string manifest;
+  std::string trace;        // resolved trace file; "" = tracing off
+  bool abort_report = false;
+  int progress = -1;        // -1 auto (isatty), 0 off, 1 on
+  // Keeps the exporters alive until the last BenchArgs copy dies.
+  std::shared_ptr<ObsFlusher> obs_flusher;
 
   // Exits 2 with a message on stderr for any usage error (malformed value,
   // duplicate/unknown flag, stray positional) — drivers never see a throw.
@@ -46,6 +134,22 @@ struct BenchArgs {
       a.jobs = static_cast<int>(flags.get_int("jobs", 0));
       if (a.jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
       a.manifest = flags.get_string("manifest", "");
+      a.trace = flags.get_string("trace", "");
+      if (a.trace == "true") a.trace = "trace.json";  // bare --trace
+      a.abort_report = flags.get_bool("abort-report", false);
+      int64_t ew = flags.get_int("energy-window", 0);
+      if (ew < 0) throw std::invalid_argument("--energy-window must be >= 0");
+      a.progress = flags.has("progress")
+                       ? (flags.get_bool("progress", true) ? 1 : 0)
+                       : -1;
+      ObsSettings& s = obs_settings();
+      s.trace = !a.trace.empty();
+      s.abort_report = a.abort_report;
+      s.energy_window = static_cast<core::Cycles>(ew);
+      if (s.enabled()) {
+        a.obs_flusher =
+            std::make_shared<ObsFlusher>(a.trace, a.abort_report);
+      }
       auto un = flags.unconsumed();
       if (!un.empty()) {
         std::string msg = un.size() == 1 ? "unknown flag " : "unknown flags ";
@@ -78,6 +182,7 @@ inline harness::RunnerOptions runner_options(const BenchArgs& args,
   opt.bench_id = bench_id;
   opt.config_digest = config_digest;
   opt.manifest = args.manifest;
+  opt.assume_tty = args.progress;
   return opt;
 }
 

@@ -34,9 +34,12 @@ inline core::RunConfig eigen_run_cfg(core::Backend b, uint32_t threads,
 // the unit of work the parallel sweep harness shards across host cores —
 // each call builds its own TxRuntime/Machine pair and shares nothing.
 inline EigenPoint eigen_rep(core::Backend backend, uint32_t threads,
-                            const eigenbench::EigenConfig& eb, uint64_t seed) {
+                            const eigenbench::EigenConfig& eb, uint64_t seed,
+                            const std::string& obs_label = "") {
   auto seq = eigenbench::run(eigen_run_cfg(core::Backend::kSeq, 1, seed), eb);
-  auto run = eigenbench::run(eigen_run_cfg(backend, threads, seed), eb);
+  core::RunConfig cfg = eigen_run_cfg(backend, threads, seed);
+  apply_obs(cfg, obs_label);  // SEQ baseline above stays untraced
+  auto run = eigenbench::run(cfg, eb);
   // The parallel run does `threads` times the sequential per-thread work,
   // so speedup = threads * t_seq / t_par (the paper normalizes to the
   // sequential execution of the same total work).
@@ -107,20 +110,28 @@ inline std::vector<EigenPoint> eigen_points(const std::string& bench_id,
   dig.add(static_cast<uint64_t>(reps));
   for (const EigenTask& t : tasks) digest_eigen_task(dig, t);
 
+  // One label per job, shared between the manifest and the trace capture —
+  // the registry drains sorted by label, so exporter output is identical
+  // for any --jobs value.
+  auto label_of = [&](size_t i) {
+    const EigenTask& t = tasks[i / reps];
+    return bench_id + ":task" + std::to_string(i / reps) + ":" +
+           core::backend_name(t.backend) + ":rep" + std::to_string(i % reps);
+  };
+
   harness::Runner runner(runner_options(args, bench_id, dig.value()));
   std::vector<EigenPoint> samples = runner.map<EigenPoint>(
       tasks.size() * reps,
       [&](size_t i) {
         const EigenTask& t = tasks[i / reps];
-        return eigen_rep(t.backend, t.threads, t.eb, t.seed0 + i % reps);
+        return eigen_rep(t.backend, t.threads, t.eb, t.seed0 + i % reps,
+                         label_of(i));
       },
       [&](size_t i) {
         const EigenTask& t = tasks[i / reps];
         harness::Job j;
         j.seed = t.seed0 + i % reps;
-        j.label = bench_id + ":task" + std::to_string(i / reps) + ":" +
-                  core::backend_name(t.backend) + ":rep" +
-                  std::to_string(i % reps);
+        j.label = label_of(i);
         return j;
       });
 

@@ -42,6 +42,9 @@ inline core::RunConfig stamp_run_cfg(core::Backend b, uint32_t threads,
   cfg.seed = seed;
   scale_machine_for_stamp(cfg.machine);
   if (fast) cfg.stm.lock_table_entries = 1u << 16;
+  // Traced when an ObsLabelScope is active (the app lambdas build their
+  // RunConfig here, out of reach of the sweep's per-job label).
+  apply_obs(cfg, tls_obs_label());
   return cfg;
 }
 
@@ -151,8 +154,10 @@ struct StampRep {
 };
 
 inline StampRep stamp_rep(const StampApp& app, core::Backend backend,
-                          uint32_t threads, bool fast, uint64_t seed) {
+                          uint32_t threads, bool fast, uint64_t seed,
+                          const std::string& obs_label = "") {
   auto seq = app.run(core::Backend::kSeq, 1, seed, fast);
+  ObsLabelScope obs_scope(obs_label);  // SEQ baseline above stays untraced
   auto run = app.run(backend, threads, seed, fast);
   if (!seq.valid) {
     throw std::runtime_error(app.name + " SEQ invalid: " +
@@ -213,22 +218,29 @@ inline std::vector<StampCell> stamp_cells(const std::string& bench_id,
     dig.add(t.seed0);
   }
 
+  // One label per job, shared between the manifest and the trace capture
+  // (the registry drains sorted by label — exporter output is identical
+  // for any --jobs value).
+  auto label_of = [&](size_t i) {
+    const StampTask& t = tasks[i / reps];
+    return bench_id + ":" + t.app.name + ":" +
+           core::backend_name(t.backend) + ":" + std::to_string(t.threads) +
+           "t:rep" + std::to_string(i % reps);
+  };
+
   harness::Runner runner(runner_options(args, bench_id, dig.value()));
   std::vector<StampRep> samples = runner.map<StampRep>(
       tasks.size() * reps,
       [&](size_t i) {
         const StampTask& t = tasks[i / reps];
         return stamp_rep(t.app, t.backend, t.threads, args.fast,
-                         t.seed0 + i % reps);
+                         t.seed0 + i % reps, label_of(i));
       },
       [&](size_t i) {
         const StampTask& t = tasks[i / reps];
         harness::Job j;
         j.seed = t.seed0 + i % reps;
-        j.label = bench_id + ":" + t.app.name + ":" +
-                  core::backend_name(t.backend) + ":" +
-                  std::to_string(t.threads) + "t:rep" +
-                  std::to_string(i % reps);
+        j.label = label_of(i);
         return j;
       });
 

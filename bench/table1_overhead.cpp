@@ -22,11 +22,13 @@ enum class Sync { kNone, kLock, kCas, kRtm };
 // Drains a prefilled queue with the given synchronization; returns the
 // wall-cycles of the drain (measured region only).
 double drain_cycles(Sync sync, uint32_t threads, uint64_t elements,
-                    sim::Cycles local_work, uint64_t seed) {
+                    sim::Cycles local_work, uint64_t seed,
+                    const std::string& obs_label) {
   core::RunConfig cfg;
   cfg.backend = core::Backend::kSeq;  // synchronization is managed here
   cfg.threads = threads;
   cfg.machine.seed = seed;
+  bench::apply_obs(cfg, obs_label);
   core::TxRuntime rt(cfg);
   auto& m = rt.machine();
 
@@ -122,6 +124,11 @@ int main(int argc, char** argv) {
     dig.add(rows[c.row].threads);
     dig.add(rows[c.row].local_work);
   }
+  auto label_of = [&](size_t i) {
+    const Cell& c = grid[i];
+    return std::string("table1:") + rows[c.row].name + ":" + c.sync_name +
+           ":rep" + std::to_string(c.rep);
+  };
   harness::Runner runner(
       bench::runner_options(args, "table1_overhead", dig.value()));
   std::vector<double> cycles = runner.map<double>(
@@ -129,14 +136,13 @@ int main(int argc, char** argv) {
       [&](size_t i) {
         const Cell& c = grid[i];
         return drain_cycles(c.sync, rows[c.row].threads, elements,
-                            rows[c.row].local_work, 5000 + c.rep);
+                            rows[c.row].local_work, 5000 + c.rep, label_of(i));
       },
       [&](size_t i) {
         const Cell& c = grid[i];
         harness::Job j;
         j.seed = 5000 + static_cast<uint64_t>(c.rep);
-        j.label = std::string("table1:") + rows[c.row].name + ":" +
-                  c.sync_name + ":rep" + std::to_string(c.rep);
+        j.label = label_of(i);
         return j;
       });
 

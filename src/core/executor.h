@@ -27,17 +27,25 @@
 #include "sim/machine.h"
 #include "stm/common.h"
 
+namespace tsx::obs {
+class TraceSink;
+}  // namespace tsx::obs
+
 namespace tsx::core {
 
 struct RunConfig;  // core/runtime.h
 
 // What the runtime lends its executor. `observer` points at the runtime's
 // observer slot (not the observer itself): executors read it at call time,
-// so TxRuntime::set_observer needs no re-wiring.
+// so TxRuntime::set_observer needs no re-wiring. `sink` is the optional
+// structured-event trace sink (null when tracing is off); executors only
+// emit policy-level events to it (site labels, retry/fallback decisions) —
+// hardware tx lifecycle events flow through the machine's ObsHooks.
 struct ExecutorEnv {
   sim::Machine* machine = nullptr;
   mem::SimHeap* heap = nullptr;
   TxObserver* const* observer = nullptr;
+  obs::TraceSink* sink = nullptr;
 };
 
 class TxExecutor {

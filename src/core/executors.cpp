@@ -18,6 +18,7 @@
 #include "core/runtime.h"
 #include "htm/hle.h"
 #include "mem/layout.h"
+#include "obs/trace_sink.h"
 #include "stm/tinystm.h"
 #include "stm/tl2.h"
 #include "sync/spinlock.h"
@@ -122,11 +123,13 @@ class HleExecutor final : public TxExecutor {
     // through the machine's tx-commit trace hook (the later scope-commit
     // call is an idempotent backstop).
     lock_.set_scope_hooks(make_scope_hooks<htm::ScopeHooks>(env, true));
+    lock_.set_sink(env.sink);
   }
 
   const char* name() const override { return "HLE"; }
 
-  void execute(const std::function<void()>& body, uint32_t /*site*/) override {
+  void execute(const std::function<void()>& body, uint32_t site) override {
+    if (env_.sink) env_.sink->set_site(env_.machine->current_ctx(), site);
     lock_.critical_section(body);
   }
 
@@ -143,6 +146,7 @@ class RtmSerialExecutor final : public TxExecutor {
         rtm_(*env.machine, mem::kRuntimeRegionBase + sim::kLineBytes, policy) {
     rtm_.init();
     rtm_.set_scope_hooks(make_scope_hooks<htm::ScopeHooks>(env, true));
+    rtm_.set_sink(env.sink);
   }
 
   const char* name() const override { return "RTM"; }
@@ -182,6 +186,7 @@ class StmBackedExecutor : public TxExecutor {
       if (TxObserver* o = obs()) o->on_unit_commit(c);
     });
     stm_exec_.set_scope_hooks(make_scope_hooks<stm::ScopeHooks>(env, false));
+    stm_exec_.set_sink(env.sink);
   }
 
   Word load(CtxId ctx, Addr a) override {
@@ -217,8 +222,8 @@ class StmExecutorAdapter final : public StmBackedExecutor {
 
   const char* name() const override { return stm_->name(); }
 
-  void execute(const std::function<void()>& body, uint32_t /*site*/) override {
-    stm_exec_.execute(body);
+  void execute(const std::function<void()>& body, uint32_t site) override {
+    stm_exec_.execute(body, site);
   }
 };
 
@@ -286,6 +291,7 @@ class HybridExecutor final : public StmBackedExecutor {
     ++sites_[site_idx].second.transactions;
 
     CtxId ctx = m_.current_ctx();
+    if (env_.sink) env_.sink->set_site(ctx, site);
     PerCtx& pc = per_ctx_[ctx];
     uint32_t attempts = 0;
     while (!policy_.exhausted(attempts)) {
@@ -315,6 +321,7 @@ class HybridExecutor final : public StmBackedExecutor {
       }
       if (policy_.exhausted(attempts)) break;
       Cycles wait = policy_.backoff_cycles(attempts, m_.setup_rng());
+      if (env_.sink) env_.sink->retry_decision(ctx, m_.now(), false, wait);
       if (wait) m_.compute(wait);
     }
 
@@ -323,7 +330,8 @@ class HybridExecutor final : public StmBackedExecutor {
     Cycles t0 = m_.now();
     ++total_.fallbacks;
     ++sites_[site_idx].second.fallbacks;
-    stm_exec_.execute(body);
+    if (env_.sink) env_.sink->retry_decision(ctx, m_.now(), true, 0);
+    stm_exec_.execute(body, site);
     Cycles dt = m_.now() - t0;
     total_.cycles_fallback += dt;
     sites_[site_idx].second.cycles_fallback += dt;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "mem/layout.h"
+#include "obs/registry.h"
+#include "obs/trace_sink.h"
 
 namespace tsx::core {
 
@@ -82,11 +84,32 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
   machine_ = std::make_unique<sim::Machine>(cfg_.machine, cfg_.threads);
   heap_ = std::make_unique<mem::SimHeap>(*machine_, cfg_.heap);
 
+  if (cfg_.obs.enabled) {
+    sink_ = std::make_unique<obs::TraceSink>(cfg_.obs.capacity);
+    obs::TraceSink* s = sink_.get();
+    sim::ObsHooks hooks;
+    hooks.on_tx_begin = [s](CtxId c, Cycles t) { s->tx_begin(c, t); };
+    hooks.on_tx_commit = [s](CtxId c, Cycles t) { s->tx_commit(c, t); };
+    hooks.on_tx_abort = [s](CtxId c, Cycles t, sim::AbortReason r,
+                            uint64_t line, CtxId attacker) {
+      s->tx_abort(c, t, r, line, attacker);
+    };
+    hooks.on_tx_evict = [s](CtxId c, Cycles t, int level, uint64_t line) {
+      s->evict(c, t, level, line);
+    };
+    if (cfg_.obs.energy_window) {
+      hooks.on_energy_window = [s](Cycles t, const sim::MachineStats& st) {
+        s->energy_sample(t, st);
+      };
+    }
+    machine_->set_obs_hooks(std::move(hooks), cfg_.obs.energy_window);
+  }
+
   // Runtime region: the backends' synchronization objects, one line each
   // (assigned in executors.cpp). All initialization is host-side pokes.
   machine_->prefault(mem::kRuntimeRegionBase, sim::kPageBytes);
-  exec_ = make_executor(cfg_,
-                        ExecutorEnv{machine_.get(), heap_.get(), &observer_});
+  exec_ = make_executor(cfg_, ExecutorEnv{machine_.get(), heap_.get(),
+                                          &observer_, sink_.get()});
 
   for (CtxId i = 0; i < cfg_.threads; ++i) {
     // Distinct, deterministic per-thread workload seeds.
@@ -94,7 +117,12 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
   }
 }
 
-TxRuntime::~TxRuntime() = default;
+TxRuntime::~TxRuntime() {
+  if (sink_ && !cfg_.obs.label.empty()) {
+    obs::Registry::global().add(obs::make_capture(
+        *sink_, cfg_.obs.label, cfg_.machine.freq_ghz, cfg_.threads));
+  }
+}
 
 void TxRuntime::run(const std::function<void(TxCtx&)>& worker) {
   std::vector<std::function<void(TxCtx&)>> workers(cfg_.threads, worker);

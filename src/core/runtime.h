@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/backend.h"
@@ -35,12 +36,27 @@
 #include "sim/rng.h"
 #include "stm/common.h"
 
+namespace tsx::obs {
+class TraceSink;
+}  // namespace tsx::obs
+
 namespace tsx::core {
 
 using sim::Addr;
 using sim::CtxId;
 using sim::Cycles;
 using sim::Word;
+
+// Structured-event tracing (src/obs). When `enabled`, the runtime owns a
+// bounded obs::TraceSink, wires it into the machine and the executor, and —
+// if `label` is non-empty — registers the capture with obs::Registry::global()
+// at destruction so exporters can drain it after the run.
+struct ObsConfig {
+  bool enabled = false;
+  size_t capacity = size_t{1} << 16;  // ring capacity in events
+  Cycles energy_window = 0;           // 0 = no energy-window samples
+  std::string label;                  // registry key; sorted at drain time
+};
 
 struct RunConfig {
   Backend backend = Backend::kSeq;
@@ -54,6 +70,7 @@ struct RunConfig {
   // kHle backend: elision attempts before the real acquisition (hardware
   // re-elides after some abort kinds; 1 models stock HLE).
   uint32_t hle_elision_attempts = 1;
+  ObsConfig obs{};
 };
 
 class TxRuntime;
@@ -132,6 +149,8 @@ class TxRuntime {
 
   sim::Machine& machine() { return *machine_; }
   mem::SimHeap& heap() { return *heap_; }
+  // Null unless cfg.obs.enabled.
+  obs::TraceSink* trace_sink() { return sink_.get(); }
   // The one concurrency-control executor this runtime dispatches through.
   TxExecutor& executor() { return *exec_; }
   const TxExecutor& executor() const { return *exec_; }
@@ -151,6 +170,7 @@ class TxRuntime {
   RunConfig cfg_;
   std::unique_ptr<sim::Machine> machine_;
   std::unique_ptr<mem::SimHeap> heap_;
+  std::unique_ptr<obs::TraceSink> sink_;  // before exec_: executors borrow it
   std::unique_ptr<TxExecutor> exec_;
   std::vector<std::unique_ptr<TxCtx>> ctxs_;
   TxObserver* observer_ = nullptr;

@@ -1,9 +1,12 @@
 #include "harness/runner.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -12,39 +15,19 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/json.h"
+
 namespace tsx::harness {
 
 namespace {
+
+using util::json_escape;
+using util::json_fixed;
 
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-// Minimal JSON string escaping (labels are driver-generated, but keep the
-// manifest well-formed for any input).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -97,10 +80,27 @@ void Runner::run(std::vector<Job> jobs) {
   const unsigned workers =
       static_cast<unsigned>(std::min<size_t>(jobs_, n ? n : 1));
 
+  // Resolve the progress policy once: quiet wins, then the environment,
+  // then the explicit assume_tty override, then auto-detection (an injected
+  // progress_stream is a test seam that wants the lines; plain stderr emits
+  // only when it is a terminal, so redirected logs stay clean).
+  bool progress_on = !opt_.quiet;
+  if (progress_on) {
+    if (const char* env = std::getenv("TSXLAB_PROGRESS")) {
+      progress_on = std::strcmp(env, "0") != 0;
+    } else if (opt_.assume_tty >= 0) {
+      progress_on = opt_.assume_tty != 0;
+    } else if (opt_.progress_stream) {
+      progress_on = true;
+    } else {
+      progress_on = isatty(fileno(stderr)) != 0;
+    }
+  }
+
   std::mutex io_mu;
   double last_report = 0.0;
   auto report = [&](size_t done, bool final) {
-    if (opt_.quiet) return;
+    if (!progress_on) return;
     double el = seconds_since(t0);
     {
       std::lock_guard<std::mutex> g(io_mu);
@@ -188,12 +188,12 @@ void Runner::emit_manifest(const std::vector<Job>& jobs,
       << "  \"run_digest\": \"" << d.hex() << "\",\n"
       << "  \"jobs_flag\": " << jobs_ << ",\n"
       << "  \"total_jobs\": " << jobs.size() << ",\n"
-      << "  \"wall_seconds\": " << wall_seconds << ",\n"
+      << "  \"wall_seconds\": " << json_fixed(wall_seconds, 6) << ",\n"
       << "  \"jobs\": [\n";
   for (size_t i = 0; i < jobs.size(); ++i) {
     *os << "    {\"index\": " << i << ", \"label\": \""
         << json_escape(jobs[i].label) << "\", \"seed\": " << jobs[i].seed
-        << ", \"seconds\": " << job_seconds[i] << "}"
+        << ", \"seconds\": " << json_fixed(job_seconds[i], 6) << "}"
         << (i + 1 < jobs.size() ? ",\n" : "\n");
   }
   *os << "  ]\n}\n";

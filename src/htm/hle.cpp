@@ -1,6 +1,7 @@
 #include "htm/hle.h"
 
 #include "htm/rtm.h"
+#include "obs/trace_sink.h"
 
 namespace tsx::htm {
 
@@ -28,9 +29,14 @@ void HleLock::critical_section(const std::function<void()>& body) {
   ++stats_.sections;
   for (uint32_t a = 0; a < attempts_; ++a) {
     if (try_elided(body)) return;
+    // Hardware re-elision: no software backoff exists in HLE.
+    if (sink_ && a + 1 < attempts_) {
+      sink_->retry_decision(m_.current_ctx(), m_.now(), false, 0);
+    }
   }
   // Hardware falls back to the real acquisition: the lock word write
   // conflicts with every concurrent elided section, aborting them all.
+  if (sink_) sink_->retry_decision(m_.current_ctx(), m_.now(), true, 0);
   ++stats_.lock_acquisitions;
   lock_.lock();
   hooks_.on_begin();

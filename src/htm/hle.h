@@ -63,6 +63,11 @@ class HleLock {
   // heap-allocation scoping and history recording.
   void set_scope_hooks(ScopeHooks hooks) { hooks_ = std::move(hooks); }
 
+  // Optional observability sink (src/obs): reports re-elision and
+  // lock-acquisition decisions. Attempt events flow via the machine's
+  // ObsHooks.
+  void set_sink(obs::TraceSink* sink) { sink_ = sink; }
+
   const HleStats& stats() const { return stats_; }
 
  private:
@@ -73,6 +78,7 @@ class HleLock {
   uint32_t attempts_;
   HleStats stats_;
   ScopeHooks hooks_;
+  obs::TraceSink* sink_ = nullptr;
 };
 
 }  // namespace tsx::htm

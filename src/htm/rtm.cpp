@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace_sink.h"
+
 namespace tsx::htm {
 
 const char* abort_class_name(AbortClass c) {
@@ -46,6 +48,7 @@ AttemptResult attempt(Machine& m, const std::function<void()>& body) {
     r.status = a.status;
     r.reason = a.reason;
     r.conflict_line = a.conflict_line;
+    r.attacker = a.attacker;
   }
   r.cycles = m.now() - t0;
   return r;
@@ -119,6 +122,7 @@ void RtmExecutor::execute(const std::function<void()>& body, uint32_t site) {
   }
   ++total_.transactions;
   ++sites_[site_idx].second.transactions;
+  if (sink_) sink_->set_site(m_.current_ctx(), site);
 
   uint32_t retries = 0;
   for (;;) {
@@ -151,12 +155,14 @@ void RtmExecutor::execute(const std::function<void()>& body, uint32_t site) {
     // With the default kNone shape this is 0 and must not reach compute():
     // an extra scheduling point would perturb deterministic schedules.
     Cycles wait = policy_.backoff_cycles(retries, m_.setup_rng());
+    if (sink_) sink_->retry_decision(m_.current_ctx(), m_.now(), false, wait);
     if (wait) m_.compute(wait);
   }
 
   // Serial fallback. With kNoSubscription this is unsafe against running
   // transactions (the ablation measures exactly that); with subscription it
   // aborts all of them via the lock line.
+  if (sink_) sink_->retry_decision(m_.current_ctx(), m_.now(), true, 0);
   Cycles t0 = m_.now();
   ++total_.fallbacks;
   ++sites_[site_idx].second.fallbacks;

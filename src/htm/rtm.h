@@ -24,6 +24,10 @@
 #include "sim/types.h"
 #include "sync/spinlock.h"
 
+namespace tsx::obs {
+class TraceSink;
+}
+
 namespace tsx::htm {
 
 using sim::AbortReason;
@@ -40,6 +44,8 @@ struct AttemptResult {
   uint32_t status = sim::xstatus::kStarted;
   AbortReason reason = AbortReason::kNone;
   uint64_t conflict_line = ~0ull;
+  // Context whose access caused the abort (self for self-inflicted ones).
+  sim::CtxId attacker = sim::kNoCtx;
   Cycles cycles = 0;  // duration of this attempt (begin..commit/abort)
 };
 
@@ -119,6 +125,11 @@ class RtmExecutor {
 
   void set_scope_hooks(ScopeHooks hooks) { hooks_ = std::move(hooks); }
 
+  // Optional observability sink (src/obs): execute() declares the call site
+  // to it and reports every retry-policy decision (backoff length, fallback
+  // taken). Begin/commit/abort events flow via the machine's ObsHooks.
+  void set_sink(obs::TraceSink* sink) { sink_ = sink; }
+
   // Executes `body` atomically: hardware transaction with retry, then
   // serial fallback. `site` identifies the static transaction site for
   // per-site statistics (Table IV's TID1-style breakdowns); pass 0 if
@@ -153,6 +164,7 @@ class RtmExecutor {
   sync::SerialRwLock lock_;
   core::RetryPolicy policy_;
   ScopeHooks hooks_;
+  obs::TraceSink* sink_ = nullptr;
   uint64_t lock_line_;
   std::array<PerCtx, sim::kMaxCtxs> per_ctx_{};
   RtmStats total_;

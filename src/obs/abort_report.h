@@ -1,0 +1,19 @@
+#pragma once
+// End-of-run per-call-site abort-attribution report.
+//
+// For every capture, one table row per static xbegin call site: attempts,
+// commits, serial fallbacks, aborts broken down by AbortReason, the most
+// frequently conflicting cache lines and the most frequent attacker sites.
+// Counts come from the sink's incremental aggregation, so they are exact
+// even when the event ring wrapped.
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace tsx::obs {
+
+void write_abort_report(std::ostream& os, const std::vector<Capture>& captures);
+
+}  // namespace tsx::obs

@@ -1,0 +1,46 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace tsx::obs {
+
+Capture make_capture(const TraceSink& sink, std::string label, double freq_ghz,
+                     uint32_t threads) {
+  Capture c;
+  c.label = std::move(label);
+  c.freq_ghz = freq_ghz;
+  c.threads = threads;
+  c.events = sink.events();
+  c.dropped = sink.dropped();
+  c.sites = sink.sites();
+  c.site_names = sink.site_names();
+  return c;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(Capture c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  captures_.push_back(std::move(c));
+}
+
+std::vector<Capture> Registry::drain() {
+  std::vector<Capture> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(captures_);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Capture& a, const Capture& b) { return a.label < b.label; });
+  return out;
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captures_.size();
+}
+
+}  // namespace tsx::obs

@@ -1,0 +1,50 @@
+#pragma once
+// Process-global collection point for per-run trace captures.
+//
+// The harness may run benchmark tasks on several worker threads (`--jobs N`)
+// and in arbitrary completion order. Each TxRuntime that traces deposits an
+// immutable Capture here under its unique task label; exporters drain the
+// registry sorted by label, which makes trace and abort-report output
+// byte-identical across --jobs values (timestamps inside a capture are
+// simulated, hence already deterministic).
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.h"
+
+namespace tsx::obs {
+
+struct Capture {
+  std::string label;       // unique task label, e.g. "fig07:eigen:RTM:rep0"
+  double freq_ghz = 0;     // for cycle -> microsecond conversion
+  uint32_t threads = 0;    // simulated hardware threads in the run
+  std::vector<Event> events;  // oldest -> newest (ring-bounded)
+  size_t dropped = 0;
+  std::map<uint32_t, SiteAgg> sites;
+  std::map<uint32_t, std::string> site_names;
+};
+
+// Builds an immutable capture from a sink's current state.
+Capture make_capture(const TraceSink& sink, std::string label, double freq_ghz,
+                     uint32_t threads);
+
+class Registry {
+ public:
+  // The process-wide instance used by core::TxRuntime and the bench
+  // finalizer. Tests may construct their own.
+  static Registry& global();
+
+  void add(Capture c);
+  // Removes and returns all captures, sorted by label.
+  std::vector<Capture> drain();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Capture> captures_;
+};
+
+}  // namespace tsx::obs

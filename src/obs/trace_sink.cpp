@@ -1,0 +1,183 @@
+#include "obs/trace_sink.h"
+
+#include <stdexcept>
+
+namespace tsx::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kTxBegin: return "tx_begin";
+    case EventKind::kTxCommit: return "tx_commit";
+    case EventKind::kTxAbort: return "tx_abort";
+    case EventKind::kEvict: return "evict";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kEnergy: return "energy";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(size_t capacity) : cap_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("TraceSink capacity == 0");
+  ring_.reserve(capacity);
+  cur_site_.fill(kNoSite);
+}
+
+void TraceSink::push(const Event& e) {
+  if (ring_.size() < cap_) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_[head_] = e;  // overwrite the oldest
+  head_ = (head_ + 1) % cap_;
+  ++dropped_;
+}
+
+void TraceSink::set_site(sim::CtxId ctx, uint32_t site) {
+  if (ctx < cur_site_.size()) cur_site_[ctx] = site;
+}
+
+void TraceSink::retry_decision(sim::CtxId ctx, sim::Cycles t, bool fallback,
+                               sim::Cycles backoff) {
+  Event e;
+  e.kind = EventKind::kRetry;
+  e.ctx = ctx;
+  e.t = t;
+  e.site = cur_site(ctx);
+  e.decision = fallback ? 1 : 0;
+  e.backoff = backoff;
+  push(e);
+  if (fallback) ++sites_[e.site].fallbacks;
+}
+
+void TraceSink::tx_begin(sim::CtxId ctx, sim::Cycles t) {
+  Event e;
+  e.kind = EventKind::kTxBegin;
+  e.ctx = ctx;
+  e.t = t;
+  e.site = cur_site(ctx);
+  push(e);
+  ++sites_[e.site].attempts;
+}
+
+void TraceSink::tx_commit(sim::CtxId ctx, sim::Cycles t) {
+  Event e;
+  e.kind = EventKind::kTxCommit;
+  e.ctx = ctx;
+  e.t = t;
+  e.site = cur_site(ctx);
+  push(e);
+  ++sites_[e.site].commits;
+}
+
+void TraceSink::tx_abort(sim::CtxId victim, sim::Cycles t,
+                         sim::AbortReason reason, uint64_t line,
+                         sim::CtxId attacker) {
+  Event e;
+  e.kind = EventKind::kTxAbort;
+  e.ctx = victim;
+  e.t = t;
+  e.site = cur_site(victim);
+  e.reason = reason;
+  e.line = line;
+  e.attacker = attacker;
+  e.attacker_site = attacker < cur_site_.size() ? cur_site_[attacker] : kNoSite;
+  push(e);
+  SiteAgg& agg = sites_[e.site];
+  ++agg.aborts_by_reason[static_cast<size_t>(reason)];
+  if (line != ~0ull) ++agg.conflict_lines[line];
+  if (e.attacker_site != kNoSite && attacker != victim) {
+    ++agg.attacker_sites[e.attacker_site];
+  }
+}
+
+void TraceSink::evict(sim::CtxId by, sim::Cycles t, int level, uint64_t line) {
+  Event e;
+  e.kind = EventKind::kEvict;
+  e.ctx = by;
+  e.t = t;
+  e.level = static_cast<uint8_t>(level);
+  e.line = line;
+  push(e);
+}
+
+void TraceSink::energy_sample(sim::Cycles t, const sim::MachineStats& stats) {
+  Event e;
+  e.kind = EventKind::kEnergy;
+  e.t = t;
+  e.ops = stats.ops;
+  e.commits = stats.tx.committed;
+  e.aborts = stats.tx.aborted();
+  push(e);
+}
+
+void TraceSink::stm_begin(sim::CtxId ctx, sim::Cycles t, uint32_t site) {
+  set_site(ctx, site);
+  Event e;
+  e.kind = EventKind::kTxBegin;
+  e.flags = kFlagStm;
+  e.ctx = ctx;
+  e.t = t;
+  e.site = site;
+  push(e);
+  ++sites_[site].attempts;
+}
+
+void TraceSink::stm_commit(sim::CtxId ctx, sim::Cycles t) {
+  Event e;
+  e.kind = EventKind::kTxCommit;
+  e.flags = kFlagStm;
+  e.ctx = ctx;
+  e.t = t;
+  e.site = cur_site(ctx);
+  push(e);
+  ++sites_[e.site].commits;
+}
+
+void TraceSink::stm_abort(sim::CtxId ctx, sim::Cycles t, uint64_t line,
+                          sim::CtxId attacker) {
+  Event e;
+  e.kind = EventKind::kTxAbort;
+  e.flags = kFlagStm;
+  e.ctx = ctx;
+  e.t = t;
+  e.site = cur_site(ctx);
+  // STM aborts are data conflicts by construction (lock-word or validation
+  // failures); the precise software cause is reported by StmStats.
+  e.reason = sim::AbortReason::kConflict;
+  e.line = line;
+  e.attacker = attacker;
+  e.attacker_site = attacker < cur_site_.size() ? cur_site_[attacker] : kNoSite;
+  push(e);
+  SiteAgg& agg = sites_[e.site];
+  ++agg.aborts_by_reason[static_cast<size_t>(sim::AbortReason::kConflict)];
+  if (line != ~0ull) ++agg.conflict_lines[line];
+  if (e.attacker_site != kNoSite && attacker != ctx) {
+    ++agg.attacker_sites[e.attacker_site];
+  }
+}
+
+std::vector<Event> TraceSink::events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < cap_) {
+    out = ring_;
+    return out;
+  }
+  for (size_t i = 0; i < cap_; ++i) {
+    out.push_back(ring_[(head_ + i) % cap_]);
+  }
+  return out;
+}
+
+void TraceSink::set_site_name(uint32_t site, std::string name) {
+  site_names_[site] = std::move(name);
+}
+
+std::string TraceSink::site_name(uint32_t site) const {
+  auto it = site_names_.find(site);
+  if (it != site_names_.end()) return it->second;
+  if (site == kNoSite) return "(none)";
+  return "site#" + std::to_string(site);
+}
+
+}  // namespace tsx::obs

@@ -1,0 +1,105 @@
+#pragma once
+// TraceSink: a bounded ring buffer of typed trace events plus exact
+// per-call-site abort attribution.
+//
+// The ring keeps the newest `capacity` events (oldest are overwritten and
+// counted in dropped()); the per-site aggregation is maintained
+// incrementally on every emission, so the abort-attribution table stays
+// exact even after the ring wraps.
+//
+// All emission is host-side work: pushing an event performs no simulated
+// machine operation, so an installed sink never perturbs simulated timing.
+// The sink learns each context's current static call site from the engines
+// (set_site) and uses it to label machine-level begin/commit/abort events
+// and to resolve an abort's attacker context to the attacker's site.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace tsx::obs {
+
+// Exact per-site attribution (independent of ring capacity).
+struct SiteAgg {
+  uint64_t attempts = 0;   // hardware or STM attempts started
+  uint64_t commits = 0;
+  uint64_t fallbacks = 0;  // serial-fallback decisions at this site
+  std::array<uint64_t, static_cast<size_t>(sim::AbortReason::kCount)>
+      aborts_by_reason{};
+  std::map<uint64_t, uint64_t> conflict_lines;  // line -> abort count
+  std::map<uint32_t, uint64_t> attacker_sites;  // attacker site -> abort count
+
+  uint64_t aborts() const {
+    uint64_t s = 0;
+    for (uint64_t a : aborts_by_reason) s += a;
+    return s;
+  }
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(size_t capacity = 1 << 16);
+
+  // ---- Engine-side ----
+  // Declares `site` as ctx's current static call site (host-side, no
+  // event). Engines call this at the top of every execute().
+  void set_site(sim::CtxId ctx, uint32_t site);
+  // Records a retry-policy decision after a failed attempt.
+  void retry_decision(sim::CtxId ctx, sim::Cycles t, bool fallback,
+                      sim::Cycles backoff);
+
+  // ---- Machine ObsHooks forwarders (hardware transactions) ----
+  void tx_begin(sim::CtxId ctx, sim::Cycles t);
+  void tx_commit(sim::CtxId ctx, sim::Cycles t);
+  void tx_abort(sim::CtxId victim, sim::Cycles t, sim::AbortReason reason,
+                uint64_t line, sim::CtxId attacker);
+  void evict(sim::CtxId by, sim::Cycles t, int level, uint64_t line);
+  void energy_sample(sim::Cycles t, const sim::MachineStats& stats);
+
+  // ---- STM attempt lifecycle (software transactions bypass the machine's
+  // hardware-tx state, so the STM executor reports them directly) ----
+  void stm_begin(sim::CtxId ctx, sim::Cycles t, uint32_t site);
+  void stm_commit(sim::CtxId ctx, sim::Cycles t);
+  void stm_abort(sim::CtxId ctx, sim::Cycles t, uint64_t line,
+                 sim::CtxId attacker);
+
+  // ---- Inspection / export ----
+  // Events oldest -> newest (at most `capacity`).
+  std::vector<Event> events() const;
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return cap_; }
+  // Number of events overwritten because the ring was full.
+  size_t dropped() const { return dropped_; }
+
+  const std::map<uint32_t, SiteAgg>& sites() const { return sites_; }
+
+  // Optional human-readable site names for reports ("site#N" otherwise).
+  void set_site_name(uint32_t site, std::string name);
+  std::string site_name(uint32_t site) const;
+  const std::map<uint32_t, std::string>& site_names() const {
+    return site_names_;
+  }
+
+ private:
+  void push(const Event& e);
+  uint32_t cur_site(sim::CtxId ctx) const {
+    return ctx < cur_site_.size() ? cur_site_[ctx] : kNoSite;
+  }
+
+  size_t cap_;
+  std::vector<Event> ring_;
+  size_t head_ = 0;  // next write position once the ring is full
+  size_t dropped_ = 0;
+
+  std::array<uint32_t, sim::kMaxCtxs> cur_site_;
+  std::map<uint32_t, SiteAgg> sites_;
+  std::map<uint32_t, std::string> site_names_;
+};
+
+}  // namespace tsx::obs

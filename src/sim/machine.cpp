@@ -12,8 +12,8 @@ Machine::Machine(const MachineConfig& cfg, uint32_t num_threads)
   }
   mem_ = std::make_unique<MemorySystem>(
       cfg_, num_threads, &stats_.mem,
-      [this](CtxId victim, AbortReason r, uint64_t line) {
-        abort_tx(victim, r, line, 0);
+      [this](CtxId victim, AbortReason r, uint64_t line, CtxId attacker) {
+        abort_tx(victim, r, line, 0, attacker);
       });
   for (CtxId i = 0; i < num_threads; ++i) {
     auto c = std::make_unique<SimContext>();
@@ -28,6 +28,20 @@ Machine::Machine(const MachineConfig& cfg, uint32_t num_threads)
 }
 
 Machine::~Machine() = default;
+
+void Machine::set_obs_hooks(ObsHooks hooks, Cycles energy_window_cycles) {
+  obs_ = std::move(hooks);
+  energy_window_ = obs_.on_energy_window ? energy_window_cycles : 0;
+  next_energy_sample_ = energy_window_;
+  max_clock_seen_ = 0;
+  if (obs_.on_tx_evict) {
+    mem_->set_evict_hook([this](CtxId by, int level, uint64_t line) {
+      obs_.on_tx_evict(by, ctxs_[by]->clock, level, line);
+    });
+  } else {
+    mem_->set_evict_hook(nullptr);
+  }
+}
 
 void Machine::set_thread(CtxId ctx, ThreadFn fn) {
   if (ctx >= num_threads_) throw std::invalid_argument("bad ctx id");
@@ -89,6 +103,17 @@ void Machine::advance(Cycles core_cycles, Cycles mem_cycles) {
   }
   c.clock += adj_core + mem_cycles;
   c.busy += adj_core + mem_cycles;
+  // Energy-window sampling: report each window boundary the first time any
+  // context's clock crosses it. The high-water mark makes boundary order
+  // monotonic; emission is host-side only, so sampling never perturbs the
+  // simulated timeline.
+  if (energy_window_ && c.clock > max_clock_seen_) {
+    max_clock_seen_ = c.clock;
+    while (max_clock_seen_ >= next_energy_sample_) {
+      obs_.on_energy_window(next_energy_sample_, stats_);
+      next_energy_sample_ += energy_window_;
+    }
+  }
 }
 
 void Machine::maybe_yield() {
@@ -170,7 +195,7 @@ void Machine::op_prologue() {
     while (static_cast<double>(c.clock) >= c.next_interrupt) {
       ++stats_.interrupts;
       if (c.tx.active && !c.tx.doomed) {
-        abort_tx(c.id, AbortReason::kInterrupt, ~0ull, 0);
+        abort_tx(c.id, AbortReason::kInterrupt, ~0ull, 0, c.id);
       }
       c.clock += cfg_.interrupt_handler_cycles;
       c.busy += cfg_.interrupt_handler_cycles;
@@ -188,7 +213,7 @@ void Machine::check_doomed() {
 
 void Machine::deliver_abort(SimContext& c) {
   advance(cfg_.tx_abort_cycles, 0);
-  TxAborted ex{c.tx.status, c.tx.reason, c.tx.conflict_line};
+  TxAborted ex{c.tx.status, c.tx.reason, c.tx.conflict_line, c.tx.attacker};
   c.tx.doomed = false;
   c.tx.active = false;
   c.tx.depth = 0;
@@ -197,7 +222,7 @@ void Machine::deliver_abort(SimContext& c) {
 }
 
 void Machine::abort_tx(CtxId victim, AbortReason reason, uint64_t line,
-                       uint8_t code) {
+                       uint8_t code, CtxId attacker) {
   SimContext& v = *ctxs_[victim];
   if (!v.tx.active || v.tx.doomed) return;
   // Roll back speculative values (newest first).
@@ -210,10 +235,14 @@ void Machine::abort_tx(CtxId victim, AbortReason reason, uint64_t line,
   v.tx.reason = reason;
   v.tx.conflict_line = line;
   v.tx.status = status_for_abort(reason, code);
+  v.tx.attacker = attacker;
   if (v.tx.depth > 1) v.tx.status |= xstatus::kNested;
   ++stats_.tx.aborts_by_reason[static_cast<size_t>(reason)];
   ++stats_.tx.aborts_by_misc[static_cast<size_t>(misc_bucket_for(reason))];
   if (trace_.on_tx_abort) trace_.on_tx_abort(victim);
+  if (obs_.on_tx_abort) {
+    obs_.on_tx_abort(victim, v.clock, reason, line, attacker);
+  }
 }
 
 Cycles Machine::mem_access(Addr addr, bool is_write) {
@@ -223,7 +252,7 @@ Cycles Machine::mem_access(Addr addr, bool is_write) {
   // aborts and the page stays absent, as on real TSX hardware).
   if (!mem_->backing().present(addr)) {
     if (tx) {
-      abort_tx(c.id, AbortReason::kPageFault, line_of(addr), 0);
+      abort_tx(c.id, AbortReason::kPageFault, line_of(addr), 0, c.id);
       deliver_abort(c);
     }
     ++stats_.mem.page_faults;
@@ -357,6 +386,7 @@ void Machine::tx_begin() {
   mem_->tx_begin(c.id, c.clock);
   ++stats_.tx.started;
   if (trace_.on_tx_begin) trace_.on_tx_begin(c.id);
+  if (obs_.on_tx_begin) obs_.on_tx_begin(c.id, c.clock);
   maybe_yield();
 }
 
@@ -381,6 +411,7 @@ void Machine::tx_commit() {
   // committed state, before the next scheduling point — so a recorder sees
   // transactions in exactly their serialization order.
   if (trace_.on_tx_commit) trace_.on_tx_commit(c.id);
+  if (obs_.on_tx_commit) obs_.on_tx_commit(c.id, c.clock);
   maybe_yield();
 }
 
@@ -388,7 +419,7 @@ void Machine::tx_abort(uint8_t code) {
   op_prologue();
   SimContext& c = cur();
   if (!c.tx.active) throw std::logic_error("tx_abort outside transaction");
-  abort_tx(c.id, AbortReason::kExplicit, ~0ull, code);
+  abort_tx(c.id, AbortReason::kExplicit, ~0ull, code, c.id);
   deliver_abort(c);
 }
 
@@ -396,7 +427,7 @@ void Machine::tx_unsupported_insn() {
   op_prologue();
   SimContext& c = cur();
   if (c.tx.active) {
-    abort_tx(c.id, AbortReason::kUnsupportedInsn, ~0ull, 0);
+    abort_tx(c.id, AbortReason::kUnsupportedInsn, ~0ull, 0, c.id);
     deliver_abort(c);
   }
   advance(40, 0);

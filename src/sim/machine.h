@@ -29,6 +29,10 @@
 
 namespace tsx::sim {
 
+// Sentinel for "no context" in attacker attribution (self-inflicted aborts
+// carry the victim's own id instead; this is only for unset fields).
+inline constexpr CtxId kNoCtx = ~CtxId{0};
+
 // Thrown out of Machine ops when the current context's hardware transaction
 // has aborted. Caught by the HTM layer's attempt wrapper (never crosses a
 // fiber switch during unwinding).
@@ -36,6 +40,10 @@ struct TxAborted {
   uint32_t status = 0;
   AbortReason reason = AbortReason::kNone;
   uint64_t conflict_line = ~0ull;
+  // Context whose access caused the abort (the conflicting requester, or
+  // the context whose fill evicted a tracked line). Self for explicit /
+  // page-fault / interrupt / unsupported-insn aborts.
+  CtxId attacker = kNoCtx;
 };
 
 // Observation hooks for src/check's history recorder. Every hook fires at
@@ -55,6 +63,25 @@ struct TraceHooks {
   std::function<void(CtxId)> on_tx_begin;   // outermost tx_begin
   std::function<void(CtxId)> on_tx_commit;  // outermost tx_commit, effects final
   std::function<void(CtxId)> on_tx_abort;   // after rollback, any abort cause
+};
+
+// Observability hooks for src/obs's event tracer. A SEPARATE slot from
+// TraceHooks so the check-layer recorder (which installs TraceHooks
+// wholesale) and a tracing sink can coexist on one machine. All timestamps
+// are the acting context's simulated clock, so emission is deterministic
+// and costs the simulation nothing (hooks run host-side only).
+struct ObsHooks {
+  std::function<void(CtxId, Cycles)> on_tx_begin;
+  std::function<void(CtxId, Cycles)> on_tx_commit;
+  // victim, victim clock at rollback, precise cause, conflicting line
+  // (~0 if none), attacker context (== victim for self-inflicted aborts).
+  std::function<void(CtxId, Cycles, AbortReason, uint64_t, CtxId)> on_tx_abort;
+  // A capacity-tracked line left its tracking structure: level 1 = L1
+  // write-set eviction, 3 = L3 read-set eviction. `by` triggered the fill.
+  std::function<void(CtxId, Cycles, int, uint64_t)> on_tx_evict;
+  // Fired when simulated time first crosses each energy-window boundary;
+  // receives the boundary timestamp and a stats snapshot at that moment.
+  std::function<void(Cycles, const MachineStats&)> on_energy_window;
 };
 
 class Machine {
@@ -130,6 +157,12 @@ class Machine {
   // typically done before run() by src/check's recorder.
   void set_trace_hooks(TraceHooks hooks) { trace_ = std::move(hooks); }
 
+  // Installs (or clears) the observability hooks (src/obs tracer). Distinct
+  // from set_trace_hooks so recorder and tracer can coexist. If
+  // `energy_window_cycles` > 0, on_energy_window fires each time simulated
+  // time crosses a multiple of it.
+  void set_obs_hooks(ObsHooks hooks, Cycles energy_window_cycles = 0);
+
  private:
   struct HwTx {
     bool active = false;
@@ -138,6 +171,7 @@ class Machine {
     AbortReason reason = AbortReason::kNone;
     uint64_t conflict_line = ~0ull;
     uint32_t status = 0;
+    CtxId attacker = kNoCtx;
     std::vector<std::pair<Addr, Word>> undo;
   };
 
@@ -163,8 +197,10 @@ class Machine {
   void check_doomed();  // throws if current ctx is doomed
 
   // Rolls back and dooms a transaction (memory-system abort callback and
-  // the path for self-initiated aborts).
-  void abort_tx(CtxId victim, AbortReason reason, uint64_t line, uint8_t code);
+  // the path for self-initiated aborts). `attacker` is the context whose
+  // access caused the abort — the victim itself for self-inflicted ones.
+  void abort_tx(CtxId victim, AbortReason reason, uint64_t line, uint8_t code,
+                CtxId attacker);
 
   void advance(Cycles core_cycles, Cycles mem_cycles);
   bool sibling_active(const SimContext& c) const;
@@ -190,6 +226,10 @@ class Machine {
   Rng setup_rng_;
   Rng sched_rng_;  // scheduler jitter (sched_jitter_window)
   TraceHooks trace_;
+  ObsHooks obs_;
+  Cycles energy_window_ = 0;       // 0 = energy sampling off
+  Cycles next_energy_sample_ = 0;  // next window boundary to report
+  Cycles max_clock_seen_ = 0;      // high-water mark driving window crossings
 };
 
 }  // namespace tsx::sim

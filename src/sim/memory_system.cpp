@@ -65,14 +65,14 @@ void MemorySystem::check_conflicts(CtxId requester, uint64_t line,
     if (hit) {
       // The existing (victim) transaction aborts, requester-wins style.
       Cycles victim_begin = t.begin_clock;
-      on_abort_(other, AbortReason::kConflict, line);
+      on_abort_(other, AbortReason::kConflict, line, requester);
       // Mutual kill: conflicts on bouncing lines usually abort both parties
       // on real TSX. The older transaction survives (here: the requester
       // dies only if the victim began earlier), so one transaction always
       // makes progress.
       if (cfg_.mutual_kill_conflicts && requester_in_tx &&
           victim_begin < requester_begin) {
-        on_abort_(requester, AbortReason::kConflict, line);
+        on_abort_(requester, AbortReason::kConflict, line, other);
         requester_in_tx = false;  // already doomed; don't re-abort
       }
     }
@@ -89,10 +89,11 @@ void MemorySystem::drop_sharer_if_absent(uint32_t core, uint64_t line) {
 
 void MemorySystem::on_l1_evict(uint32_t core, CacheLine victim) {
   if (victim.tx_write_mask) {
+    if (on_evict_) on_evict_(requester_, 1, victim.tag);
     uint8_t mask = victim.tx_write_mask;
     for (CtxId ctx = 0; ctx < num_ctxs_; ++ctx) {
       if (mask & (1u << ctx)) {
-        on_abort_(ctx, AbortReason::kWriteCapacity, victim.tag);
+        on_abort_(ctx, AbortReason::kWriteCapacity, victim.tag, requester_);
       }
     }
   }
@@ -130,10 +131,11 @@ void MemorySystem::on_l2_evict(uint32_t core, CacheLine victim) {
 void MemorySystem::on_l3_evict(CacheLine victim) {
   // Read-capacity aborts first: the line is leaving the hierarchy.
   if (victim.tx_read_mask) {
+    if (on_evict_) on_evict_(requester_, 3, victim.tag);
     uint8_t mask = victim.tx_read_mask;
     for (CtxId ctx = 0; ctx < num_ctxs_; ++ctx) {
       if (mask & (1u << ctx)) {
-        on_abort_(ctx, AbortReason::kReadCapacity, victim.tag);
+        on_abort_(ctx, AbortReason::kReadCapacity, victim.tag, requester_);
       }
     }
   }
@@ -144,10 +146,11 @@ void MemorySystem::on_l3_evict(CacheLine victim) {
     ++stats_->invalidations;
     if (CacheLine* l1l = l1_[core]->probe(victim.tag)) {
       if (l1l->tx_write_mask) {
+        if (on_evict_) on_evict_(requester_, 1, victim.tag);
         uint8_t mask = l1l->tx_write_mask;
         for (CtxId ctx = 0; ctx < num_ctxs_; ++ctx) {
           if (mask & (1u << ctx)) {
-            on_abort_(ctx, AbortReason::kWriteCapacity, victim.tag);
+            on_abort_(ctx, AbortReason::kWriteCapacity, victim.tag, requester_);
           }
         }
       }
@@ -188,6 +191,7 @@ void MemorySystem::invalidate_other_private(uint32_t keep_core,
 Cycles MemorySystem::access(CtxId ctx, Addr addr, bool is_write, bool tx_mode) {
   uint64_t line = line_of(addr);
   uint32_t core = core_of(ctx);
+  requester_ = ctx;  // abort attribution for everything this access triggers
   uint8_t ctx_bit = static_cast<uint8_t>(1u << ctx);
   uint8_t core_bit = static_cast<uint8_t>(1u << core);
 

@@ -37,9 +37,17 @@ namespace tsx::sim {
 
 class MemorySystem {
  public:
-  // `on_abort(victim, reason, line)` must roll the victim's transaction back
-  // and call tx_clear(victim). It may be invoked re-entrantly from access().
-  using AbortFn = std::function<void(CtxId, AbortReason, uint64_t)>;
+  // `on_abort(victim, reason, line, attacker)` must roll the victim's
+  // transaction back and call tx_clear(victim). It may be invoked
+  // re-entrantly from access(). `attacker` is the context whose access
+  // caused the abort: the conflicting requester for kConflict, the context
+  // whose fill evicted the tracked line for capacity aborts (possibly the
+  // victim itself).
+  using AbortFn = std::function<void(CtxId, AbortReason, uint64_t, CtxId)>;
+  // Optional observability hook (src/obs): a capacity-tracked line left its
+  // tracking structure. `level` is 1 for L1 write-set evictions, 3 for L3
+  // read-set evictions; `by` is the context whose access triggered it.
+  using EvictFn = std::function<void(CtxId, int, uint64_t)>;
 
   MemorySystem(const MachineConfig& cfg, uint32_t num_ctxs, MemStats* stats,
                AbortFn on_abort);
@@ -72,6 +80,10 @@ class MemorySystem {
   Cache& l2(uint32_t core) { return *l2_[core]; }
   Cache& l3() { return *l3_; }
 
+  // Installs (or clears) the capacity-eviction observability hook. Unset
+  // costs one branch per tx-tracked eviction.
+  void set_evict_hook(EvictFn fn) { on_evict_ = std::move(fn); }
+
  private:
   struct TxTrack {
     bool active = false;
@@ -93,6 +105,11 @@ class MemorySystem {
   uint32_t num_ctxs_;
   MemStats* stats_;
   AbortFn on_abort_;
+  EvictFn on_evict_;
+  // Context of the access() currently in flight — attributed as the attacker
+  // of any abort the access triggers (conflict kills and capacity evictions
+  // both happen inside access()).
+  CtxId requester_ = 0;
 
   std::vector<std::unique_ptr<Cache>> l1_;
   std::vector<std::unique_ptr<Cache>> l2_;

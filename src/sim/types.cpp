@@ -45,9 +45,16 @@ uint32_t status_for_abort(AbortReason r, uint8_t explicit_code) {
 MiscBucket misc_bucket_for(AbortReason r) {
   switch (r) {
     case AbortReason::kConflict:
+      return MiscBucket::kMisc1;
     case AbortReason::kReadCapacity:
     case AbortReason::kWriteCapacity:
-      return MiscBucket::kMisc1;
+      // Capacity aborts are MISC2, the dedicated capacity counter. Note the
+      // asymmetry with status_for_abort: the *status word* for a read-
+      // capacity abort raises the CONFLICT bit (software cannot tell it from
+      // a data conflict), but the performance counters do distinguish it —
+      // the paper's Fig. 12 merge of conflict + read-capacity happens at the
+      // reporting layer (htm::AbortClass), not here.
+      return MiscBucket::kMisc2;
     case AbortReason::kExplicit:
     case AbortReason::kPageFault:
     case AbortReason::kUnsupportedInsn:

@@ -61,9 +61,20 @@ inline constexpr uint8_t unpack_code(uint32_t status) {
 uint32_t status_for_abort(AbortReason r, uint8_t explicit_code);
 
 // Intel-style performance-counter buckets (RTM_RETIRED:ABORTED_MISCn).
-// MISC1 memory events (conflict + capacity), MISC2 uncommon (always 0 in the
-// paper), MISC3 unsupported insn / page fault / explicit, MISC4 incompatible
-// memory type (always ~0), MISC5 everything else (interrupts).
+// Documented mapping (the authoritative table; tests/test_types_misc.cpp
+// asserts it exhaustively):
+//   MISC1  data conflicts                        <- kConflict
+//   MISC2  capacity (read- or write-set overflow)<- kReadCapacity,
+//                                                   kWriteCapacity
+//   MISC3  explicit / page fault / unsupported   <- kExplicit, kPageFault,
+//          instruction                              kUnsupportedInsn
+//   MISC4  incompatible memory type — cannot occur in this simulator
+//          (sentinel bucket, intentionally unreachable)
+//   MISC5  everything else (asynchronous events) <- kInterrupt
+// Note the counters are *finer* than the architectural status word: a read-
+// capacity abort raises the CONFLICT status bit (status_for_abort), yet the
+// counters bucket it under MISC2. The paper's Fig. 12 conflict/read-capacity
+// merge is a reporting-layer choice (htm::AbortClass), not a counter one.
 enum class MiscBucket : uint8_t { kMisc1 = 0, kMisc2, kMisc3, kMisc4, kMisc5, kCount };
 MiscBucket misc_bucket_for(AbortReason r);
 

@@ -1,5 +1,7 @@
 #include "stm/common.h"
 
+#include "obs/trace_sink.h"
+
 namespace tsx::stm {
 
 const char* stm_abort_cause_name(StmAbortCause c) {
@@ -22,7 +24,7 @@ void LockTable::init() {
   }
 }
 
-void StmExecutor::execute(const std::function<void()>& body) {
+void StmExecutor::execute(const std::function<void()>& body, uint32_t site) {
   ++stm_.stats().transactions;
   uint32_t attempt_no = 0;
   CtxId ctx = m_.current_ctx();
@@ -30,18 +32,27 @@ void StmExecutor::execute(const std::function<void()>& body) {
     ++attempt_no;
     ++stm_.stats().starts;
     stm_.tx_start(ctx);
+    if (sink_) sink_->stm_begin(ctx, m_.now(), site);
     hooks_.on_begin();
     try {
       body();
       stm_.tx_commit(ctx);
+      if (sink_) sink_->stm_commit(ctx, m_.now());
       hooks_.on_commit();
       return;
-    } catch (const StmAborted&) {
+    } catch (const StmAborted& a) {
       stm_.tx_abort_cleanup(ctx);
+      if (sink_) {
+        sink_->stm_abort(
+            ctx, m_.now(),
+            a.addr == ~sim::Addr{0} ? ~0ull : sim::line_of(a.addr),
+            a.owner == sim::kNoCtx ? ctx : a.owner);
+      }
       hooks_.on_abort();
       // Suicide + policy-shaped backoff (randomized exponential by default;
       // same rng-draw sequence as the historical inline formula).
       Cycles wait = policy_.backoff_cycles(attempt_no, m_.setup_rng());
+      if (sink_) sink_->retry_decision(ctx, m_.now(), false, wait);
       if (wait) m_.compute(wait);
     }
   }

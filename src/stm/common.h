@@ -18,6 +18,10 @@
 #include "sim/machine.h"
 #include "sim/types.h"
 
+namespace tsx::obs {
+class TraceSink;
+}
+
 namespace tsx::stm {
 
 using sim::Addr;
@@ -36,9 +40,13 @@ enum class StmAbortCause : uint8_t {
 const char* stm_abort_cause_name(StmAbortCause c);
 
 // Thrown by tx_read/tx_write/tx_commit; caught by StmExecutor's retry loop.
-// Never crosses a fiber switch while unwinding.
+// Never crosses a fiber switch while unwinding. `addr`/`owner` carry the
+// contended data address and the owning context where the abort site knows
+// them (lock-word conflicts); sentinel values otherwise.
 struct StmAborted {
   StmAbortCause cause;
+  Addr addr = ~Addr{0};
+  CtxId owner = sim::kNoCtx;
 };
 
 struct StmStats {
@@ -169,9 +177,10 @@ class StmSystem {
   }
 
  protected:
-  [[noreturn]] void abort_tx(StmAbortCause cause) {
+  [[noreturn]] void abort_tx(StmAbortCause cause, Addr addr = ~Addr{0},
+                             CtxId owner = sim::kNoCtx) {
     ++stats_.aborts_by_cause[static_cast<size_t>(cause)];
-    throw StmAborted{cause};
+    throw StmAborted{cause, addr, owner};
   }
 
   void notify_serialized(CtxId ctx) {
@@ -210,18 +219,25 @@ class StmExecutor {
 
   void set_scope_hooks(ScopeHooks hooks) { hooks_ = std::move(hooks); }
 
+  // Optional observability sink (src/obs): attempt lifecycle and
+  // contention-manager backoff decisions for software transactions, which
+  // never pass through the machine's hardware-tx hooks.
+  void set_sink(obs::TraceSink* sink) { sink_ = sink; }
+
   const core::RetryPolicy& retry_policy() const { return policy_; }
 
   // Executes `body` as one atomic STM transaction (retrying as needed).
   // The body routes its shared-memory accesses through tx_read/tx_write of
-  // the owning runtime layer.
-  void execute(const std::function<void()>& body);
+  // the owning runtime layer. `site` labels the static transaction site for
+  // trace attribution.
+  void execute(const std::function<void()>& body, uint32_t site = 0);
 
  private:
   Machine& m_;
   StmSystem& stm_;
   core::RetryPolicy policy_;
   ScopeHooks hooks_;
+  obs::TraceSink* sink_ = nullptr;
 };
 
 }  // namespace tsx::stm

@@ -77,7 +77,7 @@ Word TinyStm::tx_read(CtxId ctx, Addr addr) {
       // memory still holds the committed value.
       return m_.load(addr);
     }
-    abort_tx(StmAbortCause::kReadLocked);
+    abort_tx(StmAbortCause::kReadLocked, addr, LockTable::owner_of(lw));
   }
   Word value = m_.load(addr);
   // Recheck that the stripe didn't change underneath the value read. The
@@ -86,7 +86,11 @@ Word TinyStm::tx_read(CtxId ctx, Addr addr) {
   // the data load's linearization point (peek reads the current simulated
   // state, which is exactly the state at that instant).
   Word lw2 = m_.peek(la);
-  if (lw2 != lw) abort_tx(StmAbortCause::kReadLocked);
+  if (lw2 != lw) {
+    abort_tx(StmAbortCause::kReadLocked, addr,
+             LockTable::is_locked(lw2) ? LockTable::owner_of(lw2)
+                                       : sim::kNoCtx);
+  }
   Word version = LockTable::version_of(lw);
   if (version > tx.rv) {
     // Too new for our snapshot: try a timestamp extension.
@@ -103,7 +107,9 @@ void TinyStm::tx_write(CtxId ctx, Addr addr, Word value) {
   Addr la = locks_.lock_addr(addr);
   Word lw = m_.load(la);
   if (LockTable::is_locked(lw)) {
-    if (LockTable::owner_of(lw) != ctx) abort_tx(StmAbortCause::kWriteLocked);
+    if (LockTable::owner_of(lw) != ctx) {
+      abort_tx(StmAbortCause::kWriteLocked, addr, LockTable::owner_of(lw));
+    }
   } else {
     // A version newer than our snapshot means the stripe changed since we
     // (may have) read it; validate() treats owned stripes as consistent, so
@@ -114,7 +120,7 @@ void TinyStm::tx_write(CtxId ctx, Addr addr, Word value) {
     }
     // Encounter-time acquisition.
     if (!m_.cas(la, lw, LockTable::make_locked(ctx))) {
-      abort_tx(StmAbortCause::kWriteLocked);
+      abort_tx(StmAbortCause::kWriteLocked, addr);
     }
     tx.locks.push_back({la, lw});
   }

@@ -52,13 +52,21 @@ Word Tl2::tx_read(CtxId ctx, Addr addr) {
 
   Addr la = locks_.lock_addr(addr);
   Word lw = m_.load(la);
-  if (LockTable::is_locked(lw)) abort_tx(StmAbortCause::kReadLocked);
-  if (LockTable::version_of(lw) > tx.rv) abort_tx(StmAbortCause::kReadVersion);
+  if (LockTable::is_locked(lw)) {
+    abort_tx(StmAbortCause::kReadLocked, addr, LockTable::owner_of(lw));
+  }
+  if (LockTable::version_of(lw) > tx.rv) {
+    abort_tx(StmAbortCause::kReadVersion, addr);
+  }
   Word value = m_.load(addr);
   // Zero-latency recheck at the data load's linearization point (see
   // TinyStm::tx_read for the rationale).
   Word lw2 = m_.peek(la);
-  if (lw2 != lw) abort_tx(StmAbortCause::kReadLocked);
+  if (lw2 != lw) {
+    abort_tx(StmAbortCause::kReadLocked, addr,
+             LockTable::is_locked(lw2) ? LockTable::owner_of(lw2)
+                                       : sim::kNoCtx);
+  }
   tx.read_set.push_back({la, LockTable::version_of(lw)});
   tx.log.append(1);
   return value;
@@ -101,10 +109,12 @@ void Tl2::tx_commit(CtxId ctx) {
     Addr la = locks_.lock_addr(addr);
     if (acquired.count(la)) continue;
     Word lw = m_.load(la);
-    if (LockTable::is_locked(lw)) abort_tx(StmAbortCause::kWriteLocked);
+    if (LockTable::is_locked(lw)) {
+      abort_tx(StmAbortCause::kWriteLocked, addr, LockTable::owner_of(lw));
+    }
     if (LockTable::version_of(lw) > tx.rv) abort_tx(StmAbortCause::kValidation);
     if (!m_.cas(la, lw, LockTable::make_locked(ctx))) {
-      abort_tx(StmAbortCause::kWriteLocked);
+      abort_tx(StmAbortCause::kWriteLocked, addr);
     }
     tx.held.emplace_back(la, lw);
     acquired.emplace(la, true);

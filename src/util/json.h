@@ -1,0 +1,19 @@
+#pragma once
+// Minimal JSON emission helpers shared by the run-manifest writer
+// (src/harness) and the Chrome-trace exporter (src/obs).
+
+#include <string>
+#include <string_view>
+
+namespace tsx::util {
+
+// RFC 8259 string escaping: quotes, backslash, and all control characters
+// (as \uXXXX or the short forms where they exist). Does not add the
+// surrounding quotes.
+std::string json_escape(std::string_view s);
+
+// Formats a double with a fixed number of fractional digits, so JSON output
+// is byte-stable regardless of ambient stream state or locale.
+std::string json_fixed(double v, int precision);
+
+}  // namespace tsx::util

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -137,6 +138,53 @@ TEST(Runner, ManifestRecordsJobsAndDigest) {
   EXPECT_NE(m.find("\"total_jobs\": 3"), std::string::npos) << m;
   EXPECT_NE(m.find("\"seed\": 102"), std::string::npos) << m;
   EXPECT_NE(m.find("\"label\": \"cell1\""), std::string::npos) << m;
+}
+
+// Progress-line policy: redirected output (stderr not a TTY) must stay free
+// of throttled status lines, with --progress / TSXLAB_PROGRESS overrides.
+TEST(Runner, ProgressForcedOffEmitsNothing) {
+  std::ostringstream progress;
+  RunnerOptions opt;
+  opt.jobs = 1;
+  opt.progress_stream = &progress;
+  opt.assume_tty = 0;  // forced off beats the injected-stream auto-on
+  Runner r(opt);
+  std::vector<Job> js(3);
+  for (Job& j : js) j.fn = [] {};
+  r.run(std::move(js));
+  EXPECT_EQ(progress.str(), "");
+}
+
+TEST(Runner, ProgressForcedOnEmitsFinalSummary) {
+  std::ostringstream progress;
+  RunnerOptions opt;
+  opt.jobs = 1;
+  opt.bench_id = "unit_progress";
+  opt.progress_stream = &progress;
+  opt.assume_tty = 1;
+  Runner r(opt);
+  std::vector<Job> js(3);
+  for (Job& j : js) j.fn = [] {};
+  r.run(std::move(js));
+  EXPECT_NE(progress.str().find("[unit_progress] 3/3 jobs"),
+            std::string::npos)
+      << progress.str();
+  EXPECT_NE(progress.str().find("(done)"), std::string::npos);
+}
+
+TEST(Runner, ProgressEnvOverridesAssumeTty) {
+  ASSERT_EQ(setenv("TSXLAB_PROGRESS", "0", 1), 0);
+  std::ostringstream progress;
+  RunnerOptions opt;
+  opt.jobs = 1;
+  opt.progress_stream = &progress;
+  opt.assume_tty = 1;  // env wins over the forced-on override
+  Runner r(opt);
+  std::vector<Job> js(2);
+  for (Job& j : js) j.fn = [] {};
+  r.run(std::move(js));
+  unsetenv("TSXLAB_PROGRESS");
+  EXPECT_EQ(progress.str(), "");
 }
 
 TEST(Digest, OrderAndValueSensitive) {

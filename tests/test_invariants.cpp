@@ -22,7 +22,7 @@ TEST(MemoryInvariants, InclusionHoldsUnderRandomTraffic) {
   std::vector<std::pair<CtxId, AbortReason>> aborts;
   std::unique_ptr<MemorySystem> mem;
   mem = std::make_unique<MemorySystem>(
-      cfg, 4, &stats, [&](CtxId v, AbortReason r, uint64_t) {
+      cfg, 4, &stats, [&](CtxId v, AbortReason r, uint64_t, CtxId) {
         aborts.emplace_back(v, r);
         mem->tx_clear(v);
       });
@@ -82,7 +82,7 @@ TEST(MemoryInvariants, TxFlagsClearedAfterClear) {
   std::unique_ptr<MemorySystem> mem;
   mem = std::make_unique<MemorySystem>(
       cfg, 2, &stats,
-      [&](CtxId v, AbortReason, uint64_t) { mem->tx_clear(v); });
+      [&](CtxId v, AbortReason, uint64_t, CtxId) { mem->tx_clear(v); });
   mem->tx_begin(0, 0);
   for (int i = 0; i < 20; ++i) {
     mem->access(0, 0x40000 + i * 64, i % 2 == 0, true);

@@ -12,6 +12,7 @@ struct AbortRecord {
   CtxId victim;
   AbortReason reason;
   uint64_t line;
+  CtxId attacker;
 };
 
 struct Harness {
@@ -22,8 +23,9 @@ struct Harness {
 
   explicit Harness(uint32_t ctxs = 4, MachineConfig c = {}) : cfg(c) {
     mem = std::make_unique<MemorySystem>(
-        cfg, ctxs, &stats, [this](CtxId v, AbortReason r, uint64_t l) {
-          aborts.push_back({v, r, l});
+        cfg, ctxs, &stats,
+        [this](CtxId v, AbortReason r, uint64_t l, CtxId a) {
+          aborts.push_back({v, r, l, a});
           mem->tx_clear(v);
         });
   }
@@ -92,6 +94,7 @@ TEST(MemorySystem, ConflictWriteOnRemoteReadSet) {
   EXPECT_EQ(h.aborts[0].victim, 0u);
   EXPECT_EQ(h.aborts[0].reason, AbortReason::kConflict);
   EXPECT_EQ(h.aborts[0].line, line_of(0x20000));
+  EXPECT_EQ(h.aborts[0].attacker, 1u);  // the conflicting requester
 }
 
 TEST(MemorySystem, ReadOfRemoteWriteSetAbortsWriter) {
@@ -102,6 +105,7 @@ TEST(MemorySystem, ReadOfRemoteWriteSetAbortsWriter) {
   ASSERT_EQ(h.aborts.size(), 1u);
   EXPECT_EQ(h.aborts[0].victim, 0u);
   EXPECT_EQ(h.aborts[0].reason, AbortReason::kConflict);
+  EXPECT_EQ(h.aborts[0].attacker, 1u);
 }
 
 TEST(MemorySystem, ReadersDoNotConflict) {
@@ -133,6 +137,7 @@ TEST(MemorySystem, WriteCapacityAbortAtL1Pressure) {
   }
   ASSERT_FALSE(h.aborts.empty());
   EXPECT_EQ(h.aborts[0].reason, AbortReason::kWriteCapacity);
+  EXPECT_EQ(h.aborts[0].attacker, 0u);  // self-eviction: attacker == victim
 }
 
 TEST(MemorySystem, ReadsSurviveL1PressureViaL3) {

@@ -193,10 +193,13 @@ TEST(RtmExecutor, ClassifyLockAborts) {
 }
 
 TEST(RtmExecutor, MiscBucketsMatchIntelMapping) {
+  // Capacity aborts land in MISC2, the dedicated capacity counter — NOT
+  // MISC1, even though a read-capacity abort's *status word* raises the
+  // CONFLICT bit. tests/test_types_misc.cpp holds the exhaustive mapping.
   using tsx::sim::MiscBucket;
   EXPECT_EQ(misc_bucket_for(AbortReason::kConflict), MiscBucket::kMisc1);
-  EXPECT_EQ(misc_bucket_for(AbortReason::kReadCapacity), MiscBucket::kMisc1);
-  EXPECT_EQ(misc_bucket_for(AbortReason::kWriteCapacity), MiscBucket::kMisc1);
+  EXPECT_EQ(misc_bucket_for(AbortReason::kReadCapacity), MiscBucket::kMisc2);
+  EXPECT_EQ(misc_bucket_for(AbortReason::kWriteCapacity), MiscBucket::kMisc2);
   EXPECT_EQ(misc_bucket_for(AbortReason::kExplicit), MiscBucket::kMisc3);
   EXPECT_EQ(misc_bucket_for(AbortReason::kPageFault), MiscBucket::kMisc3);
   EXPECT_EQ(misc_bucket_for(AbortReason::kInterrupt), MiscBucket::kMisc5);
