@@ -13,9 +13,16 @@ using namespace tsx::bench;
 
 namespace {
 
+// A headline ratio plus the wasted-energy share of the ratio's RTM run
+// (--energy-split column; computed either way, printed on request).
+struct Headline {
+  double ratio = 0;
+  double wasted_share = 0;
+};
+
 // RTM-vs-sequential energy ratio for the eigenbench default (16K WS).
-double eigen_energy_ratio(double idle_w, double core_w, int reps, bool fast) {
-  std::vector<double> r;
+Headline eigen_energy_ratio(double idle_w, double core_w, int reps, bool fast) {
+  std::vector<double> r, ws;
   for (int rep = 0; rep < reps; ++rep) {
     eigenbench::EigenConfig eb = paper_default_eb(fast ? 80 : 150);
     auto mk = [&](core::Backend b, uint32_t threads) {
@@ -27,14 +34,15 @@ double eigen_energy_ratio(double idle_w, double core_w, int reps, bool fast) {
     auto seq = mk(core::Backend::kSeq, 1);
     auto rtm = mk(core::Backend::kRtm, 4);
     r.push_back(rtm.report.joules() / (4.0 * seq.report.joules()));
+    ws.push_back(rtm.report.energy_split().wasted_share());
   }
-  return util::mean(r);
+  return {util::mean(r), util::mean(ws)};
 }
 
 // labyrinth RTM energy at 4 threads vs 1 thread.
-double labyrinth_energy_growth(double idle_w, double core_w, int reps,
-                               bool fast) {
-  std::vector<double> r;
+Headline labyrinth_energy_growth(double idle_w, double core_w, int reps,
+                                 bool fast) {
+  std::vector<double> r, ws;
   for (int rep = 0; rep < reps; ++rep) {
     stamp::LabyrinthConfig app;
     app.width = 32;
@@ -52,8 +60,9 @@ double labyrinth_energy_growth(double idle_w, double core_w, int reps,
     auto one = mk(1);
     auto four = mk(4);
     r.push_back(four.report.joules() / one.report.joules());
+    ws.push_back(four.report.energy_split().wasted_share());
   }
-  return util::mean(r);
+  return {util::mean(r), util::mean(ws)};
 }
 
 }  // namespace
@@ -74,13 +83,26 @@ int main(int argc, char** argv) {
       {"static-heavy (28W idle, 5W/core)", 28, 5},
   };
 
-  util::Table t({"power split", "RTM/seq energy (16K eigen, <1 = RTM wins)",
-                 "labyrinth RTM 4t/1t energy (>1 = waste grows)"});
+  std::vector<std::string> cols = {
+      "power split", "RTM/seq energy (16K eigen, <1 = RTM wins)",
+      "labyrinth RTM 4t/1t energy (>1 = waste grows)"};
+  if (args.energy_split) {
+    cols.push_back("eigen wasted-share");
+    cols.push_back("labyrinth 4t wasted-share");
+  }
+  util::Table t(cols);
   for (const auto& s : splits) {
-    double eigen = eigen_energy_ratio(s.idle_w, s.core_w, args.reps, args.fast);
-    double laby =
+    Headline eigen =
+        eigen_energy_ratio(s.idle_w, s.core_w, args.reps, args.fast);
+    Headline laby =
         labyrinth_energy_growth(s.idle_w, s.core_w, args.reps, args.fast);
-    t.add_row({s.name, util::Table::fmt(eigen, 3), util::Table::fmt(laby, 3)});
+    std::vector<std::string> row{s.name, util::Table::fmt(eigen.ratio, 3),
+                                 util::Table::fmt(laby.ratio, 3)};
+    if (args.energy_split) {
+      row.push_back(util::Table::fmt(eigen.wasted_share, 3));
+      row.push_back(util::Table::fmt(laby.wasted_share, 3));
+    }
+    t.add_row(row);
   }
   emit(t, args);
   std::cout << "Both qualitative claims should hold in every row.\n";

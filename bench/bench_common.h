@@ -3,6 +3,7 @@
 // Every driver prints (a) the paper's reference shape, (b) a table of
 // simulated measurements, and (c) optionally CSV for post-processing.
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -17,20 +18,27 @@
 #include "harness/runner.h"
 #include "obs/abort_report.h"
 #include "obs/chrome_trace.h"
+#include "obs/pmu.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "util/flags.h"
 #include "util/summary.h"
 #include "util/table.h"
 
 namespace tsx::bench {
 
-// --trace / --abort-report settings, parsed into a process-global so the
-// drivers' run-config helpers (which never see BenchArgs) can consult them.
+// --trace / --abort-report / --perf-stat / --timeseries settings, parsed
+// into a process-global so the drivers' run-config helpers (which never see
+// BenchArgs) can consult them.
 struct ObsSettings {
   bool trace = false;
   bool abort_report = false;
-  core::Cycles energy_window = 0;
-  bool enabled() const { return trace || abort_report; }
+  bool perf_stat = false;
+  bool timeseries = false;
+  core::Cycles sample_interval = 0;
+  bool enabled() const {
+    return trace || abort_report || perf_stat || timeseries;
+  }
 };
 
 inline ObsSettings& obs_settings() {
@@ -45,7 +53,7 @@ inline void apply_obs(core::RunConfig& cfg, const std::string& label) {
   const ObsSettings& s = obs_settings();
   if (!s.enabled() || label.empty()) return;
   cfg.obs.enabled = true;
-  cfg.obs.energy_window = s.energy_window;
+  cfg.obs.sample_interval = s.sample_interval;
   cfg.obs.label = label;
 }
 
@@ -69,13 +77,18 @@ class ObsLabelScope {
 };
 
 // Drains the global capture registry when the last BenchArgs copy dies (end
-// of main), so the exporters cover every traced run of the process. Both
-// outputs avoid stdout: the Chrome trace goes to its file, the abort
-// report to stderr — driver stdout stays byte-identical with tracing on.
+// of main), so the exporters cover every traced run of the process. All
+// outputs avoid stdout: the Chrome trace / time series go to their files,
+// the abort report and a bare --perf-stat to stderr — driver stdout stays
+// byte-identical with observability on.
 class ObsFlusher {
  public:
-  ObsFlusher(std::string trace_file, bool abort_report)
-      : trace_file_(std::move(trace_file)), abort_report_(abort_report) {}
+  ObsFlusher(std::string trace_file, bool abort_report,
+             std::string perf_stat_file, std::string timeseries_file)
+      : trace_file_(std::move(trace_file)),
+        abort_report_(abort_report),
+        perf_stat_file_(std::move(perf_stat_file)),
+        timeseries_file_(std::move(timeseries_file)) {}
   ~ObsFlusher() {
     std::vector<obs::Capture> caps = obs::Registry::global().drain();
     if (!trace_file_.empty()) {
@@ -89,11 +102,38 @@ class ObsFlusher {
       }
     }
     if (abort_report_) obs::write_abort_report(std::cerr, caps);
+    if (!perf_stat_file_.empty()) {
+      if (perf_stat_file_ == "-") {
+        obs::write_perf_stat(std::cerr, caps);
+      } else {
+        std::ofstream out(perf_stat_file_);
+        if (!out) {
+          std::cerr << "[obs] cannot write perf stat to '" << perf_stat_file_
+                    << "'\n";
+        } else {
+          obs::write_perf_stat(out, caps);
+          std::cerr << "[obs] wrote perf stat to " << perf_stat_file_ << "\n";
+        }
+      }
+    }
+    if (!timeseries_file_.empty()) {
+      std::ofstream out(timeseries_file_);
+      if (!out) {
+        std::cerr << "[obs] cannot write time series to '" << timeseries_file_
+                  << "'\n";
+      } else {
+        obs::write_timeseries_csv(out, caps);
+        std::cerr << "[obs] wrote time series to " << timeseries_file_
+                  << "\n";
+      }
+    }
   }
 
  private:
   std::string trace_file_;
   bool abort_report_;
+  std::string perf_stat_file_;
+  std::string timeseries_file_;
 };
 
 // Standard bench flags: --reps (seeds averaged), --csv, --fast (smaller
@@ -105,7 +145,13 @@ class ObsFlusher {
 // --trace[=FILE] (Chrome trace-event JSON of every measured run, default
 // trace.json; load in Perfetto / chrome://tracing), --abort-report
 // (per-call-site abort attribution table on stderr at exit),
-// --energy-window=CYCLES (per-window energy-model samples in the trace),
+// --perf-stat[=FILE] (perf-stat-style simulated-PMU report per measured run,
+// to FILE or stderr when bare), --timeseries[=FILE] (counter time-series
+// CSV, default timeseries.csv; needs --sample-interval),
+// --sample-interval=CYCLES (counter-sampling window for the time series and
+// the trace's counter tracks; --energy-window is a deprecated alias),
+// --energy-split (extra committed/wasted energy columns in the energy
+// drivers' CSV output; default output stays byte-identical),
 // --progress[=BOOL] (force sweep progress lines on/off; default: only when
 // stderr is a TTY, see harness::RunnerOptions::assume_tty).
 struct BenchArgs {
@@ -117,6 +163,10 @@ struct BenchArgs {
   std::string manifest;
   std::string trace;        // resolved trace file; "" = tracing off
   bool abort_report = false;
+  std::string perf_stat;    // "" = off, "-" = stderr, else file path
+  std::string timeseries;   // resolved CSV file; "" = off
+  core::Cycles sample_interval = 0;
+  bool energy_split = false;
   int progress = -1;        // -1 auto (isatty), 0 off, 1 on
   // Keeps the exporters alive until the last BenchArgs copy dies.
   std::shared_ptr<ObsFlusher> obs_flusher;
@@ -137,18 +187,35 @@ struct BenchArgs {
       a.trace = flags.get_string("trace", "");
       if (a.trace == "true") a.trace = "trace.json";  // bare --trace
       a.abort_report = flags.get_bool("abort-report", false);
-      int64_t ew = flags.get_int("energy-window", 0);
-      if (ew < 0) throw std::invalid_argument("--energy-window must be >= 0");
+      a.perf_stat = flags.get_string("perf-stat", "");
+      if (a.perf_stat == "true") a.perf_stat = "-";  // bare --perf-stat
+      a.timeseries = flags.get_string("timeseries", "");
+      if (a.timeseries == "true") a.timeseries = "timeseries.csv";
+      int64_t si = flags.get_int("sample-interval", 0);
+      if (si < 0) throw std::invalid_argument("--sample-interval must be >= 0");
+      if (flags.has("energy-window")) {
+        // Deprecated alias from before the sampler unification; honored only
+        // when --sample-interval is absent.
+        int64_t ew = flags.get_int("energy-window", 0);
+        if (ew < 0) throw std::invalid_argument("--energy-window must be >= 0");
+        std::cerr << argv[0] << ": --energy-window is deprecated; use "
+                  << "--sample-interval=CYCLES\n";
+        if (si == 0) si = ew;
+      }
+      a.sample_interval = static_cast<core::Cycles>(si);
+      a.energy_split = flags.get_bool("energy-split", false);
       a.progress = flags.has("progress")
                        ? (flags.get_bool("progress", true) ? 1 : 0)
                        : -1;
       ObsSettings& s = obs_settings();
       s.trace = !a.trace.empty();
       s.abort_report = a.abort_report;
-      s.energy_window = static_cast<core::Cycles>(ew);
+      s.perf_stat = !a.perf_stat.empty();
+      s.timeseries = !a.timeseries.empty();
+      s.sample_interval = a.sample_interval;
       if (s.enabled()) {
-        a.obs_flusher =
-            std::make_shared<ObsFlusher>(a.trace, a.abort_report);
+        a.obs_flusher = std::make_shared<ObsFlusher>(
+            a.trace, a.abort_report, a.perf_stat, a.timeseries);
       }
       auto un = flags.unconsumed();
       if (!un.empty()) {
@@ -183,6 +250,18 @@ inline harness::RunnerOptions runner_options(const BenchArgs& args,
   opt.config_digest = config_digest;
   opt.manifest = args.manifest;
   opt.assume_tty = args.progress;
+  if (obs_settings().enabled()) {
+    // PMU-counter fingerprint for the manifest; the registry hash is
+    // label-sorted and non-destructive, so it is --jobs-invariant and the
+    // flusher can still drain the captures afterwards.
+    opt.counter_digest_fn = [] {
+      char hex[19];
+      std::snprintf(hex, sizeof(hex), "0x%016llx",
+                    static_cast<unsigned long long>(
+                        obs::Registry::global().counter_digest()));
+      return std::string(hex);
+    };
+  }
   return opt;
 }
 

@@ -26,12 +26,26 @@ int main(int argc, char** argv) {
   }
   std::vector<StampCell> cells = stamp_cells("fig11_stamp_energy", tasks, args);
 
-  util::Table t({"app", "system", "1t", "2t", "4t", "8t"});
+  // --energy-split appends the wasted-energy share (fraction of active
+  // energy spent in aborted attempts) per thread count; the default columns
+  // stay byte-identical either way.
+  std::vector<std::string> cols = {"app", "system", "1t", "2t", "4t", "8t"};
+  if (args.energy_split) {
+    for (uint32_t n : threads) {
+      cols.push_back(std::to_string(n) + "t-wasted");
+    }
+  }
+  util::Table t(cols);
   for (size_t i = 0; i < tasks.size(); i += threads.size()) {
     std::vector<std::string> row{tasks[i].app.name,
                                  core::backend_name(tasks[i].backend)};
     for (size_t k = 0; k < threads.size(); ++k) {
       row.push_back(util::Table::fmt(cells[i + k].norm_energy, 2));
+    }
+    if (args.energy_split) {
+      for (size_t k = 0; k < threads.size(); ++k) {
+        row.push_back(util::Table::fmt(cells[i + k].wasted_share, 3));
+      }
     }
     t.add_row(row);
   }

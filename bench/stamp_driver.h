@@ -141,6 +141,7 @@ inline std::vector<StampApp> stamp_apps() {
 struct StampCell {
   double norm_time = 0;    // vs sequential (non-TM) 1-thread run
   double norm_energy = 0;  // vs sequential energy
+  double wasted_share = 0; // share of active energy spent in aborted work
   stamp::AppResult result;
 };
 
@@ -150,6 +151,7 @@ struct StampCell {
 struct StampRep {
   double norm_time = 0;
   double norm_energy = 0;
+  double wasted_share = 0;
   stamp::AppResult result;
 };
 
@@ -170,6 +172,7 @@ inline StampRep stamp_rep(const StampApp& app, core::Backend backend,
   r.norm_time = static_cast<double>(run.report.wall_cycles) /
                 static_cast<double>(seq.report.wall_cycles);
   r.norm_energy = run.report.joules() / seq.report.joules();
+  r.wasted_share = run.report.energy_split().wasted_share();
   r.result = run;
   return r;
 }
@@ -180,16 +183,18 @@ inline StampRep stamp_rep(const StampApp& app, core::Backend backend,
 inline StampCell stamp_cell(const StampApp& app, core::Backend backend,
                             uint32_t threads, const BenchArgs& args,
                             uint64_t seed0 = 9000) {
-  std::vector<double> nt, ne;
+  std::vector<double> nt, ne, ws;
   StampCell cell;
   for (int rep = 0; rep < args.reps; ++rep) {
     StampRep r = stamp_rep(app, backend, threads, args.fast, seed0 + rep);
     nt.push_back(r.norm_time);
     ne.push_back(r.norm_energy);
+    ws.push_back(r.wasted_share);
     cell.result = r.result;
   }
   cell.norm_time = util::mean(nt);
   cell.norm_energy = util::mean(ne);
+  cell.wasted_share = util::mean(ws);
   return cell;
 }
 
@@ -246,15 +251,17 @@ inline std::vector<StampCell> stamp_cells(const std::string& bench_id,
 
   std::vector<StampCell> out(tasks.size());
   for (size_t t = 0; t < tasks.size(); ++t) {
-    std::vector<double> nt, ne;
+    std::vector<double> nt, ne, ws;
     for (size_t rep = 0; rep < reps; ++rep) {
       const StampRep& r = samples[t * reps + rep];
       nt.push_back(r.norm_time);
       ne.push_back(r.norm_energy);
+      ws.push_back(r.wasted_share);
       out[t].result = r.result;
     }
     out[t].norm_time = util::mean(nt);
     out[t].norm_energy = util::mean(ne);
+    out[t].wasted_share = util::mean(ws);
   }
   return out;
 }

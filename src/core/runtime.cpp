@@ -75,6 +75,8 @@ stm::StmStats diff(const stm::StmStats& a, const stm::StmStats& b) {
     d.aborts_by_cause[i] = a.aborts_by_cause[i] - b.aborts_by_cause[i];
   }
   d.extensions = a.extensions - b.extensions;
+  d.cycles_committed = a.cycles_committed - b.cycles_committed;
+  d.cycles_aborted = a.cycles_aborted - b.cycles_aborted;
   return d;
 }
 
@@ -85,7 +87,9 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
   heap_ = std::make_unique<mem::SimHeap>(*machine_, cfg_.heap);
 
   if (cfg_.obs.enabled) {
+    pmu_ = std::make_unique<obs::Pmu>(cfg_.threads);
     sink_ = std::make_unique<obs::TraceSink>(cfg_.obs.capacity);
+    sink_->set_pmu(pmu_.get());
     obs::TraceSink* s = sink_.get();
     sim::ObsHooks hooks;
     hooks.on_tx_begin = [s](CtxId c, Cycles t) { s->tx_begin(c, t); };
@@ -97,12 +101,12 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
     hooks.on_tx_evict = [s](CtxId c, Cycles t, int level, uint64_t line) {
       s->evict(c, t, level, line);
     };
-    if (cfg_.obs.energy_window) {
-      hooks.on_energy_window = [s](Cycles t, const sim::MachineStats& st) {
+    if (cfg_.obs.sample_interval) {
+      hooks.on_sample_window = [s](Cycles t, const sim::MachineStats& st) {
         s->energy_sample(t, st);
       };
     }
-    machine_->set_obs_hooks(std::move(hooks), cfg_.obs.energy_window);
+    machine_->set_obs_hooks(std::move(hooks), cfg_.obs.sample_interval);
   }
 
   // Runtime region: the backends' synchronization objects, one line each
@@ -119,9 +123,27 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
 
 TxRuntime::~TxRuntime() {
   if (sink_ && !cfg_.obs.label.empty()) {
-    obs::Registry::global().add(obs::make_capture(
-        *sink_, cfg_.obs.label, cfg_.machine.freq_ghz, cfg_.threads));
+    obs::Capture c = obs::make_capture(*sink_, cfg_.obs.label,
+                                       cfg_.machine.freq_ghz, cfg_.threads);
+    c.pmu = pmu_data();
+    obs::Registry::global().add(std::move(c));
   }
+}
+
+std::optional<obs::PmuData> TxRuntime::pmu_data() const {
+  if (!pmu_) return std::nullopt;
+  std::vector<Cycles> finish(cfg_.threads, 0);
+  std::vector<Cycles> busy(cfg_.threads, 0);
+  if (ran_) {
+    for (CtxId i = 0; i < cfg_.threads; ++i) {
+      finish[i] = machine_->ctx_finish(i);
+      busy[i] = machine_->ctx_busy(i);
+    }
+  }
+  return pmu_->finalize(machine_->snapshot(), ran_ ? machine_->wall() : 0,
+                        finish, busy,
+                        ran_ ? machine_->core_busy_cycles() : 0.0,
+                        cfg_.machine.energy, cfg_.machine.freq_ghz);
 }
 
 void TxRuntime::run(const std::function<void(TxCtx&)>& worker) {

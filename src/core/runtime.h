@@ -31,6 +31,7 @@
 #include "core/retry_policy.h"
 #include "core/trace.h"
 #include "mem/sim_heap.h"
+#include "obs/pmu.h"
 #include "sim/config.h"
 #include "sim/machine.h"
 #include "sim/rng.h"
@@ -54,8 +55,11 @@ using sim::Word;
 struct ObsConfig {
   bool enabled = false;
   size_t capacity = size_t{1} << 16;  // ring capacity in events
-  Cycles energy_window = 0;           // 0 = no energy-window samples
-  std::string label;                  // registry key; sorted at drain time
+  // Counter-sampling interval in simulated cycles; 0 = no samples. Drives
+  // both the kEnergy trace events and the PMU time series (one sampling
+  // path). Formerly named `energy_window`.
+  Cycles sample_interval = 0;
+  std::string label;  // registry key; sorted at drain time
 };
 
 struct RunConfig {
@@ -151,6 +155,11 @@ class TxRuntime {
   mem::SimHeap& heap() { return *heap_; }
   // Null unless cfg.obs.enabled.
   obs::TraceSink* trace_sink() { return sink_.get(); }
+  // The simulated PMU (null unless cfg.obs.enabled). Fed by the sink.
+  obs::Pmu* pmu() { return pmu_.get(); }
+  // Finalized PMU data — counters, cycle attribution, energy split,
+  // histograms, samples. Empty unless cfg.obs.enabled; valid after run().
+  std::optional<obs::PmuData> pmu_data() const;
   // The one concurrency-control executor this runtime dispatches through.
   TxExecutor& executor() { return *exec_; }
   const TxExecutor& executor() const { return *exec_; }
@@ -170,6 +179,7 @@ class TxRuntime {
   RunConfig cfg_;
   std::unique_ptr<sim::Machine> machine_;
   std::unique_ptr<mem::SimHeap> heap_;
+  std::unique_ptr<obs::Pmu> pmu_;         // before sink_: the sink borrows it
   std::unique_ptr<obs::TraceSink> sink_;  // before exec_: executors borrow it
   std::unique_ptr<TxExecutor> exec_;
   std::vector<std::unique_ptr<TxCtx>> ctxs_;

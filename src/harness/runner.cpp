@@ -182,11 +182,18 @@ void Runner::emit_manifest(const std::vector<Job>& jobs,
   std::snprintf(cfg_hex, sizeof(cfg_hex), "0x%016llx",
                 static_cast<unsigned long long>(opt_.config_digest));
 
+  std::string counter_digest;
+  if (opt_.counter_digest_fn) counter_digest = opt_.counter_digest_fn();
+
   *os << "{\n"
       << "  \"bench\": \"" << json_escape(opt_.bench_id) << "\",\n"
       << "  \"config_digest\": \"" << cfg_hex << "\",\n"
-      << "  \"run_digest\": \"" << d.hex() << "\",\n"
-      << "  \"jobs_flag\": " << jobs_ << ",\n"
+      << "  \"run_digest\": \"" << d.hex() << "\",\n";
+  if (!counter_digest.empty()) {
+    *os << "  \"counter_digest\": \"" << json_escape(counter_digest)
+        << "\",\n";
+  }
+  *os << "  \"jobs_flag\": " << jobs_ << ",\n"
       << "  \"total_jobs\": " << jobs.size() << ",\n"
       << "  \"wall_seconds\": " << json_fixed(wall_seconds, 6) << ",\n"
       << "  \"jobs\": [\n";

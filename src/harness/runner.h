@@ -88,6 +88,11 @@ struct RunnerOptions {
   // variable ("0" off, anything else on) overrides this; quiet overrides
   // everything. Keeps redirected logs free of throttled status lines.
   int assume_tty = -1;
+  // Optional observability-counter fingerprint, recorded in the manifest as
+  // "counter_digest". Called once, after every job has completed (so drivers
+  // can hash the obs registry's PMU counters); an empty result omits the
+  // field. Must be deterministic w.r.t. --jobs — CI diffs it.
+  std::function<std::string()> counter_digest_fn;
 };
 
 class Runner {

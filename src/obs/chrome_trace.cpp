@@ -142,6 +142,29 @@ void write_capture(Emitter& em, const Capture& c, int pid) {
            util::json_escape(site_label(c, open[ctx]->site)) +
            " (unfinished)\",\"args\":{}}");
   }
+
+  // PMU counter tracks (--sample-interval): the sample stream rendered as
+  // Chrome counter ("C") events alongside the span events above.
+  if (c.pmu) {
+    Event ce;  // counters are process-scoped; park them on tid 0
+    ce.ctx = 0;
+    for (const PmuSample& s : c.pmu->samples) {
+      em.raw(base("C", ce, s.t) + ",\"name\":\"pmu tx\",\"args\":{\"starts\":" +
+             std::to_string(s.tx_starts) +
+             ",\"commits\":" + std::to_string(s.tx_commits) +
+             ",\"aborts\":" + std::to_string(s.tx_aborts) + "}}");
+      em.raw(base("C", ce, s.t) +
+             ",\"name\":\"pmu tx cycles\",\"args\":{\"committed\":" +
+             std::to_string(s.committed_cycles) +
+             ",\"wasted\":" + std::to_string(s.wasted_cycles) + "}}");
+      em.raw(base("C", ce, s.t) +
+             ",\"name\":\"pmu memory\",\"args\":{\"l1_hits\":" +
+             std::to_string(s.l1_hits) +
+             ",\"l2_hits\":" + std::to_string(s.l2_hits) +
+             ",\"l3_hits\":" + std::to_string(s.l3_hits) +
+             ",\"mem\":" + std::to_string(s.mem_accesses) + "}}");
+    }
+  }
 }
 
 }  // namespace

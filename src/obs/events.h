@@ -20,7 +20,8 @@ enum class EventKind : uint8_t {
   kTxAbort,      // attempt aborted (reason/line/attacker valid)
   kEvict,        // a capacity-tracked line left its tracking structure
   kRetry,        // retry-policy decision after a failed attempt
-  kEnergy,       // energy-model window sample
+  kEnergy,       // sample-window counter snapshot (--sample-interval; the
+                 // historical name, from the original --energy-window flag)
 };
 
 const char* event_kind_name(EventKind k);

@@ -1,0 +1,69 @@
+#pragma once
+// Fixed-bucket log2 histogram for the simulated PMU's latency distributions
+// (transaction duration, abort latency, retries-per-commit).
+//
+// Buckets are powers of two: bucket 0 holds the value 0, bucket b >= 1 holds
+// values in [2^(b-1), 2^b). With 65 buckets every uint64_t value has a home.
+// Recording is O(1) and allocation-free; percentiles walk the (tiny) bucket
+// array and return the *lower bound* of the bucket containing the requested
+// rank — exact for distributions placed on bucket bounds (what the tests
+// use) and within 2x for everything else, which is the usual log2-histogram
+// contract (cf. hdrhistogram / perf's --log-scale buckets).
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace tsx::obs {
+
+class Log2Histogram {
+ public:
+  // bit_width(0) = 0, bit_width(1) = 1, bit_width(2..3) = 2, ... so every
+  // uint64_t lands in [0, 64].
+  static constexpr size_t kBuckets = 65;
+
+  static constexpr size_t bucket_of(uint64_t v) { return std::bit_width(v); }
+  static constexpr uint64_t bucket_lower_bound(size_t b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+
+  void record(uint64_t v) {
+    ++counts_[bucket_of(v)];
+    ++n_;
+    sum_ += v;
+  }
+
+  uint64_t count() const { return n_; }
+  uint64_t sum() const { return sum_; }
+  double mean() const {
+    return n_ ? static_cast<double>(sum_) / static_cast<double>(n_) : 0.0;
+  }
+
+  // Lower bound of the bucket holding the ceil(p/100 * n)-th smallest
+  // recorded value (1-based rank, clamped to [1, n]). 0 when empty.
+  uint64_t percentile(double p) const {
+    if (n_ == 0) return 0;
+    if (p < 0) p = 0;
+    if (p > 100) p = 100;
+    uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n_));
+    if (static_cast<double>(rank) * 100.0 < p * static_cast<double>(n_)) {
+      ++rank;  // ceil
+    }
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen >= rank) return bucket_lower_bound(b);
+    }
+    return bucket_lower_bound(kBuckets - 1);
+  }
+
+  const std::array<uint64_t, kBuckets>& counts() const { return counts_; }
+
+ private:
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t n_ = 0;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace tsx::obs

@@ -43,4 +43,53 @@ size_t Registry::size() const {
   return captures_.size();
 }
 
+namespace {
+
+struct Fnv {
+  uint64_t h = 14695981039346656037ull;
+  void add(uint64_t v) {
+    for (size_t i = 0; i < sizeof(v); ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void add(const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    add(static_cast<uint64_t>(s.size()));
+  }
+};
+
+}  // namespace
+
+uint64_t Registry::counter_digest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Capture*> sorted;
+  sorted.reserve(captures_.size());
+  for (const Capture& c : captures_) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Capture* a, const Capture* b) { return a->label < b->label; });
+  Fnv f;
+  for (const Capture* c : sorted) {
+    f.add(c->label);
+    if (!c->pmu) continue;
+    const PmuData& d = *c->pmu;
+    f.add(d.wall);
+    for (const PerfCounter& pc : d.counters) f.add(pc.value);
+    f.add(d.split.committed);
+    f.add(d.split.wasted);
+    f.add(d.split.non_tx);
+    f.add(d.split.idle);
+    f.add(static_cast<uint64_t>(d.samples.size()));
+    for (const PmuSample& s : d.samples) {
+      f.add(s.t);
+      f.add(s.tx_commits);
+      f.add(s.tx_aborts);
+    }
+  }
+  return f.h;
+}
+
 }  // namespace tsx::obs

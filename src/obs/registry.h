@@ -10,9 +10,11 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/pmu.h"
 #include "obs/trace_sink.h"
 
 namespace tsx::obs {
@@ -25,6 +27,9 @@ struct Capture {
   size_t dropped = 0;
   std::map<uint32_t, SiteAgg> sites;
   std::map<uint32_t, std::string> site_names;
+  // Finalized PMU result (perf-stat counters, cycle/energy attribution,
+  // time-series samples); present for every run traced with obs enabled.
+  std::optional<PmuData> pmu;
 };
 
 // Builds an immutable capture from a sink's current state.
@@ -41,6 +46,13 @@ class Registry {
   // Removes and returns all captures, sorted by label.
   std::vector<Capture> drain();
   size_t size() const;
+
+  // FNV-1a digest over every capture's PMU counters, cycle split and sample
+  // stream, iterated in label order — so the digest is identical across
+  // --jobs values. Non-destructive (the harness records it in the run
+  // manifest before the exporters drain). Captures without PMU data
+  // contribute only their label.
+  uint64_t counter_digest() const;
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,20 @@
+#pragma once
+// CSV export of the PMU counter time series (--sample-interval samples).
+//
+// One row per sample per capture, keyed by the capture's task label.
+// Captures arrive sorted by label from Registry::drain and samples are in
+// simulated-time order within a capture, so the CSV is byte-identical
+// across harness --jobs values. All values are cumulative counters at the
+// sample's window boundary (diff consecutive rows for rates).
+
+#include <iosfwd>
+#include <vector>
+
+namespace tsx::obs {
+
+struct Capture;
+
+void write_timeseries_csv(std::ostream& os,
+                          const std::vector<Capture>& captures);
+
+}  // namespace tsx::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/pmu.h"
+
 namespace tsx::obs {
 
 const char* event_kind_name(EventKind k) {
@@ -47,6 +49,7 @@ void TraceSink::retry_decision(sim::CtxId ctx, sim::Cycles t, bool fallback,
   e.backoff = backoff;
   push(e);
   if (fallback) ++sites_[e.site].fallbacks;
+  if (pmu_) pmu_->retry_decision(ctx, fallback);
 }
 
 void TraceSink::tx_begin(sim::CtxId ctx, sim::Cycles t) {
@@ -57,6 +60,7 @@ void TraceSink::tx_begin(sim::CtxId ctx, sim::Cycles t) {
   e.site = cur_site(ctx);
   push(e);
   ++sites_[e.site].attempts;
+  if (pmu_) pmu_->tx_begin(ctx, t, false);
 }
 
 void TraceSink::tx_commit(sim::CtxId ctx, sim::Cycles t) {
@@ -67,6 +71,7 @@ void TraceSink::tx_commit(sim::CtxId ctx, sim::Cycles t) {
   e.site = cur_site(ctx);
   push(e);
   ++sites_[e.site].commits;
+  if (pmu_) pmu_->tx_commit(ctx, t, false);
 }
 
 void TraceSink::tx_abort(sim::CtxId victim, sim::Cycles t,
@@ -88,6 +93,7 @@ void TraceSink::tx_abort(sim::CtxId victim, sim::Cycles t,
   if (e.attacker_site != kNoSite && attacker != victim) {
     ++agg.attacker_sites[e.attacker_site];
   }
+  if (pmu_) pmu_->tx_abort(victim, t, false);
 }
 
 void TraceSink::evict(sim::CtxId by, sim::Cycles t, int level, uint64_t line) {
@@ -108,6 +114,7 @@ void TraceSink::energy_sample(sim::Cycles t, const sim::MachineStats& stats) {
   e.commits = stats.tx.committed;
   e.aborts = stats.tx.aborted();
   push(e);
+  if (pmu_) pmu_->sample(t, stats);
 }
 
 void TraceSink::stm_begin(sim::CtxId ctx, sim::Cycles t, uint32_t site) {
@@ -120,6 +127,7 @@ void TraceSink::stm_begin(sim::CtxId ctx, sim::Cycles t, uint32_t site) {
   e.site = site;
   push(e);
   ++sites_[site].attempts;
+  if (pmu_) pmu_->tx_begin(ctx, t, true);
 }
 
 void TraceSink::stm_commit(sim::CtxId ctx, sim::Cycles t) {
@@ -131,6 +139,7 @@ void TraceSink::stm_commit(sim::CtxId ctx, sim::Cycles t) {
   e.site = cur_site(ctx);
   push(e);
   ++sites_[e.site].commits;
+  if (pmu_) pmu_->tx_commit(ctx, t, true);
 }
 
 void TraceSink::stm_abort(sim::CtxId ctx, sim::Cycles t, uint64_t line,
@@ -154,6 +163,7 @@ void TraceSink::stm_abort(sim::CtxId ctx, sim::Cycles t, uint64_t line,
   if (e.attacker_site != kNoSite && attacker != ctx) {
     ++agg.attacker_sites[e.attacker_site];
   }
+  if (pmu_) pmu_->tx_abort(ctx, t, true);
 }
 
 std::vector<Event> TraceSink::events() const {

@@ -25,6 +25,8 @@
 
 namespace tsx::obs {
 
+class Pmu;
+
 // Exact per-site attribution (independent of ring capacity).
 struct SiteAgg {
   uint64_t attempts = 0;   // hardware or STM attempts started
@@ -46,6 +48,13 @@ class TraceSink {
  public:
   explicit TraceSink(size_t capacity = 1 << 16);
 
+  // Optional simulated-PMU accumulator: every attempt-lifecycle emission,
+  // retry decision and counter sample is forwarded, so the PMU sees the
+  // exact event stream of all backends (hardware attempts arrive through
+  // the machine forwarders, software attempts through stm_*) without any
+  // executor knowing about it. Not owned.
+  void set_pmu(Pmu* pmu) { pmu_ = pmu; }
+
   // ---- Engine-side ----
   // Declares `site` as ctx's current static call site (host-side, no
   // event). Engines call this at the top of every execute().
@@ -60,6 +69,8 @@ class TraceSink {
   void tx_abort(sim::CtxId victim, sim::Cycles t, sim::AbortReason reason,
                 uint64_t line, sim::CtxId attacker);
   void evict(sim::CtxId by, sim::Cycles t, int level, uint64_t line);
+  // Sample-window boundary (the machine's unified counter-sampling path;
+  // kEnergy events keep their historical name).
   void energy_sample(sim::Cycles t, const sim::MachineStats& stats);
 
   // ---- STM attempt lifecycle (software transactions bypass the machine's
@@ -100,6 +111,7 @@ class TraceSink {
   std::array<uint32_t, sim::kMaxCtxs> cur_site_;
   std::map<uint32_t, SiteAgg> sites_;
   std::map<uint32_t, std::string> site_names_;
+  Pmu* pmu_ = nullptr;
 };
 
 }  // namespace tsx::obs

@@ -29,10 +29,10 @@ Machine::Machine(const MachineConfig& cfg, uint32_t num_threads)
 
 Machine::~Machine() = default;
 
-void Machine::set_obs_hooks(ObsHooks hooks, Cycles energy_window_cycles) {
+void Machine::set_obs_hooks(ObsHooks hooks, Cycles sample_window_cycles) {
   obs_ = std::move(hooks);
-  energy_window_ = obs_.on_energy_window ? energy_window_cycles : 0;
-  next_energy_sample_ = energy_window_;
+  sample_window_ = obs_.on_sample_window ? sample_window_cycles : 0;
+  next_sample_ = sample_window_;
   max_clock_seen_ = 0;
   if (obs_.on_tx_evict) {
     mem_->set_evict_hook([this](CtxId by, int level, uint64_t line) {
@@ -103,15 +103,15 @@ void Machine::advance(Cycles core_cycles, Cycles mem_cycles) {
   }
   c.clock += adj_core + mem_cycles;
   c.busy += adj_core + mem_cycles;
-  // Energy-window sampling: report each window boundary the first time any
-  // context's clock crosses it. The high-water mark makes boundary order
-  // monotonic; emission is host-side only, so sampling never perturbs the
-  // simulated timeline.
-  if (energy_window_ && c.clock > max_clock_seen_) {
+  // Sample-window counter sampling: report each window boundary the first
+  // time any context's clock crosses it. The high-water mark makes boundary
+  // order monotonic; emission is host-side only, so sampling never perturbs
+  // the simulated timeline.
+  if (sample_window_ && c.clock > max_clock_seen_) {
     max_clock_seen_ = c.clock;
-    while (max_clock_seen_ >= next_energy_sample_) {
-      obs_.on_energy_window(next_energy_sample_, stats_);
-      next_energy_sample_ += energy_window_;
+    while (max_clock_seen_ >= next_sample_) {
+      obs_.on_sample_window(next_sample_, stats_);
+      next_sample_ += sample_window_;
     }
   }
 }

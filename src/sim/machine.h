@@ -79,9 +79,11 @@ struct ObsHooks {
   // A capacity-tracked line left its tracking structure: level 1 = L1
   // write-set eviction, 3 = L3 read-set eviction. `by` triggered the fill.
   std::function<void(CtxId, Cycles, int, uint64_t)> on_tx_evict;
-  // Fired when simulated time first crosses each energy-window boundary;
-  // receives the boundary timestamp and a stats snapshot at that moment.
-  std::function<void(Cycles, const MachineStats&)> on_energy_window;
+  // Fired when simulated time first crosses each sample-window boundary
+  // (the unified counter-sampling path: energy-model samples and the PMU
+  // time series both hang off it); receives the boundary timestamp and a
+  // stats snapshot at that moment.
+  std::function<void(Cycles, const MachineStats&)> on_sample_window;
 };
 
 class Machine {
@@ -129,6 +131,9 @@ class Machine {
   Cycles now() const;              // current context's clock
   Cycles wall() const;             // after run(): max finish time
   Cycles ctx_finish(CtxId) const;  // after run(): per-context finish time
+  // Per-context busy cycles (the PMU's unhalted-clock counter; excludes
+  // time parked in barriers, unlike the clock itself).
+  Cycles ctx_busy(CtxId ctx) const { return ctxs_[ctx]->busy; }
 
   // Host-side (costless) value access for setup/validation.
   Word peek(Addr addr) const { return mem_->backing().peek(addr); }
@@ -159,9 +164,9 @@ class Machine {
 
   // Installs (or clears) the observability hooks (src/obs tracer). Distinct
   // from set_trace_hooks so recorder and tracer can coexist. If
-  // `energy_window_cycles` > 0, on_energy_window fires each time simulated
+  // `sample_window_cycles` > 0, on_sample_window fires each time simulated
   // time crosses a multiple of it.
-  void set_obs_hooks(ObsHooks hooks, Cycles energy_window_cycles = 0);
+  void set_obs_hooks(ObsHooks hooks, Cycles sample_window_cycles = 0);
 
  private:
   struct HwTx {
@@ -227,9 +232,9 @@ class Machine {
   Rng sched_rng_;  // scheduler jitter (sched_jitter_window)
   TraceHooks trace_;
   ObsHooks obs_;
-  Cycles energy_window_ = 0;       // 0 = energy sampling off
-  Cycles next_energy_sample_ = 0;  // next window boundary to report
-  Cycles max_clock_seen_ = 0;      // high-water mark driving window crossings
+  Cycles sample_window_ = 0;  // 0 = counter sampling off
+  Cycles next_sample_ = 0;    // next window boundary to report
+  Cycles max_clock_seen_ = 0; // high-water mark driving window crossings
 };
 
 }  // namespace tsx::sim

@@ -31,17 +31,22 @@ void StmExecutor::execute(const std::function<void()>& body, uint32_t site) {
   for (;;) {
     ++attempt_no;
     ++stm_.stats().starts;
+    // Attempt window opens before tx_start: clock-read/snapshot work done
+    // there is discarded on abort, so it belongs to the attempt.
+    Cycles t0 = m_.now();
     stm_.tx_start(ctx);
     if (sink_) sink_->stm_begin(ctx, m_.now(), site);
     hooks_.on_begin();
     try {
       body();
       stm_.tx_commit(ctx);
+      stm_.stats().cycles_committed += m_.now() - t0;
       if (sink_) sink_->stm_commit(ctx, m_.now());
       hooks_.on_commit();
       return;
     } catch (const StmAborted& a) {
       stm_.tx_abort_cleanup(ctx);
+      stm_.stats().cycles_aborted += m_.now() - t0;
       if (sink_) {
         sink_->stm_abort(
             ctx, m_.now(),

@@ -55,6 +55,10 @@ struct StmStats {
   uint64_t commits = 0;
   std::array<uint64_t, static_cast<size_t>(StmAbortCause::kCount)> aborts_by_cause{};
   uint64_t extensions = 0;  // successful timestamp extensions (TinySTM)
+  // Simulated cycles spent inside attempts that committed / aborted
+  // (committed-vs-wasted energy attribution; mirrors RtmStats).
+  Cycles cycles_committed = 0;
+  Cycles cycles_aborted = 0;
 
   uint64_t aborts() const {
     uint64_t s = 0;

@@ -159,7 +159,7 @@ TEST(AbortReport, WriterCoversEverySiteAndDroppedNote) {
 
 TEST(EnergyWindows, SamplesAreEmittedOnMonotonicBoundaries) {
   core::RunConfig cfg = conflict_cfg();
-  cfg.obs.energy_window = 1000;
+  cfg.obs.sample_interval = 1000;
   core::TxRuntime rt(cfg);
   sim::Addr addr = 0;
   run_conflict_workload(rt, &addr);

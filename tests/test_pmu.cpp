@@ -1,0 +1,289 @@
+// src/obs PMU: log2 histograms, per-context cycle attribution (the
+// committed + wasted + non-tx + idle == wall identity), the committed-vs-
+// wasted energy split, perf-stat counters, and the sample time series.
+//
+// The identity tests are the PR's core property: for every backend — pure
+// hardware (RTM), pure software (TinySTM), mixed (hybrid), and no
+// transactions at all (lock) — and with OS interrupts forcing extra aborts,
+// the four attribution buckets must tile each hardware thread's [0, wall]
+// exactly, with no mispaired attempt events.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "obs/histogram.h"
+#include "obs/pmu.h"
+#include "obs/registry.h"
+#include "obs/timeseries.h"
+#include "obs/trace_sink.h"
+
+namespace {
+
+using namespace tsx;
+using core::Backend;
+using sim::CtxId;
+using sim::Cycles;
+using sim::Word;
+
+// ---- Log2Histogram ----
+
+TEST(Log2Histogram, BucketBoundariesAreExactPowersOfTwo) {
+  EXPECT_EQ(obs::Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Log2Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Log2Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Log2Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Log2Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Log2Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(obs::Log2Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(obs::Log2Histogram::bucket_of(~0ull), 64u);
+
+  EXPECT_EQ(obs::Log2Histogram::bucket_lower_bound(0), 0u);
+  EXPECT_EQ(obs::Log2Histogram::bucket_lower_bound(1), 1u);
+  EXPECT_EQ(obs::Log2Histogram::bucket_lower_bound(2), 2u);
+  EXPECT_EQ(obs::Log2Histogram::bucket_lower_bound(11), 1024u);
+  // Round-trip: every value lands in a bucket whose bound is <= value.
+  for (uint64_t v : {0ull, 1ull, 2ull, 7ull, 64ull, 1000000ull}) {
+    size_t b = obs::Log2Histogram::bucket_of(v);
+    EXPECT_LE(obs::Log2Histogram::bucket_lower_bound(b), v == 0 ? 0 : v);
+  }
+}
+
+TEST(Log2Histogram, PercentilesAreExactOnBucketBounds) {
+  obs::Log2Histogram h;
+  // 100 values: 50x 1, 45x 16, 5x 1024 — all exact bucket lower bounds, so
+  // percentile() must return them exactly.
+  for (int i = 0; i < 50; ++i) h.record(1);
+  for (int i = 0; i < 45; ++i) h.record(16);
+  for (int i = 0; i < 5; ++i) h.record(1024);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 50u * 1 + 45u * 16 + 5u * 1024);
+  EXPECT_EQ(h.percentile(50), 1u);
+  EXPECT_EQ(h.percentile(51), 16u);
+  EXPECT_EQ(h.percentile(95), 16u);
+  EXPECT_EQ(h.percentile(96), 1024u);
+  EXPECT_EQ(h.percentile(99), 1024u);
+  EXPECT_EQ(h.percentile(100), 1024u);
+}
+
+TEST(Log2Histogram, EmptyHistogramIsAllZero) {
+  obs::Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+// ---- Cycle-attribution identity across backends ----
+
+core::RunConfig pmu_cfg(Backend b, uint32_t threads, bool interrupts) {
+  core::RunConfig cfg;
+  cfg.backend = b;
+  cfg.threads = threads;
+  cfg.machine.interrupts_enabled = interrupts;
+  cfg.obs.enabled = true;
+  cfg.obs.sample_interval = 2000;
+  return cfg;
+}
+
+// Contended counter increments: every TM backend aborts sometimes here.
+void run_counter_workload(core::TxRuntime& rt, uint32_t threads) {
+  sim::Addr addr = rt.heap().host_alloc(64, 64);
+  std::vector<std::function<void(core::TxCtx&)>> workers;
+  for (CtxId t = 0; t < threads; ++t) {
+    workers.push_back([addr](core::TxCtx& ctx) {
+      for (int i = 0; i < 120; ++i) {
+        ctx.transaction([&] {
+          Word v = ctx.load(addr);
+          ctx.compute(25);
+          ctx.store(addr, v + 1);
+        });
+      }
+    });
+  }
+  rt.run(std::move(workers));
+  ASSERT_EQ(rt.machine().peek(addr), 120u * threads);
+}
+
+void expect_identity(const obs::PmuData& d) {
+  EXPECT_TRUE(d.identity_ok);
+  EXPECT_EQ(d.mismatched, 0u);
+  ASSERT_EQ(d.ctx.size(), d.threads);
+  obs::TxCycleSplit sum;
+  for (const obs::PmuCtxSplit& c : d.ctx) {
+    // Per-context identity, exact.
+    EXPECT_EQ(c.committed + c.wasted + c.non_tx + c.idle, d.wall);
+    EXPECT_EQ(c.finish + c.idle, d.wall);
+    sum.committed += c.committed;
+    sum.wasted += c.wasted;
+    sum.non_tx += c.non_tx;
+    sum.idle += c.idle;
+  }
+  // Whole-run split is the per-context sum and tiles threads * wall.
+  EXPECT_EQ(d.split.committed, sum.committed);
+  EXPECT_EQ(d.split.wasted, sum.wasted);
+  EXPECT_EQ(d.split.non_tx, sum.non_tx);
+  EXPECT_EQ(d.split.idle, sum.idle);
+  EXPECT_EQ(d.split.total(), static_cast<Cycles>(d.threads) * d.wall);
+}
+
+class PmuIdentity : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(PmuIdentity, BucketsTileWallExactly) {
+  core::TxRuntime rt(pmu_cfg(GetParam(), 2, false));
+  run_counter_workload(rt, 2);
+  auto d = rt.pmu_data();
+  ASSERT_TRUE(d.has_value());
+  expect_identity(*d);
+}
+
+TEST_P(PmuIdentity, HoldsUnderInterruptForcedAborts) {
+  core::RunConfig cfg = pmu_cfg(GetParam(), 2, true);
+  cfg.machine.interrupt_mean_cycles = 3000;  // frequent: forced aborts
+  core::TxRuntime rt(cfg);
+  run_counter_workload(rt, 2);
+  auto d = rt.pmu_data();
+  ASSERT_TRUE(d.has_value());
+  expect_identity(*d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PmuIdentity,
+                         ::testing::Values(Backend::kRtm, Backend::kTinyStm,
+                                           Backend::kHybrid, Backend::kLock),
+                         [](const auto& info) {
+                           return std::string(core::backend_name(info.param));
+                         });
+
+TEST(Pmu, LockBackendHasNoTransactionCycles) {
+  core::TxRuntime rt(pmu_cfg(Backend::kLock, 2, false));
+  run_counter_workload(rt, 2);
+  auto d = rt.pmu_data();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->split.committed, 0u);
+  EXPECT_EQ(d->split.wasted, 0u);
+  EXPECT_GT(d->split.non_tx, 0u);
+}
+
+TEST(Pmu, RtmCountersMatchMachineStats) {
+  core::TxRuntime rt(pmu_cfg(Backend::kRtm, 2, false));
+  run_counter_workload(rt, 2);
+  auto d = rt.pmu_data();
+  ASSERT_TRUE(d.has_value());
+  const sim::TxStats& tx = d->machine.tx;
+  EXPECT_GT(tx.started, 0u);
+  auto counter = [&](const std::string& name) -> uint64_t {
+    for (const obs::PerfCounter& c : d->counters) {
+      if (c.name == name) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_EQ(counter("tx-start"), tx.started);
+  EXPECT_EQ(counter("tx-commit"), tx.committed);
+  EXPECT_EQ(counter("tx-abort"), tx.aborted());
+  // Committed-attempt durations: one histogram entry per commit.
+  EXPECT_EQ(d->tx_duration.count(), tx.committed);
+  EXPECT_EQ(d->abort_latency.count(), tx.aborted());
+}
+
+TEST(Pmu, StmAttemptCyclesAreCounted) {
+  core::TxRuntime rt(pmu_cfg(Backend::kTinyStm, 2, false));
+  run_counter_workload(rt, 2);
+  auto d = rt.pmu_data();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(d->stm_starts, 0u);
+  EXPECT_GT(d->stm_commits, 0u);
+  EXPECT_GT(d->split.committed, 0u);
+  // Executor-side cycle counters (RunReport energy split) agree in sign.
+  core::RunReport rep = rt.report();
+  EXPECT_GT(rep.stm.cycles_committed, 0u);
+}
+
+// ---- Energy split ----
+
+TEST(Pmu, EnergySplitSumsToTotalExactly) {
+  core::TxRuntime rt(pmu_cfg(Backend::kRtm, 2, false));
+  run_counter_workload(rt, 2);
+  auto d = rt.pmu_data();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(d->energy.total_j(), 0.0);
+  EXPECT_NEAR(d->energy_split.total_j(), d->energy.total_j(), 1e-12);
+  EXPECT_GT(d->energy_split.committed_j, 0.0);
+  EXPECT_GE(d->energy_split.wasted_j, 0.0);
+  EXPECT_DOUBLE_EQ(d->energy_split.static_j, d->energy.package_idle_j);
+}
+
+TEST(RunReport, EnergySplitSumsToReportTotal) {
+  core::TxRuntime rt(pmu_cfg(Backend::kRtm, 2, false));
+  run_counter_workload(rt, 2);
+  core::RunReport rep = rt.report();
+  core::TxEnergySplit s = rep.energy_split();
+  EXPECT_NEAR(s.total_j(), rep.joules(), 1e-12);
+  EXPECT_GT(s.committed_j, 0.0);
+  EXPECT_GE(s.wasted_share(), 0.0);
+  EXPECT_LE(s.wasted_share(), 1.0);
+}
+
+// ---- Reports and exports are deterministic ----
+
+obs::Capture captured_run(Backend b) {
+  core::RunConfig cfg = pmu_cfg(b, 2, false);
+  core::TxRuntime rt(cfg);
+  run_counter_workload(rt, 2);
+  obs::Capture c =
+      obs::make_capture(*rt.trace_sink(), "test:pmu", 3.3, 2);
+  c.pmu = rt.pmu_data();
+  return c;
+}
+
+TEST(PerfStat, ReportIsByteDeterministicAndNamesHaswellEvents) {
+  auto render = [] {
+    std::vector<obs::Capture> caps;
+    caps.push_back(captured_run(Backend::kRtm));
+    std::ostringstream os;
+    obs::write_perf_stat(os, caps);
+    return os.str();
+  };
+  std::string a = render();
+  EXPECT_NE(a.find("perf stat: test:pmu"), std::string::npos);
+  EXPECT_NE(a.find("RTM_RETIRED.START"), std::string::npos);
+  EXPECT_NE(a.find("RTM_RETIRED.ABORTED_MISC1"), std::string::npos);
+  EXPECT_NE(a.find("cycle attribution"), std::string::npos);
+  EXPECT_EQ(a.find("IDENTITY VIOLATED"), std::string::npos);
+  EXPECT_EQ(a, render());
+}
+
+TEST(Timeseries, CsvHasSamplesAndIsByteDeterministic) {
+  auto render = [] {
+    std::vector<obs::Capture> caps;
+    caps.push_back(captured_run(Backend::kRtm));
+    std::ostringstream os;
+    obs::write_timeseries_csv(os, caps);
+    return os.str();
+  };
+  std::string a = render();
+  EXPECT_EQ(a.rfind("label,t_cycles,", 0), 0u);  // header first
+  // With sample_interval=2000 and a multi-thousand-cycle run there must be
+  // data rows, each labeled and on a window boundary.
+  EXPECT_NE(a.find("\ntest:pmu,"), std::string::npos);
+  EXPECT_EQ(a, render());
+}
+
+TEST(Registry, CounterDigestIsStableAndNonDestructive) {
+  obs::Registry reg;
+  reg.add(captured_run(Backend::kRtm));
+  uint64_t d1 = reg.counter_digest();
+  uint64_t d2 = reg.counter_digest();
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(d1, 0u);
+  EXPECT_EQ(reg.size(), 1u);  // digest must not drain
+  // Adding a capture changes the fingerprint.
+  reg.add(captured_run(Backend::kTinyStm));
+  EXPECT_NE(reg.counter_digest(), d1);
+}
+
+}  // namespace
