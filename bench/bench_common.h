@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -260,6 +261,28 @@ inline harness::RunnerOptions runner_options(const BenchArgs& args,
                     static_cast<unsigned long long>(
                         obs::Registry::global().counter_digest()));
       return std::string(hex);
+    };
+    // Per-lock elision counters, aggregated by lock name across the sweep's
+    // captures (name-sorted and non-destructive, hence --jobs-invariant).
+    // Empty — and the manifest field absent — for benches without elide
+    // locks.
+    opt.elide_locks_fn = [] {
+      std::vector<obs::ElideLockCounters> locks =
+          obs::Registry::global().elide_totals();
+      if (locks.empty()) return std::string();
+      std::ostringstream os;
+      os << "[";
+      for (size_t i = 0; i < locks.size(); ++i) {
+        const obs::ElideLockCounters& e = locks[i];
+        os << (i ? ", " : "") << "{\"name\": \"" << e.name
+           << "\", \"acquisitions\": " << e.acquisitions
+           << ", \"attempts\": " << e.attempts << ", \"elided\": " << e.elided
+           << ", \"fallbacks\": " << e.fallbacks
+           << ", \"lock_acquires\": " << e.lock_acquires
+           << ", \"self_stops\": " << e.self_stops << "}";
+      }
+      os << "]";
+      return os.str();
     };
   }
   return opt;

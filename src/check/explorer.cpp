@@ -61,6 +61,7 @@ OracleConfig sweep_point(const ExplorerConfig& cfg, uint32_t s) {
                        ? static_cast<uint32_t>(cfg.quantum_override)
                        : kQuanta[(s / 4) % 4];
   oc.break_read_set_conflicts = cfg.break_read_set_conflicts;
+  oc.break_elision = cfg.break_elision;
   oc.check_history = cfg.check_history;
   return oc;
 }
@@ -74,6 +75,7 @@ std::string ExploreResult::repro_command() const {
      << repro.cfg.loops << " --jitter-window " << repro.cfg.jitter_window
      << " --quantum " << repro.cfg.quantum_ops;
   if (repro.cfg.break_read_set_conflicts) os << " --break-read-conflicts";
+  if (repro.cfg.break_elision) os << " --break-elision";
   if (!repro.cfg.check_history) os << " --no-history";
   return os.str();
 }

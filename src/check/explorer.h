@@ -24,6 +24,7 @@ struct ExplorerConfig {
   uint32_t threads = 2;
   uint32_t loops = 32;
   bool break_read_set_conflicts = false;
+  bool break_elision = false;  // unsubscribed-lock-word canary (elide-*)
   bool check_history = true;
   // >= 0 pins the knob for every sweep point; -1 sweeps it.
   int64_t jitter_override = -1;

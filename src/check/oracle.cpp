@@ -9,6 +9,7 @@
 #include "check/checker.h"
 #include "check/history.h"
 #include "core/runtime.h"
+#include "elide/elide.h"
 #include "sim/rng.h"
 #include "stamp/lib/hashtable.h"
 #include "stamp/lib/queue.h"
@@ -389,11 +390,169 @@ WorkloadResult workload_queue(Backend backend, const OracleConfig& cfg) {
   return r;
 }
 
+// ---- elide-mutex: increment kernel under an elide::mutex ----------------
+//
+// The eigen-inc kernel with every access running under one elide::mutex:
+// most sections go through critical_section (speculation + fallback), and
+// every fourth through locked_section, whose deliberately widened
+// load-compute-store bodies give unsubscribed speculation (the
+// break_elision canary) a window to commit inside a real holder's section
+// and lose its increments. Expected counts and digest are exactly
+// eigen-inc's.
+
+WorkloadResult workload_elide_mutex(Backend backend, const OracleConfig& cfg) {
+  WorkloadResult r;
+  std::vector<std::vector<uint32_t>> sched(cfg.threads);
+  std::vector<uint64_t> expected(kArrayWords, 0);
+  for (uint32_t t = 0; t < cfg.threads; ++t) {
+    sim::Rng rng(cfg.seed * 0xbf58476d1ce4e5b9ull + 3 * t + 2);
+    for (uint32_t j = 0; j < cfg.loops; ++j) {
+      for (uint32_t k = 0; k < kTxWords; ++k) {
+        uint32_t idx = static_cast<uint32_t>(rng.below(kArrayWords));
+        sched[t].push_back(idx);
+        ++expected[idx];
+      }
+    }
+  }
+
+  sim::Addr arr = 0;
+  std::unique_ptr<elide::mutex> mu;
+  auto setup = [&](TxRuntime& rt) {
+    arr = rt.heap().host_alloc(kArrayWords * sim::kWordBytes, sim::kLineBytes);
+    for (uint32_t i = 0; i < kArrayWords; ++i) {
+      rt.machine().poke(arr + i * sim::kWordBytes, 0);
+    }
+    elide::ElideConfig ec;
+    ec.subscribe = !cfg.break_elision;
+    mu = std::make_unique<elide::mutex>(rt, "oracle-mutex", ec);
+  };
+  auto worker = [&](TxCtx& ctx) {
+    const std::vector<uint32_t>& s = sched[ctx.id()];
+    for (uint32_t j = 0; j < cfg.loops; ++j) {
+      auto body = [&] {
+        for (uint32_t k = 0; k < kTxWords; ++k) {
+          sim::Addr a = arr + s[j * kTxWords + k] * sim::kWordBytes;
+          sim::Word v = ctx.load(a);
+          if (j % 4 == 3) ctx.compute(60);  // widen the holder's window
+          ctx.store(a, v + 1);
+        }
+      };
+      if (j % 4 == 3) {
+        mu->locked_section(ctx, body);
+      } else {
+        mu->critical_section(ctx, body);
+      }
+    }
+  };
+
+  RunOutcome out = run_with_check(backend, cfg, setup, worker);
+  uint64_t digest = kFnvOffset;
+  for (uint32_t i = 0; i < kArrayWords; ++i) {
+    sim::Word v = out.rt->machine().peek(arr + i * sim::kWordBytes);
+    fnv(digest, v);
+    if (r.ok && v != expected[i]) {
+      std::ostringstream os;
+      os << "lost update under elided lock: word " << i << " = " << v
+         << ", expected " << expected[i] << " increments";
+      r.ok = false;
+      r.error = os.str();
+    }
+  }
+  r.digest = digest;
+  if (r.ok) fill_history_failure(r, out);
+  return r;
+}
+
+// ---- elide-shared: invariant x == y under an elide::shared_mutex --------
+//
+// Writers keep two words in lockstep through exclusive sections; readers
+// snapshot both through shared sections and must never observe x != y. The
+// final state is write-count-determined, hence digest-comparable.
+
+WorkloadResult workload_elide_shared(Backend backend, const OracleConfig& cfg) {
+  WorkloadResult r;
+  std::vector<std::vector<bool>> writes(cfg.threads);
+  uint64_t total_writes = 0;
+  for (uint32_t t = 0; t < cfg.threads; ++t) {
+    sim::Rng rng(cfg.seed * 0x94d049bb133111ebull + 11 * t + 3);
+    for (uint32_t j = 0; j < cfg.loops; ++j) {
+      bool w = rng.below(100) < 40;
+      writes[t].push_back(w);
+      if (w) ++total_writes;
+    }
+  }
+
+  sim::Addr xw = 0, yw = 0;
+  std::unique_ptr<elide::shared_mutex> mu;
+  auto setup = [&](TxRuntime& rt) {
+    // Separate lines so reader and writer sections conflict only through
+    // the lock protocol, not false sharing.
+    xw = rt.heap().host_alloc(sim::kLineBytes, sim::kLineBytes);
+    yw = rt.heap().host_alloc(sim::kLineBytes, sim::kLineBytes);
+    rt.machine().poke(xw, 0);
+    rt.machine().poke(yw, 0);
+    elide::ElideConfig ec;
+    ec.subscribe = !cfg.break_elision;
+    mu = std::make_unique<elide::shared_mutex>(rt, "oracle-rw", ec);
+  };
+
+  bool torn = false;
+  sim::Word torn_x = 0, torn_y = 0;
+  auto worker = [&](TxCtx& ctx) {
+    for (bool w : writes[ctx.id()]) {
+      if (w) {
+        mu->critical_section(ctx, [&] {
+          sim::Word x = ctx.load(xw);
+          ctx.store(xw, x + 1);
+          ctx.compute(30);
+          ctx.store(yw, ctx.load(yw) + 1);
+        });
+      } else {
+        // Latched inside, consumed after: the committed attempt wins.
+        sim::Word vx = 0, vy = 0;
+        mu->critical_section_shared(ctx, [&] {
+          vx = ctx.load(xw);
+          vy = ctx.load(yw);
+        });
+        if (vx != vy && !torn) {
+          torn = true;
+          torn_x = vx;
+          torn_y = vy;
+        }
+      }
+    }
+  };
+
+  RunOutcome out = run_with_check(backend, cfg, setup, worker);
+  sim::Word fx = out.rt->machine().peek(xw);
+  sim::Word fy = out.rt->machine().peek(yw);
+  uint64_t digest = kFnvOffset;
+  fnv(digest, fx);
+  fnv(digest, fy);
+  r.digest = digest;
+  if (torn) {
+    std::ostringstream os;
+    os << "reader observed torn invariant: x = " << torn_x << ", y = "
+       << torn_y;
+    r.ok = false;
+    r.error = os.str();
+  } else if (fx != total_writes || fy != total_writes) {
+    std::ostringstream os;
+    os << "lost writer update: x = " << fx << ", y = " << fy << ", expected "
+       << total_writes;
+    r.ok = false;
+    r.error = os.str();
+  }
+  if (r.ok) fill_history_failure(r, out);
+  return r;
+}
+
 }  // namespace
 
 const std::vector<std::string>& workload_names() {
-  static const std::vector<std::string> names = {"eigen-inc", "rbtree",
-                                                 "hashtable", "queue"};
+  static const std::vector<std::string> names = {
+      "eigen-inc", "rbtree", "hashtable", "queue", "elide-mutex",
+      "elide-shared"};
   return names;
 }
 
@@ -410,6 +569,8 @@ WorkloadResult run_workload(const std::string& name, core::Backend backend,
   if (name == "rbtree") return workload_rbtree(backend, cfg);
   if (name == "hashtable") return workload_hashtable(backend, cfg);
   if (name == "queue") return workload_queue(backend, cfg);
+  if (name == "elide-mutex") return workload_elide_mutex(backend, cfg);
+  if (name == "elide-shared") return workload_elide_shared(backend, cfg);
   WorkloadResult r;
   r.ok = false;
   r.error = "unknown workload '" + name + "'";

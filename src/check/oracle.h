@@ -32,6 +32,11 @@ struct OracleConfig {
   sim::Cycles jitter_window = 0;  // MachineConfig::sched_jitter_window
   uint32_t quantum_ops = 0;       // MachineConfig::sched_quantum_ops
   bool break_read_set_conflicts = false;  // fault injection (HTM backends)
+  // Fault injection for the elide workloads: construct their locks with
+  // ElideConfig::subscribe = false, so speculative sections stop watching
+  // the lock word and can commit inside a real holder's critical section
+  // (the classic unsubscribed-elision lost update).
+  bool break_elision = false;
   bool check_history = true;
 };
 
@@ -43,7 +48,7 @@ struct WorkloadResult {
 };
 
 // Workload names accepted by run_workload: "eigen-inc", "rbtree",
-// "hashtable", "queue".
+// "hashtable", "queue", "elide-mutex", "elide-shared".
 const std::vector<std::string>& workload_names();
 
 // The backends the oracle exercises by default (kHybrid included so the

@@ -36,13 +36,15 @@ void usage() {
       "tm_fuzz: schedule exploration + cross-backend differential oracle\n"
       "  --seeds N            sweep points (default 16)\n"
       "  --seed S             base workload seed (default 1)\n"
-      "  --workloads a,b      subset of: eigen-inc,rbtree,hashtable,queue\n"
+      "  --workloads a,b      subset of: eigen-inc,rbtree,hashtable,queue,\n"
+      "                       elide-mutex,elide-shared\n"
       "  --backends a,b       subset of: rtm,hle,stm,tl2,spinlock,cas,seq,hybrid\n"
       "  --threads N          simulated threads (default 2)\n"
       "  --loops N            operations per thread (default 32)\n"
       "  --jitter-window C    pin sched_jitter_window (default: sweep)\n"
       "  --quantum N          pin sched_quantum_ops (default: sweep)\n"
       "  --break-read-conflicts  inject the read-set-blind conflict bug\n"
+      "  --break-elision      inject the unsubscribed-lock-elision bug\n"
       "  --no-history         skip the serializability checker\n"
       "  --fast               smaller workloads (smoke-test mode)\n"
       "  --progress N         print progress every N sweep points\n");
@@ -65,6 +67,7 @@ int main(int argc, char** argv) {
   cfg.jitter_override = flags.get_int("jitter-window", -1);
   cfg.quantum_override = flags.get_int("quantum", -1);
   cfg.break_read_set_conflicts = flags.get_bool("break-read-conflicts", false);
+  cfg.break_elision = flags.get_bool("break-elision", false);
   cfg.check_history = !flags.get_bool("no-history", false);
   if (flags.get_bool("fast", false)) cfg.loops = std::min(cfg.loops, 12u);
 
@@ -125,7 +128,9 @@ int main(int argc, char** argv) {
               "(threads=%u loops=%u%s)\n",
               cfg.seeds, workloads.size(), backends.size(), cfg.threads,
               cfg.loops,
-              cfg.break_read_set_conflicts ? ", FAULT INJECTION ON" : "");
+              cfg.break_read_set_conflicts || cfg.break_elision
+                  ? ", FAULT INJECTION ON"
+                  : "");
 
   tsx::check::ExploreResult res = tsx::check::explore(cfg);
   if (!res.failed) {

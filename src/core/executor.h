@@ -48,6 +48,18 @@ struct ExecutorEnv {
   obs::TraceSink* sink = nullptr;
 };
 
+// Result of one *elision* attempt batch (TxExecutor::elide): the body either
+// committed speculatively, bailed because the subscribed lock word was held,
+// or aborted for a data/capacity/interrupt reason. The caller (src/elide)
+// owns the retry loop — the executor runs exactly one speculative attempt so
+// the lock layer can meter attempts against its own core::RetryPolicy and
+// per-lock statistics.
+enum class ElideOutcome : uint8_t {
+  kCommitted = 0,
+  kLockBusy = 1,
+  kAborted = 2,
+};
+
 class TxExecutor {
  public:
   explicit TxExecutor(const ExecutorEnv& env) : env_(env) {}
@@ -71,6 +83,33 @@ class TxExecutor {
     (void)ctx;
     env_.machine->store(a, v);
   }
+
+  // --- Lock-elision seam (src/elide) -------------------------------------
+  //
+  // elide(): one speculative attempt at `body` with `lock_word` subscribed
+  // (read inside the transaction, aborting with kLockBusy when non-zero).
+  // `lock_word == 0` means "do not subscribe" — only the broken-elision
+  // canary passes that (the simulated heap starts at 0x4'0000'0000, so 0 is
+  // never a real lock). The default runs the body through execute() with a
+  // pre-check of the word, which is correct for the global-lock and serial
+  // backends; speculative backends override it in executors.cpp.
+  virtual ElideOutcome elide(const std::function<void()>& body,
+                             sim::Addr lock_word, uint32_t site);
+
+  // elide_fallback(): run `body` non-speculatively while the *caller*
+  // already holds its fallback lock. Brackets the heap transaction scope and
+  // the check recorder unit so elided and fallback executions leave the same
+  // history shape. STM-backed executors override it to run the body as a
+  // software transaction, which keeps stripe versions moving and so doom
+  // concurrently elided readers (opacity).
+  virtual void elide_fallback(const std::function<void()>& body,
+                              uint32_t site);
+
+  // Lock-word read-modify-writes for the fallback path. Raw machine RMWs by
+  // default; STM-backed executors wrap them in small software transactions
+  // so lock-word transitions version-bump their stripes.
+  virtual bool lock_cas(sim::Addr a, sim::Word expected, sim::Word desired);
+  virtual sim::Word lock_fetch_add(sim::Addr a, sim::Word delta);
 
   // True while `ctx` runs a live software transaction (raw atomics are then
   // a programming error, and machine-level trace events are metadata).

@@ -58,6 +58,35 @@ Hooks make_scope_hooks(const ExecutorEnv& env, bool observe_commit) {
   };
 }
 
+// One speculative elision attempt on a hardware-transactional backend:
+// subscribe the lock word inside the transaction (abort kAbortCodeLockBusy
+// when held), run the body, and map the attempt result onto ElideOutcome.
+// Mirrors RtmExecutor::execute's hook ordering so the recorder and heap
+// scoping see elided sections exactly like executor transactions.
+ElideOutcome hw_elide(sim::Machine& m, obs::TraceSink* sink,
+                      const htm::ScopeHooks& hooks,
+                      const std::function<void()>& body, Addr lock_word,
+                      uint32_t site) {
+  if (sink) sink->set_site(m.current_ctx(), site);
+  hooks.on_begin();
+  htm::AttemptResult r = htm::attempt(m, [&] {
+    if (lock_word != 0 && m.load(lock_word) != 0) {
+      m.tx_abort(htm::kAbortCodeLockBusy);
+    }
+    body();
+  });
+  if (r.committed) {
+    hooks.on_commit();
+    return ElideOutcome::kCommitted;
+  }
+  hooks.on_abort();
+  if (r.reason == sim::AbortReason::kExplicit &&
+      sim::xstatus::unpack_code(r.status) == htm::kAbortCodeLockBusy) {
+    return ElideOutcome::kLockBusy;
+  }
+  return ElideOutcome::kAborted;
+}
+
 // ---- kSeq ----
 
 class SeqExecutor final : public TxExecutor {
@@ -116,7 +145,8 @@ class HleExecutor final : public TxExecutor {
   HleExecutor(const ExecutorEnv& env, uint32_t elision_attempts)
       : TxExecutor(env),
         lock_(*env.machine, mem::kRuntimeRegionBase + 2 * sim::kLineBytes,
-              elision_attempts) {
+              elision_attempts),
+        elide_hooks_(make_scope_hooks<htm::ScopeHooks>(env, true)) {
     lock_.init();
     // Heap scoping and observer bracketing fire per elision attempt;
     // lock-path sections seal before the unlock, elided sections seal
@@ -133,8 +163,26 @@ class HleExecutor final : public TxExecutor {
     lock_.critical_section(body);
   }
 
+  ElideOutcome elide(const std::function<void()>& body, Addr lock_word,
+                     uint32_t site) override {
+    return hw_elide(*env_.machine, env_.sink, elide_hooks_, body, lock_word,
+                    site);
+  }
+
+  // Hardware elision needs raw lock-word RMWs (glibc-style): exclusion
+  // against elided sections comes from subscription, and the acquiring CAS
+  // must conflict with their read sets immediately, not via a nested block.
+  bool lock_cas(sim::Addr a, sim::Word expected, sim::Word desired) override {
+    return env_.machine->load(a) == expected &&
+           env_.machine->cas(a, expected, desired);
+  }
+  sim::Word lock_fetch_add(sim::Addr a, sim::Word delta) override {
+    return env_.machine->fetch_add(a, delta);
+  }
+
  private:
   htm::HleLock lock_;
+  htm::ScopeHooks elide_hooks_;
 };
 
 // ---- kRtm ----
@@ -143,7 +191,8 @@ class RtmSerialExecutor final : public TxExecutor {
  public:
   RtmSerialExecutor(const ExecutorEnv& env, const RetryPolicy& policy)
       : TxExecutor(env),
-        rtm_(*env.machine, mem::kRuntimeRegionBase + sim::kLineBytes, policy) {
+        rtm_(*env.machine, mem::kRuntimeRegionBase + sim::kLineBytes, policy),
+        elide_hooks_(make_scope_hooks<htm::ScopeHooks>(env, true)) {
     rtm_.init();
     rtm_.set_scope_hooks(make_scope_hooks<htm::ScopeHooks>(env, true));
     rtm_.set_sink(env.sink);
@@ -155,6 +204,26 @@ class RtmSerialExecutor final : public TxExecutor {
     rtm_.execute(body, site);
   }
 
+  // Elision attempts bypass rtm_'s serial lock entirely: the elided lock's
+  // own word is the subscription target, and src/elide owns retry/fallback.
+  // rtm_stats() intentionally keeps counting execute() transactions only;
+  // per-lock elision statistics live in the elide layer and the PMU.
+  ElideOutcome elide(const std::function<void()>& body, Addr lock_word,
+                     uint32_t site) override {
+    return hw_elide(*env_.machine, env_.sink, elide_hooks_, body, lock_word,
+                    site);
+  }
+
+  // Raw lock-word RMWs, as for HLE: the CAS itself is the conflict source
+  // that dooms subscribed elided sections.
+  bool lock_cas(sim::Addr a, sim::Word expected, sim::Word desired) override {
+    return env_.machine->load(a) == expected &&
+           env_.machine->cas(a, expected, desired);
+  }
+  sim::Word lock_fetch_add(sim::Addr a, sim::Word delta) override {
+    return env_.machine->fetch_add(a, delta);
+  }
+
   bool in_serial_fallback() const override { return rtm_.in_fallback(); }
   htm::RtmStats rtm_stats() const override { return rtm_.stats(); }
   std::vector<std::pair<uint32_t, htm::RtmStats>> rtm_site_stats()
@@ -164,6 +233,7 @@ class RtmSerialExecutor final : public TxExecutor {
 
  private:
   htm::RtmExecutor rtm_;
+  htm::ScopeHooks elide_hooks_;
 };
 
 // ---- STM-backed executors (kTinyStm, kTl2, and kHybrid's fallback) ----
@@ -210,6 +280,64 @@ class StmBackedExecutor : public TxExecutor {
 
   bool stm_active(CtxId ctx) const override { return stm_->tx_active(ctx); }
   stm::StmStats stm_stats() const override { return stm_->stats(); }
+
+  // Software elision: one single-shot STM transaction with the lock word in
+  // its read set (tx_read validates it against the stripe clock). A busy
+  // lock *commits* the read-only transaction — the busy observation was
+  // atomic — and reports kLockBusy without burning an STM abort.
+  ElideOutcome elide(const std::function<void()>& body, Addr lock_word,
+                     uint32_t site) override {
+    ElideOutcome out = ElideOutcome::kCommitted;
+    bool committed = stm_exec_.execute_once(
+        [&] {
+          out = ElideOutcome::kCommitted;
+          if (lock_word != 0 &&
+              this->load(env_.machine->current_ctx(), lock_word) != 0) {
+            out = ElideOutcome::kLockBusy;
+            return;
+          }
+          body();
+        },
+        site);
+    return committed ? out : ElideOutcome::kAborted;
+  }
+
+  // The fallback body must run as a software transaction even though the
+  // caller holds the fallback lock: raw stores would not bump stripe
+  // versions, and a concurrently elided reader that started before the lock
+  // acquisition could then read a torn snapshot without failing validation
+  // (opacity). As a transaction, every write locks + version-bumps its
+  // stripe, dooming such readers at read/commit time.
+  void elide_fallback(const std::function<void()>& body,
+                      uint32_t site) override {
+    stm_exec_.execute(body, site);
+  }
+
+  // Lock-word transitions go through small STM transactions for the same
+  // reason: elided readers subscribe the word via tx_read, so acquiring or
+  // releasing the word must version-bump its stripe to invalidate them.
+  bool lock_cas(Addr a, Word expected, Word desired) override {
+    bool ok = false;
+    stm_exec_.execute([&] {
+      CtxId c = env_.machine->current_ctx();
+      ok = false;
+      if (this->load(c, a) == expected) {
+        this->store(c, a, desired);
+        ok = true;
+      }
+    });
+    return ok;
+  }
+
+  Word lock_fetch_add(Addr a, Word delta) override {
+    Word old = 0;
+    stm_exec_.execute([&] {
+      CtxId c = env_.machine->current_ctx();
+      old = this->load(c, a);
+      this->store(c, a, old + delta);
+    });
+    return old;
+  }
 
  protected:
   std::unique_ptr<stm::StmSystem> stm_;
@@ -357,6 +485,40 @@ class HybridExecutor final : public StmBackedExecutor {
     m_.store(a, v);
   }
 
+  // Hardware elision attempt with hybrid coupling: the lock word's *stripe*
+  // joins the read set too (and is checked for a software owner), and a
+  // writing elided section publishes its commit to STM timestamp validation
+  // exactly like execute()'s hardware path. Software-mode work (the caller's
+  // fallback and lock-word RMWs) is inherited from StmBackedExecutor.
+  ElideOutcome elide(const std::function<void()>& body, Addr lock_word,
+                     uint32_t site) override {
+    CtxId ctx = m_.current_ctx();
+    if (env_.sink) env_.sink->set_site(ctx, site);
+    PerCtx& pc = per_ctx_[ctx];
+    hw_hooks_.on_begin();
+    pc.hw = true;
+    pc.write_stripes.clear();
+    htm::AttemptResult r = htm::attempt(m_, [&] {
+      if (lock_word != 0) {
+        subscribe_stripe(lock_word);
+        if (m_.load(lock_word) != 0) m_.tx_abort(htm::kAbortCodeLockBusy);
+      }
+      body();
+      publish(pc);
+    });
+    pc.hw = false;
+    if (r.committed) {
+      hw_hooks_.on_commit();
+      return ElideOutcome::kCommitted;
+    }
+    hw_hooks_.on_abort();
+    if (r.reason == sim::AbortReason::kExplicit &&
+        sim::xstatus::unpack_code(r.status) == htm::kAbortCodeLockBusy) {
+      return ElideOutcome::kLockBusy;
+    }
+    return ElideOutcome::kAborted;
+  }
+
   htm::RtmStats rtm_stats() const override { return total_; }
   std::vector<std::pair<uint32_t, htm::RtmStats>> rtm_site_stats()
       const override {
@@ -423,6 +585,80 @@ class HybridExecutor final : public StmBackedExecutor {
 };
 
 }  // namespace
+
+// Default elision: run the body through execute() with a pre-check of the
+// lock word inside the atomic block. For the global-lock backends the
+// executor's own lock provides the exclusion, so this "elides" the caller's
+// lock by nesting under the global one — semantically a correct (if
+// unexciting) elision. kSeq gets the same shape; src/elide disables elision
+// there because SeqExecutor provides no exclusion at all.
+ElideOutcome TxExecutor::elide(const std::function<void()>& body,
+                               sim::Addr lock_word, uint32_t site) {
+  ElideOutcome out = ElideOutcome::kCommitted;
+  execute(
+      [&] {
+        out = ElideOutcome::kCommitted;  // reset on retry
+        if (lock_word != 0 && env_.machine->load(lock_word) != 0) {
+          out = ElideOutcome::kLockBusy;
+          return;
+        }
+        body();
+      },
+      site);
+  return out;
+}
+
+// Default fallback execution: the caller already holds its lock, so no
+// exclusion is needed here — just heap scoping plus recorder bracketing.
+// The unit seals before the caller releases the lock word, matching the
+// visibility order SpinLockExecutor establishes.
+void TxExecutor::elide_fallback(const std::function<void()>& body,
+                                uint32_t site) {
+  CtxId c = env_.machine->current_ctx();
+  env_.heap->tx_scope_begin(c);
+  if (TxObserver* o = obs()) o->on_unit_begin(c, site);
+  try {
+    body();
+  } catch (...) {
+    env_.heap->tx_scope_abort(c);
+    if (TxObserver* o = obs()) o->on_unit_abort(c);
+    throw;
+  }
+  env_.heap->tx_scope_commit(c);
+  if (TxObserver* o = obs()) o->on_unit_commit(c);
+}
+
+// Default lock-word RMWs run as (tiny) atomic blocks. This matters for the
+// global-lock backends: elide() observes the lock word inside the executor's
+// lock, so the word may only *transition* under that same lock — a raw CAS
+// from a fallback acquirer could otherwise slip in after an elided section's
+// busy check and race its body. Under the global lock, load + store is an
+// atomic CAS. The lock words live outside the heap region, so the recorder
+// sees these blocks as empty units.
+bool TxExecutor::lock_cas(sim::Addr a, sim::Word expected, sim::Word desired) {
+  bool ok = false;
+  execute(
+      [&] {
+        ok = false;
+        if (env_.machine->load(a) == expected) {
+          env_.machine->store(a, desired);
+          ok = true;
+        }
+      },
+      0);
+  return ok;
+}
+
+sim::Word TxExecutor::lock_fetch_add(sim::Addr a, sim::Word delta) {
+  sim::Word old = 0;
+  execute(
+      [&] {
+        old = env_.machine->load(a);
+        env_.machine->store(a, old + delta);
+      },
+      0);
+  return old;
+}
 
 std::unique_ptr<TxExecutor> make_executor(const RunConfig& cfg,
                                           const ExecutorEnv& env) {

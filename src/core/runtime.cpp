@@ -165,6 +165,13 @@ void TxRuntime::run(std::vector<std::function<void(TxCtx&)>> workers) {
   machine_->run();
 }
 
+Addr TxRuntime::alloc_elide_lines(uint32_t nlines) {
+  Addr a = mem::kElideRegionBase + next_elide_line_ * sim::kLineBytes;
+  next_elide_line_ += nlines;
+  machine_->prefault(a, uint64_t{nlines} * sim::kLineBytes);
+  return a;
+}
+
 void TxRuntime::mark_measurement_start() {
   mark_stats_ = machine_->snapshot();
   mark_wall_ = machine_->wall();
@@ -256,6 +263,39 @@ void TxCtx::pause() { rt_.machine_->pause(); }
 
 void TxCtx::transaction(const std::function<void()>& body, uint32_t site) {
   rt_.execute_atomic(*this, body, site);
+}
+
+ElideOutcome TxCtx::elide(const std::function<void()>& body, Addr lock_word,
+                          uint32_t site) {
+  if (in_atomic_) {
+    throw std::logic_error("elide attempt inside an atomic section");
+  }
+  struct Guard {
+    bool* flag;
+    ~Guard() { *flag = false; }
+  } guard{&in_atomic_};
+  in_atomic_ = true;
+  return rt_.exec_->elide(body, lock_word, site);
+}
+
+void TxCtx::elide_fallback(const std::function<void()>& body, uint32_t site) {
+  if (in_atomic_) {
+    throw std::logic_error("elide fallback inside an atomic section");
+  }
+  struct Guard {
+    bool* flag;
+    ~Guard() { *flag = false; }
+  } guard{&in_atomic_};
+  in_atomic_ = true;
+  rt_.exec_->elide_fallback(body, site);
+}
+
+bool TxCtx::lock_cas(Addr a, Word expected, Word desired) {
+  return rt_.exec_->lock_cas(a, expected, desired);
+}
+
+Word TxCtx::lock_fetch_add(Addr a, Word delta) {
+  return rt_.exec_->lock_fetch_add(a, delta);
 }
 
 Addr TxCtx::malloc(uint64_t bytes, uint64_t align) {

@@ -100,6 +100,22 @@ class TxCtx {
   // static transaction site for per-site RTM statistics.
   void transaction(const std::function<void()>& body, uint32_t site = 0);
 
+  // Lock-elision access for src/elide (guard-shaped scopes). elide() runs
+  // one speculative attempt with `lock_word` subscribed; elide_fallback()
+  // runs the body while the caller holds its fallback lock. Both bracket
+  // the body like transaction() (heap scoping, recorder units, executor
+  // load/store routing) and throw std::logic_error when nested inside an
+  // atomic block — elided sections are top-level by contract.
+  ElideOutcome elide(const std::function<void()>& body, Addr lock_word,
+                     uint32_t site = 0);
+  void elide_fallback(const std::function<void()>& body, uint32_t site = 0);
+
+  // Lock-word RMWs for the elision layer's fallback path. Plain machine
+  // atomics on hardware/lock backends; small software transactions on
+  // STM-backed ones (see TxExecutor::lock_cas).
+  bool lock_cas(Addr a, Word expected, Word desired);
+  Word lock_fetch_add(Addr a, Word delta);
+
   // Simulated heap (transaction-scope aware).
   Addr malloc(uint64_t bytes, uint64_t align = 8);
   void free(Addr a);
@@ -164,6 +180,16 @@ class TxRuntime {
   TxExecutor& executor() { return *exec_; }
   const TxExecutor& executor() const { return *exec_; }
 
+  // Monotonic per-runtime id for elide locks (stable across --jobs because
+  // each sweep cell owns its runtime and constructs locks in program order).
+  uint32_t alloc_elide_lock_id() { return next_elide_lock_id_++; }
+
+  // Hands out `nlines` fresh cache lines in the elide region (mem/layout.h)
+  // for lock words, prefaulted host-side. Line-granular so independent lock
+  // words never share a line (a subscribed word must not see false
+  // conflicts from a neighbour's traffic).
+  Addr alloc_elide_lines(uint32_t nlines);
+
   // Installs (or clears, with nullptr) the atomic-block observer used by
   // src/check's history recorder. Call before run(). Executors read the
   // observer slot at call time (including from their STM serialize hooks);
@@ -185,6 +211,8 @@ class TxRuntime {
   std::vector<std::unique_ptr<TxCtx>> ctxs_;
   TxObserver* observer_ = nullptr;
   bool ran_ = false;
+  uint32_t next_elide_lock_id_ = 0;
+  uint64_t next_elide_line_ = 0;
 
   // Measurement window.
   std::optional<sim::MachineStats> mark_stats_;

@@ -193,6 +193,12 @@ void Runner::emit_manifest(const std::vector<Job>& jobs,
     *os << "  \"counter_digest\": \"" << json_escape(counter_digest)
         << "\",\n";
   }
+  std::string elide_locks;
+  if (opt_.elide_locks_fn) elide_locks = opt_.elide_locks_fn();
+  if (!elide_locks.empty()) {
+    // Pre-rendered JSON array of per-lock elision counters.
+    *os << "  \"elide_locks\": " << elide_locks << ",\n";
+  }
   *os << "  \"jobs_flag\": " << jobs_ << ",\n"
       << "  \"total_jobs\": " << jobs.size() << ",\n"
       << "  \"wall_seconds\": " << json_fixed(wall_seconds, 6) << ",\n"

@@ -13,6 +13,13 @@ inline constexpr sim::Addr kStmRegionBase = 0x0001'0000'0000ull;
 // backend, and other core-runtime words. Each object gets its own line.
 inline constexpr sim::Addr kRuntimeRegionBase = 0x0002'0000'0000ull;
 
+// Elidable-lock words (src/elide): one or more lines per lock, handed out
+// by TxRuntime::alloc_elide_lines. A separate region (not the heap) so the
+// check recorder filters lock-word traffic the same way it filters the
+// backends' runtime locks — transient spin/subscription values are
+// synchronization metadata, not application history.
+inline constexpr sim::Addr kElideRegionBase = 0x0003'0000'0000ull;
+
 // Application heap.
 inline constexpr sim::Addr kHeapBase = 0x0004'0000'0000ull;
 inline constexpr uint64_t kHeapBytes = 1ull << 36;  // 64 GiB of address space

@@ -60,6 +60,29 @@ void Pmu::retry_decision(sim::CtxId ctx, bool fallback) {
   ctx_[ctx].abort_streak = 0;
 }
 
+void Pmu::elide_lock_name(uint32_t lock, const std::string& name) {
+  ElideLockCounters& e = elide_[lock];
+  e.lock = lock;
+  e.name = name;
+}
+
+void Pmu::elide_acquire(uint32_t lock, ElideAcqKind kind, uint64_t attempts,
+                        sim::Cycles cycles_elided, sim::Cycles cycles_wasted,
+                        bool self_stopped) {
+  ElideLockCounters& e = elide_[lock];
+  e.lock = lock;
+  ++e.acquisitions;
+  e.attempts += attempts;
+  switch (kind) {
+    case ElideAcqKind::kElided: ++e.elided; break;
+    case ElideAcqKind::kFallback: ++e.fallbacks; break;
+    case ElideAcqKind::kLocked: ++e.lock_acquires; break;
+  }
+  if (self_stopped) ++e.self_stops;
+  e.cycles_elided += cycles_elided;
+  e.cycles_wasted += cycles_wasted;
+}
+
 sim::Cycles Pmu::committed_cycles() const {
   sim::Cycles s = 0;
   for (const CtxState& c : ctx_) s += c.committed;
@@ -202,6 +225,14 @@ PmuData Pmu::finalize(const sim::MachineStats& machine, sim::Cycles wall,
   add("stm-commit", "(software: STM commits)", stm_commits_);
   add("stm-abort", "(software: STM aborts)", stm_aborts_);
   add("fallbacks", "(software: retry-policy fallbacks)", fallbacks_);
+
+  // ---- Per-lock elision statistics (map iteration: sorted by lock id) ----
+  for (const auto& [id, e] : elide_) {
+    d.elide.push_back(e);
+    if (d.elide.back().name.empty()) {
+      d.elide.back().name = "lock#" + std::to_string(id);
+    }
+  }
   return d;
 }
 
@@ -290,6 +321,20 @@ void write_perf_stat(std::ostream& os, const std::vector<Capture>& captures) {
     write_hist_line(os, "tx duration (cycles)", d.tx_duration);
     write_hist_line(os, "abort latency (cycles)", d.abort_latency);
     write_hist_line(os, "retries per commit", d.retries);
+    if (!d.elide.empty()) {
+      os << "\n lock elision (per lock):\n";
+      for (const ElideLockCounters& e : d.elide) {
+        sim::Cycles spec = e.cycles_elided + e.cycles_wasted;
+        os << "   " << rpad(e.name, 16) << " acq "
+           << lpad(group_digits(e.acquisitions), 8) << "  elided "
+           << lpad(group_digits(e.elided), 8) << "  fallback "
+           << lpad(group_digits(e.fallbacks), 6) << "  lock "
+           << lpad(group_digits(e.lock_acquires), 6) << "  self-stop "
+           << e.self_stops << "  attempts "
+           << lpad(group_digits(e.attempts), 8) << "  wasted "
+           << lpad(pct(e.cycles_wasted, spec), 6) << "\n";
+      }
+    }
     if (!d.samples.empty()) {
       os << " samples: " << d.samples.size() << " (interval boundaries; see "
          << "--timeseries for the CSV)\n";

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,30 @@ struct PerfCounter {
   uint64_t value = 0;
 };
 
+// How one elide-lock acquisition protocol completed (src/elide reports one
+// event per completed acquisition, with attempt/cycle deltas).
+enum class ElideAcqKind : uint8_t {
+  kElided = 0,    // section committed speculatively
+  kFallback = 1,  // attempt budget exhausted; section ran under the lock
+  kLocked = 2,    // explicit non-speculative hold (lock()/locked_section)
+};
+
+// Per-lock elision counters, the txlock-style stats table. `attempts`
+// counts speculative tries including lock-busy bails; `cycles_wasted` sums
+// attempt windows that did not commit (the self-stop heuristic's input).
+struct ElideLockCounters {
+  uint32_t lock = 0;
+  std::string name;
+  uint64_t acquisitions = 0;
+  uint64_t attempts = 0;
+  uint64_t elided = 0;
+  uint64_t fallbacks = 0;
+  uint64_t lock_acquires = 0;
+  uint64_t self_stops = 0;
+  sim::Cycles cycles_elided = 0;
+  sim::Cycles cycles_wasted = 0;
+};
+
 // One row of the counter time series (--sample-interval): cumulative values
 // at a simulated-time window boundary.
 struct PmuSample {
@@ -126,6 +151,10 @@ struct PmuData {
   std::vector<PmuSample> samples;
   std::vector<PerfCounter> counters;  // the perf-stat event list
 
+  // Per-lock elision statistics, sorted by lock id; empty when the run used
+  // no elide locks.
+  std::vector<ElideLockCounters> elide;
+
   // false if attempt events were mispaired or an attempt window exceeded
   // its context's clock (would make non_tx negative). Never expected; the
   // tier-1 identity tests assert it.
@@ -144,6 +173,10 @@ class Pmu {
   void tx_abort(sim::CtxId ctx, sim::Cycles t, bool stm);
   void retry_decision(sim::CtxId ctx, bool fallback);
   void sample(sim::Cycles t, const sim::MachineStats& stats);
+  void elide_lock_name(uint32_t lock, const std::string& name);
+  void elide_acquire(uint32_t lock, ElideAcqKind kind, uint64_t attempts,
+                     sim::Cycles cycles_elided, sim::Cycles cycles_wasted,
+                     bool self_stopped);
 
   // Cumulative attributed cycles so far (used by the sampler).
   sim::Cycles committed_cycles() const;
@@ -177,6 +210,7 @@ class Pmu {
   Log2Histogram abort_latency_;
   Log2Histogram retries_;
   std::vector<PmuSample> samples_;
+  std::map<uint32_t, ElideLockCounters> elide_;  // keyed (and sorted) by id
 };
 
 // perf-stat-style report, one block per capture (captures arrive sorted by

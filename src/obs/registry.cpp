@@ -88,8 +88,46 @@ uint64_t Registry::counter_digest() const {
       f.add(s.tx_commits);
       f.add(s.tx_aborts);
     }
+    f.add(static_cast<uint64_t>(d.elide.size()));
+    for (const ElideLockCounters& e : d.elide) {
+      f.add(e.name);
+      f.add(e.acquisitions);
+      f.add(e.attempts);
+      f.add(e.elided);
+      f.add(e.fallbacks);
+      f.add(e.lock_acquires);
+      f.add(e.self_stops);
+      f.add(e.cycles_elided);
+      f.add(e.cycles_wasted);
+    }
   }
   return f.h;
+}
+
+std::vector<ElideLockCounters> Registry::elide_totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Keyed by lock name: each sweep cell owns its runtime, so the "same"
+  // lock recurs across captures under one name with fresh ids.
+  std::map<std::string, ElideLockCounters> by_name;
+  for (const Capture& c : captures_) {
+    if (!c.pmu) continue;
+    for (const ElideLockCounters& e : c.pmu->elide) {
+      ElideLockCounters& t = by_name[e.name];
+      t.name = e.name;
+      t.acquisitions += e.acquisitions;
+      t.attempts += e.attempts;
+      t.elided += e.elided;
+      t.fallbacks += e.fallbacks;
+      t.lock_acquires += e.lock_acquires;
+      t.self_stops += e.self_stops;
+      t.cycles_elided += e.cycles_elided;
+      t.cycles_wasted += e.cycles_wasted;
+    }
+  }
+  std::vector<ElideLockCounters> out;
+  out.reserve(by_name.size());
+  for (auto& [name, e] : by_name) out.push_back(std::move(e));
+  return out;
 }
 
 }  // namespace tsx::obs

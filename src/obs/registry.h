@@ -54,6 +54,11 @@ class Registry {
   // contribute only their label.
   uint64_t counter_digest() const;
 
+  // Per-lock elision counters aggregated across all captures by lock name,
+  // sorted by name. Non-destructive; used for the harness manifest's
+  // `elide_locks` array. Empty when no capture recorded elide locks.
+  std::vector<ElideLockCounters> elide_totals() const;
+
  private:
   mutable std::mutex mu_;
   std::vector<Capture> captures_;

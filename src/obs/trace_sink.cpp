@@ -52,6 +52,23 @@ void TraceSink::retry_decision(sim::CtxId ctx, sim::Cycles t, bool fallback,
   if (pmu_) pmu_->retry_decision(ctx, fallback);
 }
 
+void TraceSink::elide_lock_name(uint32_t lock, const std::string& name) {
+  if (pmu_) pmu_->elide_lock_name(lock, name);
+}
+
+void TraceSink::elide_acquire(uint32_t lock, sim::CtxId ctx, ElideAcqKind kind,
+                              uint64_t attempts, sim::Cycles cycles_elided,
+                              sim::Cycles cycles_wasted, bool self_stopped) {
+  // PMU-only: per-lock counters are exact aggregates, not ring events, so
+  // elision-free traces (and their goldens) are unchanged. `ctx` is part of
+  // the seam for future per-thread attribution; the PMU aggregates per lock.
+  (void)ctx;
+  if (pmu_) {
+    pmu_->elide_acquire(lock, kind, attempts, cycles_elided, cycles_wasted,
+                        self_stopped);
+  }
+}
+
 void TraceSink::tx_begin(sim::CtxId ctx, sim::Cycles t) {
   Event e;
   e.kind = EventKind::kTxBegin;

@@ -26,6 +26,7 @@
 namespace tsx::obs {
 
 class Pmu;
+enum class ElideAcqKind : uint8_t;  // obs/pmu.h
 
 // Exact per-site attribution (independent of ring capacity).
 struct SiteAgg {
@@ -79,6 +80,13 @@ class TraceSink {
   void stm_commit(sim::CtxId ctx, sim::Cycles t);
   void stm_abort(sim::CtxId ctx, sim::Cycles t, uint64_t line,
                  sim::CtxId attacker);
+
+  // ---- Elide-lock reporting (src/elide; PMU-only, no ring events, so
+  // existing trace goldens are unaffected by elision-free runs) ----
+  void elide_lock_name(uint32_t lock, const std::string& name);
+  void elide_acquire(uint32_t lock, sim::CtxId ctx, ElideAcqKind kind,
+                     uint64_t attempts, sim::Cycles cycles_elided,
+                     sim::Cycles cycles_wasted, bool self_stopped);
 
   // ---- Inspection / export ----
   // Events oldest -> newest (at most `capacity`).

@@ -63,4 +63,34 @@ void StmExecutor::execute(const std::function<void()>& body, uint32_t site) {
   }
 }
 
+bool StmExecutor::execute_once(const std::function<void()>& body,
+                               uint32_t site) {
+  ++stm_.stats().transactions;
+  ++stm_.stats().starts;
+  CtxId ctx = m_.current_ctx();
+  Cycles t0 = m_.now();
+  stm_.tx_start(ctx);
+  if (sink_) sink_->stm_begin(ctx, m_.now(), site);
+  hooks_.on_begin();
+  try {
+    body();
+    stm_.tx_commit(ctx);
+    stm_.stats().cycles_committed += m_.now() - t0;
+    if (sink_) sink_->stm_commit(ctx, m_.now());
+    hooks_.on_commit();
+    return true;
+  } catch (const StmAborted& a) {
+    stm_.tx_abort_cleanup(ctx);
+    stm_.stats().cycles_aborted += m_.now() - t0;
+    if (sink_) {
+      sink_->stm_abort(
+          ctx, m_.now(),
+          a.addr == ~sim::Addr{0} ? ~0ull : sim::line_of(a.addr),
+          a.owner == sim::kNoCtx ? ctx : a.owner);
+    }
+    hooks_.on_abort();
+    return false;
+  }
+}
+
 }  // namespace tsx::stm

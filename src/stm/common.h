@@ -236,6 +236,12 @@ class StmExecutor {
   // trace attribution.
   void execute(const std::function<void()>& body, uint32_t site = 0);
 
+  // Executes `body` as exactly one STM attempt: true on commit, false on
+  // abort (after cleanup), with no backoff and no retry. The lock-elision
+  // layer uses this so *its* RetryPolicy meters speculative attempts the
+  // same way across hardware and software backends.
+  bool execute_once(const std::function<void()>& body, uint32_t site = 0);
+
  private:
   Machine& m_;
   StmSystem& stm_;

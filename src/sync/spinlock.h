@@ -33,6 +33,8 @@ class TicketSpinLock {
   }
 
   void lock();
+  // Takes a ticket only when it would be served immediately; never waits.
+  bool try_lock();
   void unlock();
   bool is_locked();  // simulated read
 
@@ -92,10 +94,17 @@ class SerialRwLock {
   void write_lock();
   void write_unlock();
 
+  // Non-blocking acquires, needed by elision fallback paths (src/elide)
+  // that must bound the time spent holding other resources. try_read_lock
+  // uses read_lock's optimistic increment-then-check protocol, so a failed
+  // try still costs two reader-count RMWs (the real coherence price).
+  bool try_read_lock();
+  bool try_write_lock();
+
   Addr writer_addr() const { return base_; }
+  Addr reader_addr() const { return base_ + sim::kWordBytes; }
 
  private:
-  Addr reader_addr() const { return base_ + sim::kWordBytes; }
 
   Machine& m_;
   Addr base_;

@@ -1,0 +1,183 @@
+// elide::condition_variable: Mesa wait/notify over elide::mutex, exercised
+// under forced interrupt aborts across hardware, hybrid and lock backends,
+// plus the wait-contract errors (inside an atomic section, without the
+// mutex). A TSXLAB_SLOW-gated sweep widens the seed coverage.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+#include "core/runtime.h"
+#include "elide/elide.h"
+
+namespace {
+
+using namespace tsx;
+using core::Backend;
+using core::RunConfig;
+using core::TxCtx;
+using core::TxRuntime;
+using sim::Addr;
+using sim::Word;
+
+// Interrupts ON with a short mean: speculative sections (and, on the lock
+// backends, the executor's atomic blocks) keep taking asynchronous aborts,
+// so the cv protocol must survive constant retry/fallback churn.
+RunConfig make_cfg(Backend b, uint32_t threads, uint64_t machine_seed = 42) {
+  RunConfig cfg;
+  cfg.backend = b;
+  cfg.threads = threads;
+  cfg.machine.seed = machine_seed;
+  cfg.machine.interrupts_enabled = true;
+  cfg.machine.interrupt_mean_cycles = 5000;
+  cfg.stm.lock_table_entries = 1u << 14;
+  return cfg;
+}
+
+// Classic bounded mailbox: producers add tokens under the mutex and notify;
+// consumers wait on "count > 0". Conservation is exact when every wakeup
+// re-checks the predicate (Mesa semantics).
+void run_mailbox(Backend backend, uint32_t threads, uint64_t machine_seed,
+                 int tokens_per_producer) {
+  TxRuntime rt(make_cfg(backend, threads, machine_seed));
+  Addr count = rt.heap().host_alloc(8, 64);
+  Addr consumed = rt.heap().host_alloc(8, 64);
+  elide::mutex mu(rt, "mailbox");
+  elide::condition_variable cv(rt, "mailbox-cv");
+  const uint32_t producers = threads / 2;
+  const uint32_t consumers = threads - producers;
+  const int total = tokens_per_producer * static_cast<int>(producers);
+  // Tokens are divided among consumers; the remainder goes to consumer 0.
+  auto quota = [&](uint32_t consumer_idx) {
+    int q = total / static_cast<int>(consumers);
+    if (consumer_idx == 0) q += total % static_cast<int>(consumers);
+    return q;
+  };
+
+  rt.run([&](TxCtx& ctx) {
+    if (ctx.id() < producers) {
+      for (int i = 0; i < tokens_per_producer; ++i) {
+        mu.lock(ctx);
+        ctx.store(count, ctx.load(count) + 1);
+        cv.notify_one(ctx);
+        mu.unlock(ctx);
+        ctx.compute(30);
+      }
+    } else {
+      int want = quota(ctx.id() - producers);
+      for (int i = 0; i < want; ++i) {
+        mu.lock(ctx);
+        cv.wait(ctx, mu, [&] { return ctx.load(count) != 0; });
+        ctx.store(count, ctx.load(count) - 1);
+        ctx.store(consumed, ctx.load(consumed) + 1);
+        mu.unlock(ctx);
+      }
+    }
+  });
+  EXPECT_EQ(rt.machine().peek(count), 0u) << core::backend_name(backend);
+  EXPECT_EQ(rt.machine().peek(consumed), static_cast<Word>(total))
+      << core::backend_name(backend);
+}
+
+class ElideCvBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ElideCvBackends, MailboxConservesTokens) {
+  run_mailbox(GetParam(), 2, 42, 40);
+}
+
+TEST_P(ElideCvBackends, MailboxManyThreads) {
+  run_mailbox(GetParam(), 4, 7, 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(ForcedAborts, ElideCvBackends,
+                         ::testing::Values(Backend::kRtm, Backend::kHybrid,
+                                           Backend::kLock),
+                         [](const auto& suite_info) {
+                           return std::string(core::backend_name(suite_info.param));
+                         });
+
+TEST(ElideCv, NotifyAllWakesEveryWaiter) {
+  TxRuntime rt(make_cfg(Backend::kRtm, 4));
+  Addr flag = rt.heap().host_alloc(8, 64);
+  Addr woke = rt.heap().host_alloc(8, 64);
+  elide::mutex mu(rt, "gate");
+  elide::condition_variable cv(rt, "gate-cv");
+  rt.run([&](TxCtx& ctx) {
+    if (ctx.id() == 0) {
+      // Give the waiters time to register, then open the gate once.
+      ctx.compute(20000);
+      mu.lock(ctx);
+      ctx.store(flag, 1);
+      cv.notify_all(ctx);
+      mu.unlock(ctx);
+    } else {
+      mu.lock(ctx);
+      cv.wait(ctx, mu, [&] { return ctx.load(flag) != 0; });
+      ctx.store(woke, ctx.load(woke) + 1);
+      mu.unlock(ctx);
+    }
+  });
+  EXPECT_EQ(rt.machine().peek(woke), 3u);
+}
+
+TEST(ElideCv, NotifyFromElidedSectionWakesWaiter) {
+  // notify_* must be callable from inside a speculative section: the
+  // sequence bump then rides the section's commit.
+  TxRuntime rt(make_cfg(Backend::kRtm, 2));
+  Addr flag = rt.heap().host_alloc(8, 64);
+  elide::mutex mu(rt, "gate");
+  elide::condition_variable cv(rt, "gate-cv");
+  rt.run([&](TxCtx& ctx) {
+    if (ctx.id() == 0) {
+      ctx.compute(10000);
+      mu.critical_section(ctx, [&] {
+        ctx.store(flag, 1);
+        cv.notify_one(ctx);
+      });
+    } else {
+      mu.lock(ctx);
+      cv.wait(ctx, mu, [&] { return ctx.load(flag) != 0; });
+      mu.unlock(ctx);
+    }
+  });
+  EXPECT_EQ(rt.machine().peek(flag), 1u);
+}
+
+TEST(ElideCv, WaitInsideAtomicSectionThrows) {
+  TxRuntime rt(make_cfg(Backend::kLock, 1));
+  elide::mutex mu(rt, "m");
+  elide::condition_variable cv(rt, "cv");
+  EXPECT_THROW(rt.run([&](TxCtx& ctx) {
+                 mu.lock(ctx);
+                 ctx.transaction([&] { cv.wait(ctx, mu); });
+               }),
+               std::logic_error);
+}
+
+TEST(ElideCv, WaitWithoutHoldingMutexThrows) {
+  TxRuntime rt(make_cfg(Backend::kLock, 1));
+  elide::mutex mu(rt, "m");
+  elide::condition_variable cv(rt, "cv");
+  EXPECT_THROW(rt.run([&](TxCtx& ctx) { cv.wait(ctx, mu); }),
+               std::logic_error);
+}
+
+// Deep seed sweep across backends, gated behind TSXLAB_SLOW=1 (registered
+// as the elide_cv_seed_sweep ctest with the `slow` label).
+TEST(ElideCvSlowSweep, MailboxAcrossSeeds) {
+  const char* slow = std::getenv("TSXLAB_SLOW");
+  if (!slow || std::string(slow) != "1") {
+    GTEST_SKIP() << "set TSXLAB_SLOW=1 for the deep cv seed sweep";
+  }
+  for (Backend b : {Backend::kRtm, Backend::kHybrid, Backend::kLock}) {
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+      run_mailbox(b, 2, seed, 30);
+      run_mailbox(b, 4, seed * 2654435761ull, 15);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+// Ported atomic_sync-style suite for elide::mutex: exclusion and exactness
+// on every backend, speculation statistics, self-stop, nesting contract,
+// and the broken-elision (unsubscribed lock word) canary.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "check/oracle.h"
+#include "core/runtime.h"
+#include "elide/elide.h"
+
+namespace {
+
+using namespace tsx;
+using core::Backend;
+using core::RunConfig;
+using core::TxCtx;
+using core::TxRuntime;
+using sim::Addr;
+using sim::Word;
+
+RunConfig make_cfg(Backend b, uint32_t threads) {
+  RunConfig cfg;
+  cfg.backend = b;
+  cfg.threads = threads;
+  cfg.machine.interrupts_enabled = false;
+  cfg.stm.lock_table_entries = 1u << 14;
+  return cfg;
+}
+
+// Shared-counter exactness through critical_section on every backend: the
+// elided lock must serialize read-modify-write sections no matter how the
+// executor implements (or declines) speculation.
+class ElideMutexBackends
+    : public ::testing::TestWithParam<std::tuple<Backend, uint32_t>> {};
+
+TEST_P(ElideMutexBackends, CountingIsExact) {
+  auto [backend, threads] = GetParam();
+  TxRuntime rt(make_cfg(backend, threads));
+  Addr counter = rt.heap().host_alloc(8, 64);
+  elide::mutex mu(rt, "m");
+  const int iters = 150;
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < iters; ++i) {
+      mu.critical_section(ctx, [&] {
+        Word v = ctx.load(counter);
+        ctx.compute(5);
+        ctx.store(counter, v + 1);
+      });
+    }
+  });
+  EXPECT_EQ(rt.machine().peek(counter), static_cast<Word>(threads) * iters);
+  const elide::ElideStats& s = mu.stats();
+  EXPECT_EQ(s.acquisitions, static_cast<uint64_t>(threads) * iters);
+  EXPECT_EQ(s.elided + s.fallbacks, s.acquisitions);
+}
+
+TEST_P(ElideMutexBackends, MixedLockedAndElidedSections) {
+  auto [backend, threads] = GetParam();
+  TxRuntime rt(make_cfg(backend, threads));
+  Addr counter = rt.heap().host_alloc(8, 64);
+  elide::mutex mu(rt, "m");
+  const int iters = 120;
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < iters; ++i) {
+      auto body = [&] {
+        Word v = ctx.load(counter);
+        ctx.compute(20);
+        ctx.store(counter, v + 1);
+      };
+      // Every third section takes the real lock — speculation must yield to
+      // (and recover from) genuine holders.
+      if (i % 3 == 0) {
+        mu.locked_section(ctx, body);
+      } else {
+        mu.critical_section(ctx, body);
+      }
+    }
+  });
+  EXPECT_EQ(rt.machine().peek(counter), static_cast<Word>(threads) * iters);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ElideMutexBackends,
+    ::testing::Combine(::testing::Values(Backend::kRtm, Backend::kHle,
+                                         Backend::kTinyStm, Backend::kTl2,
+                                         Backend::kLock, Backend::kCas,
+                                         Backend::kHybrid),
+                       ::testing::Values(1u, 2u, 4u)),
+    [](const auto& suite_info) {
+      return std::string(core::backend_name(std::get<0>(suite_info.param))) + "_" +
+             std::to_string(std::get<1>(suite_info.param)) + "t";
+    });
+
+TEST(ElideMutex, SpeculationActuallyElidesOnRtm) {
+  // Disjoint per-thread data: every speculative attempt commits, the lock
+  // word is never written, and no section pays for the lock.
+  TxRuntime rt(make_cfg(Backend::kRtm, 4));
+  Addr arr = rt.heap().host_alloc(4 * 64, 64);
+  elide::mutex mu(rt, "m");
+  const int iters = 100;
+  rt.run([&](TxCtx& ctx) {
+    Addr mine = arr + ctx.id() * 64;
+    for (int i = 0; i < iters; ++i) {
+      mu.critical_section(ctx, [&] { ctx.store(mine, ctx.load(mine) + 1); });
+    }
+  });
+  const elide::ElideStats& s = mu.stats();
+  EXPECT_EQ(s.acquisitions, 400u);
+  EXPECT_GT(s.elided, 0u);
+  EXPECT_GT(s.elided, s.fallbacks);
+  EXPECT_FALSE(mu.is_locked());
+}
+
+TEST(ElideMutex, DisabledElisionAlwaysTakesTheLock) {
+  TxRuntime rt(make_cfg(Backend::kRtm, 2));
+  Addr counter = rt.heap().host_alloc(8, 64);
+  elide::ElideConfig ec;
+  ec.elision_enabled = false;
+  elide::mutex mu(rt, "m", ec);
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < 50; ++i) {
+      mu.critical_section(ctx,
+                          [&] { ctx.store(counter, ctx.load(counter) + 1); });
+    }
+  });
+  EXPECT_EQ(rt.machine().peek(counter), 100u);
+  const elide::ElideStats& s = mu.stats();
+  EXPECT_EQ(s.elided, 0u);
+  EXPECT_EQ(s.attempts, 0u);
+  EXPECT_EQ(s.fallbacks, 100u);
+}
+
+TEST(ElideMutex, TryLockAndOwnership) {
+  TxRuntime rt(make_cfg(Backend::kLock, 2));
+  elide::mutex mu(rt, "m");
+  rt.run([&](TxCtx& ctx) {
+    if (ctx.id() == 0) {
+      ASSERT_TRUE(mu.try_lock(ctx));
+      EXPECT_TRUE(mu.held_by(ctx));
+      ctx.barrier();  // let ctx 1 observe the held lock
+      ctx.barrier();
+      mu.unlock(ctx);
+      EXPECT_FALSE(mu.is_locked());
+    } else {
+      ctx.barrier();
+      EXPECT_FALSE(mu.try_lock(ctx));
+      EXPECT_FALSE(mu.held_by(ctx));
+      ctx.barrier();
+    }
+  });
+}
+
+TEST(ElideMutex, UnlockWithoutHoldingThrows) {
+  TxRuntime rt(make_cfg(Backend::kLock, 1));
+  elide::mutex mu(rt, "m");
+  EXPECT_THROW(rt.run([&](TxCtx& ctx) { mu.unlock(ctx); }), std::logic_error);
+}
+
+TEST(ElideMutex, NestedElisionThrows) {
+  TxRuntime rt(make_cfg(Backend::kLock, 1));
+  Addr w = rt.heap().host_alloc(8, 64);
+  elide::mutex mu(rt, "m");
+  EXPECT_THROW(rt.run([&](TxCtx& ctx) {
+                 ctx.transaction([&] {
+                   mu.critical_section(ctx, [&] { ctx.store(w, 1); });
+                 });
+               }),
+               std::logic_error);
+}
+
+TEST(ElideMutex, SeqBackendDisablesElisionButStaysCorrect) {
+  TxRuntime rt(make_cfg(Backend::kSeq, 1));
+  Addr counter = rt.heap().host_alloc(8, 64);
+  elide::mutex mu(rt, "m");  // elision_enabled defaults true; kSeq vetoes it
+  EXPECT_FALSE(mu.elision_active());
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < 40; ++i) {
+      mu.critical_section(ctx,
+                          [&] { ctx.store(counter, ctx.load(counter) + 1); });
+    }
+  });
+  EXPECT_EQ(rt.machine().peek(counter), 40u);
+  EXPECT_EQ(mu.stats().elided, 0u);
+  EXPECT_EQ(mu.stats().fallbacks, 40u);
+}
+
+TEST(ElideMutex, SelfStopTripsOnHopelessSections) {
+  // Every speculative attempt write-overflows the transactional capacity,
+  // so speculation is pure waste; the self-stop heuristic must disable
+  // elision after `window * strikes` acquisitions and stop burning attempts.
+  TxRuntime rt(make_cfg(Backend::kRtm, 1));
+  constexpr uint32_t kLines = 1200;  // far past L1 write capacity
+  Addr big = rt.heap().host_alloc(kLines * 64, 64);
+  elide::ElideConfig ec;
+  ec.retry.max_attempts = 2;
+  ec.selfstop_window = 4;
+  ec.selfstop_strikes = 2;
+  elide::mutex mu(rt, "hopeless", ec);
+  const int iters = 20;
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < iters; ++i) {
+      mu.critical_section(ctx, [&] {
+        for (uint32_t l = 0; l < kLines; ++l) {
+          ctx.store(big + l * 64, static_cast<Word>(i));
+        }
+      });
+    }
+  });
+  const elide::ElideStats& s = mu.stats();
+  EXPECT_TRUE(s.stopped);
+  EXPECT_EQ(s.self_stops, 1u);
+  EXPECT_FALSE(mu.elision_active());
+  EXPECT_EQ(s.acquisitions, static_cast<uint64_t>(iters));
+  EXPECT_EQ(s.elided, 0u);
+  EXPECT_EQ(s.fallbacks, static_cast<uint64_t>(iters));
+  // After the stop (8 acquisitions in), the remaining sections must not
+  // speculate: attempts stay at 2 per pre-stop acquisition.
+  EXPECT_EQ(s.attempts, 8u * ec.retry.max_attempts);
+  // reset_elision() re-arms speculation.
+  mu.reset_elision();
+  EXPECT_TRUE(mu.elision_active());
+}
+
+TEST(ElideMutex, BrokenElisionCanaryLosesUpdates) {
+  // With subscription off, a speculative section can commit entirely inside
+  // a real holder's load-compute-store window — the oracle's elide-mutex
+  // workload must catch the lost update on at least one seed.
+  int failures = 0;
+  for (uint64_t seed = 1; seed <= 12 && failures == 0; ++seed) {
+    check::OracleConfig cfg;
+    cfg.threads = 2;
+    cfg.loops = 12;
+    cfg.seed = seed;
+    cfg.machine_seed = seed * 1013904223ull + 5;
+    cfg.break_elision = true;
+    check::WorkloadResult r =
+        check::run_workload("elide-mutex", Backend::kRtm, cfg);
+    if (!r.ok) ++failures;
+  }
+  EXPECT_GT(failures, 0)
+      << "unsubscribed elision went undetected across all seeds";
+}
+
+TEST(ElideMutex, SubscribedElisionPassesTheSameSeeds) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    check::OracleConfig cfg;
+    cfg.threads = 2;
+    cfg.loops = 12;
+    cfg.seed = seed;
+    cfg.machine_seed = seed * 1013904223ull + 5;
+    check::WorkloadResult r =
+        check::run_workload("elide-mutex", Backend::kRtm, cfg);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.error;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,298 @@
+// elide::sux_lock (shared / update / exclusive): coexistence matrix, upgrade
+// drain, and elided shared/exclusive consistency — plus elide::shared_mutex
+// reader/writer behavior, both in the ported atomic_sync suite shape.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "core/runtime.h"
+#include "elide/elide.h"
+
+namespace {
+
+using namespace tsx;
+using core::Backend;
+using core::RunConfig;
+using core::TxCtx;
+using core::TxRuntime;
+using sim::Addr;
+using sim::Word;
+
+RunConfig make_cfg(Backend b, uint32_t threads) {
+  RunConfig cfg;
+  cfg.backend = b;
+  cfg.threads = threads;
+  cfg.machine.interrupts_enabled = false;
+  cfg.stm.lock_table_entries = 1u << 14;
+  return cfg;
+}
+
+// ---- shared_mutex -------------------------------------------------------
+
+// Writers keep two words in lockstep; readers must never see them diverge.
+// Elided sections and real acquisitions are mixed so every protocol pairing
+// (spec/spec, spec/real, real/real) occurs.
+class ElideSharedBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ElideSharedBackends, ReadersNeverSeeTornWrites) {
+  TxRuntime rt(make_cfg(GetParam(), 4));
+  Addr x = rt.heap().host_alloc(64, 64);
+  Addr y = rt.heap().host_alloc(64, 64);
+  elide::shared_mutex mu(rt, "rw");
+  const int iters = 60;
+  bool torn = false;
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < iters; ++i) {
+      bool writer = (ctx.id() + i) % 4 == 0;
+      if (writer) {
+        auto body = [&] {
+          ctx.store(x, ctx.load(x) + 1);
+          ctx.compute(25);
+          ctx.store(y, ctx.load(y) + 1);
+        };
+        if (i % 3 == 0) {
+          mu.lock(ctx);
+          ctx.elide_fallback(body);
+          mu.unlock(ctx);
+        } else {
+          mu.critical_section(ctx, body);
+        }
+      } else {
+        Word vx = 0, vy = 0;
+        auto body = [&] {
+          vx = ctx.load(x);
+          ctx.compute(10);
+          vy = ctx.load(y);
+        };
+        if (i % 3 == 0) {
+          mu.lock_shared(ctx);
+          ctx.elide_fallback(body);
+          mu.unlock_shared(ctx);
+        } else {
+          mu.critical_section_shared(ctx, body);
+        }
+        if (vx != vy) torn = true;
+      }
+    }
+  });
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(rt.machine().peek(x), rt.machine().peek(y));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ElideSharedBackends,
+                         ::testing::Values(Backend::kRtm, Backend::kHle,
+                                           Backend::kTinyStm, Backend::kTl2,
+                                           Backend::kLock, Backend::kCas,
+                                           Backend::kHybrid),
+                         [](const auto& suite_info) {
+                           return std::string(core::backend_name(suite_info.param));
+                         });
+
+TEST(ElideSharedMutex, RealReadersOverlap) {
+  // Host-side concurrency probe: real (non-speculative) shared holds never
+  // retry, so host counters are exact. Readers must overlap each other.
+  TxRuntime rt(make_cfg(Backend::kRtm, 4));
+  elide::shared_mutex mu(rt, "rw");
+  int in_section = 0, max_in_section = 0;
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < 20; ++i) {
+      mu.lock_shared(ctx);
+      ++in_section;
+      max_in_section = std::max(max_in_section, in_section);
+      ctx.compute(200);
+      --in_section;
+      mu.unlock_shared(ctx);
+      ctx.compute(10);
+    }
+  });
+  EXPECT_GE(max_in_section, 2);
+}
+
+TEST(ElideSharedMutex, WriterExcludesEveryone) {
+  TxRuntime rt(make_cfg(Backend::kRtm, 4));
+  elide::shared_mutex mu(rt, "rw");
+  int in_write = 0;
+  bool overlap = false;
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < 15; ++i) {
+      mu.lock(ctx);
+      if (in_write != 0) overlap = true;
+      ++in_write;
+      ctx.compute(60);
+      --in_write;
+      mu.unlock(ctx);
+      ctx.compute(15);
+    }
+  });
+  EXPECT_FALSE(overlap);
+}
+
+TEST(ElideSharedMutex, TryVariantsBackOutCleanly) {
+  TxRuntime rt(make_cfg(Backend::kLock, 2));
+  elide::shared_mutex mu(rt, "rw");
+  rt.run([&](TxCtx& ctx) {
+    if (ctx.id() == 0) {
+      ASSERT_TRUE(mu.try_lock(ctx));
+      ctx.barrier();  // ctx 1 probes while the writer holds
+      ctx.barrier();
+      mu.unlock(ctx);
+      ctx.barrier();  // ctx 1 takes a shared hold
+      ctx.barrier();
+    } else {
+      ctx.barrier();
+      EXPECT_FALSE(mu.try_lock_shared(ctx));
+      EXPECT_FALSE(mu.try_lock(ctx));
+      ctx.barrier();
+      ctx.barrier();
+      ASSERT_TRUE(mu.try_lock_shared(ctx));
+      // A writer cannot sneak in past an active reader.
+      EXPECT_FALSE(mu.try_lock(ctx));
+      mu.unlock_shared(ctx);
+      ctx.barrier();
+    }
+  });
+}
+
+// ---- sux_lock -----------------------------------------------------------
+
+TEST(ElideSuxLock, SharedCoexistsWithUpdate) {
+  // An update holder must not block readers (that is the point of U), and
+  // readers must not block the update acquisition.
+  TxRuntime rt(make_cfg(Backend::kRtm, 3));
+  elide::sux_lock lk(rt, "sux");
+  int readers_during_u = 0;
+  rt.run([&](TxCtx& ctx) {
+    if (ctx.id() == 0) {
+      lk.u_lock(ctx);
+      ctx.barrier();  // readers enter while U is held
+      ctx.compute(500);
+      ctx.barrier();  // readers report
+      lk.u_unlock(ctx);
+    } else {
+      ctx.barrier();
+      lk.s_lock(ctx);
+      ++readers_during_u;
+      ctx.compute(100);
+      lk.s_unlock(ctx);
+      ctx.barrier();
+    }
+  });
+  EXPECT_EQ(readers_during_u, 2);
+}
+
+TEST(ElideSuxLock, UpgradeDrainsReadersBeforeExclusive) {
+  // u -> x upgrade must wait for in-flight readers; once exclusive, new
+  // readers wait. The two probe words make the ordering observable.
+  TxRuntime rt(make_cfg(Backend::kRtm, 2));
+  Addr data = rt.heap().host_alloc(64, 64);
+  elide::sux_lock lk(rt, "sux");
+  bool reader_saw_partial = false;
+  rt.run([&](TxCtx& ctx) {
+    if (ctx.id() == 0) {
+      lk.u_lock(ctx);
+      ctx.barrier();  // reader takes its shared hold
+      lk.u_x_upgrade(ctx);  // must block until the reader releases
+      ctx.store(data, 1);
+      ctx.compute(50);
+      ctx.store(data, 2);
+      lk.x_unlock(ctx);
+    } else {
+      lk.s_lock(ctx);
+      ctx.barrier();
+      ctx.compute(300);
+      // Still inside the shared hold: the upgrade cannot have completed,
+      // so the data must be untouched.
+      if (ctx.load(data) != 0) reader_saw_partial = true;
+      lk.s_unlock(ctx);
+      // Re-acquire after the writer finished: must see the final value.
+      lk.s_lock(ctx);
+      Word v = ctx.load(data);
+      if (v != 0 && v != 2) reader_saw_partial = true;
+      lk.s_unlock(ctx);
+    }
+  });
+  EXPECT_FALSE(reader_saw_partial);
+  EXPECT_EQ(rt.machine().peek(data), 2u);
+}
+
+TEST(ElideSuxLock, TryAcquiresRespectHolders) {
+  TxRuntime rt(make_cfg(Backend::kLock, 2));
+  elide::sux_lock lk(rt, "sux");
+  rt.run([&](TxCtx& ctx) {
+    if (ctx.id() == 0) {
+      lk.x_lock(ctx);
+      ctx.barrier();
+      ctx.barrier();
+      lk.x_unlock(ctx);
+      ctx.barrier();
+      // U held by ctx 1 now: S must still be available, U must not.
+      EXPECT_TRUE(lk.try_s_lock(ctx));
+      lk.s_unlock(ctx);
+      EXPECT_FALSE(lk.try_u_lock(ctx));
+      ctx.barrier();
+    } else {
+      ctx.barrier();
+      EXPECT_FALSE(lk.try_s_lock(ctx));
+      EXPECT_FALSE(lk.try_u_lock(ctx));
+      ctx.barrier();
+      ctx.barrier();
+      ASSERT_TRUE(lk.try_u_lock(ctx));
+      ctx.barrier();
+      lk.u_unlock(ctx);
+    }
+  });
+}
+
+class ElideSuxBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ElideSuxBackends, ElidedSectionsKeepInvariant) {
+  // Writers through critical_section_x keep x == y; readers through
+  // critical_section_shared snapshot both. Mixed with real u->x upgrades.
+  TxRuntime rt(make_cfg(GetParam(), 4));
+  Addr x = rt.heap().host_alloc(64, 64);
+  Addr y = rt.heap().host_alloc(64, 64);
+  elide::sux_lock lk(rt, "sux");
+  const int iters = 50;
+  bool torn = false;
+  rt.run([&](TxCtx& ctx) {
+    for (int i = 0; i < iters; ++i) {
+      bool writer = (ctx.id() + i) % 4 == 0;
+      auto wbody = [&] {
+        ctx.store(x, ctx.load(x) + 1);
+        ctx.compute(20);
+        ctx.store(y, ctx.load(y) + 1);
+      };
+      if (writer) {
+        if (i % 3 == 0) {
+          lk.x_lock(ctx);
+          ctx.elide_fallback(wbody);
+          lk.x_unlock(ctx);
+        } else {
+          lk.critical_section_x(ctx, wbody);
+        }
+      } else {
+        Word vx = 0, vy = 0;
+        lk.critical_section_shared(ctx, [&] {
+          vx = ctx.load(x);
+          ctx.compute(8);
+          vy = ctx.load(y);
+        });
+        if (vx != vy) torn = true;
+      }
+    }
+  });
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(rt.machine().peek(x), rt.machine().peek(y));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ElideSuxBackends,
+                         ::testing::Values(Backend::kRtm, Backend::kTinyStm,
+                                           Backend::kLock, Backend::kHybrid),
+                         [](const auto& suite_info) {
+                           return std::string(core::backend_name(suite_info.param));
+                         });
+
+}  // namespace

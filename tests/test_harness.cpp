@@ -138,6 +138,44 @@ TEST(Runner, ManifestRecordsJobsAndDigest) {
   EXPECT_NE(m.find("\"total_jobs\": 3"), std::string::npos) << m;
   EXPECT_NE(m.find("\"seed\": 102"), std::string::npos) << m;
   EXPECT_NE(m.find("\"label\": \"cell1\""), std::string::npos) << m;
+  // No elide_locks_fn installed -> the key must be absent entirely.
+  EXPECT_EQ(m.find("\"elide_locks\""), std::string::npos) << m;
+}
+
+TEST(Runner, ManifestEmbedsElideLockCounters) {
+  std::ostringstream manifest;
+  RunnerOptions opt = quiet(1);
+  opt.bench_id = "unit_elide_manifest";
+  opt.manifest_stream = &manifest;
+  opt.elide_locks_fn = [] {
+    return std::string(
+        "[{\"name\": \"m\", \"acquisitions\": 7, \"attempts\": 9, "
+        "\"elided\": 5, \"fallbacks\": 2, \"lock_acquires\": 2, "
+        "\"self_stops\": 0}]");
+  };
+  Runner r(opt);
+  std::vector<Job> js(1);
+  js[0].fn = [] {};
+  r.run(std::move(js));
+  std::string m = manifest.str();
+  EXPECT_NE(m.find("\"elide_locks\": [{\"name\": \"m\""), std::string::npos)
+      << m;
+  EXPECT_NE(m.find("\"acquisitions\": 7"), std::string::npos) << m;
+  EXPECT_NE(m.find("\"fallbacks\": 2"), std::string::npos) << m;
+}
+
+TEST(Runner, ManifestOmitsElideLocksWhenFnReturnsEmpty) {
+  std::ostringstream manifest;
+  RunnerOptions opt = quiet(1);
+  opt.bench_id = "unit_elide_manifest_empty";
+  opt.manifest_stream = &manifest;
+  opt.elide_locks_fn = [] { return std::string(); };
+  Runner r(opt);
+  std::vector<Job> js(1);
+  js[0].fn = [] {};
+  r.run(std::move(js));
+  EXPECT_EQ(manifest.str().find("\"elide_locks\""), std::string::npos)
+      << manifest.str();
 }
 
 // Progress-line policy: redirected output (stderr not a TTY) must stay free
