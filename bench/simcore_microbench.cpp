@@ -1,13 +1,31 @@
 // Host-level google-benchmark microbenchmarks of the simulator itself:
-// simulated-ops throughput for the hot paths (cache-hit loads, fiber
-// round-trips, RTM attempt overhead, STM read instrumentation). Useful when
-// optimizing tsxsim — these numbers bound how large the reproduced
-// experiments can be.
+// simulated-ops throughput for the hot paths (cache-hit loads and stores,
+// fiber round-trips, RTM attempt overhead, STM read/write instrumentation,
+// lock elision, heap churn). Useful when optimizing tsxsim — these numbers
+// bound how large the reproduced experiments can be.
+//
+// The pairs BM_SimLoadL1Hit / BM_SimLoadL1HitHooked and BM_TinyStmReadTx /
+// BM_TinyStmWriteTx bracket the fast-path design space: the hooked variant
+// routes every op through the general path (an installed on_access hook
+// disables the inline fast paths), so the ratio of the two is the measured
+// value of the fast-path layer. BM_Tl2WriteTx is the regression bench for
+// the TL2 commit path staying allocation-free.
+//
+// Usage: simcore_microbench [--json[=FILE]] [google-benchmark flags...]
+//   --json        emit the JSON report on stdout
+//   --json=FILE   write the JSON report to FILE (console output unchanged)
+// Results are recorded in bench/BENCH_simcore.json (see EXPERIMENTS.md).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/runtime.h"
+#include "elide/elide.h"
 #include "htm/rtm.h"
+#include "mem/sim_heap.h"
 #include "sim/fiber.h"
 
 using namespace tsx;
@@ -53,6 +71,73 @@ void BM_SimLoadL1Hit(benchmark::State& state) {
 }
 BENCHMARK(BM_SimLoadL1Hit);
 
+void BM_SimStoreL1Hit(benchmark::State& state) {
+  // Store fast path: L1 hit, no other-core sharers (single core).
+  constexpr int kBatch = 4096;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Machine mm(quiet(), 1);
+    mm.prefault(0x1000, 4096);
+    mm.set_thread(0, [&mm] {
+      for (int i = 0; i < kBatch; ++i) mm.store(0x1000, i);
+    });
+    state.ResumeTiming();
+    mm.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SimStoreL1Hit);
+
+void BM_SimLoadL1HitHooked(benchmark::State& state) {
+  // Same op mix as BM_SimLoadL1Hit but with an access-trace hook installed,
+  // which routes every op through the out-of-line general path. The gap to
+  // BM_SimLoadL1Hit is the measured win of the inline fast paths.
+  constexpr int kBatch = 4096;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Machine mm(quiet(), 1);
+    mm.prefault(0x1000, 4096);
+    sim::TraceHooks hooks;
+    hooks.on_access = [&sink](sim::CtxId, sim::Addr, sim::Word, sim::Word,
+                              bool, bool) { ++sink; };
+    mm.set_trace_hooks(std::move(hooks));
+    mm.set_thread(0, [&mm] {
+      for (int i = 0; i < kBatch; ++i) mm.load(0x1000);
+    });
+    state.ResumeTiming();
+    mm.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SimLoadL1HitHooked);
+
+void BM_FiberQuantumBatch(benchmark::State& state) {
+  // Two contexts with sched_quantum_ops batching: the scheduler holds each
+  // fiber for a quantum of ops instead of re-evaluating the clock race on
+  // every op, so the fiber-switch cost amortizes over the quantum.
+  constexpr int kBatch = 4096;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::MachineConfig cfg = quiet();
+    cfg.sched_quantum_ops = 64;
+    sim::Machine mm(cfg, 2);
+    mm.prefault(0x1000, 4096);
+    mm.prefault(0x200000, 4096);
+    for (sim::CtxId t = 0; t < 2; ++t) {
+      sim::Addr a = t == 0 ? 0x1000 : 0x200000;
+      mm.set_thread(t, [&mm, a] {
+        for (int i = 0; i < kBatch; ++i) mm.load(a);
+      });
+    }
+    state.ResumeTiming();
+    mm.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * 2);
+}
+BENCHMARK(BM_FiberQuantumBatch);
+
 void BM_RtmAttemptCommit(benchmark::State& state) {
   constexpr int kBatch = 512;
   for (auto _ : state) {
@@ -71,16 +156,20 @@ void BM_RtmAttemptCommit(benchmark::State& state) {
 }
 BENCHMARK(BM_RtmAttemptCommit);
 
+core::RunConfig stm_config(core::Backend backend) {
+  core::RunConfig cfg;
+  cfg.backend = backend;
+  cfg.threads = 1;
+  cfg.machine.interrupts_enabled = false;
+  cfg.stm.lock_table_entries = 1u << 14;
+  return cfg;
+}
+
 void BM_TinyStmReadTx(benchmark::State& state) {
   constexpr int kBatch = 256;
   for (auto _ : state) {
     state.PauseTiming();
-    core::RunConfig cfg;
-    cfg.backend = core::Backend::kTinyStm;
-    cfg.threads = 1;
-    cfg.machine.interrupts_enabled = false;
-    cfg.stm.lock_table_entries = 1u << 14;
-    core::TxRuntime rt(cfg);
+    core::TxRuntime rt(stm_config(core::Backend::kTinyStm));
     sim::Addr a = rt.heap().host_alloc(4096, 64);
     state.ResumeTiming();
     rt.run([&](core::TxCtx& ctx) {
@@ -96,6 +185,119 @@ void BM_TinyStmReadTx(benchmark::State& state) {
 }
 BENCHMARK(BM_TinyStmReadTx);
 
+void BM_TinyStmWriteTx(benchmark::State& state) {
+  // Write-dominated STM transactions: exercises the write-log RAW index
+  // (util::WriteIndex) and per-write lock acquisition.
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::TxRuntime rt(stm_config(core::Backend::kTinyStm));
+    sim::Addr a = rt.heap().host_alloc(4096, 64);
+    state.ResumeTiming();
+    rt.run([&](core::TxCtx& ctx) {
+      for (int i = 0; i < kBatch; ++i) {
+        ctx.transaction([&] {
+          for (int w = 0; w < 16; ++w) ctx.store(a + w * 8, i + w);
+        });
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_TinyStmWriteTx);
+
+void BM_Tl2WriteTx(benchmark::State& state) {
+  // TL2 commit path regression bench: commit-time locking over a 16-word
+  // write set. The commit loop must stay allocation-free (the `acquired`
+  // tracking is a reused flat index, not a per-commit map).
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::TxRuntime rt(stm_config(core::Backend::kTl2));
+    sim::Addr a = rt.heap().host_alloc(4096, 64);
+    state.ResumeTiming();
+    rt.run([&](core::TxCtx& ctx) {
+      for (int i = 0; i < kBatch; ++i) {
+        ctx.transaction([&] {
+          for (int w = 0; w < 16; ++w) ctx.store(a + w * 8, i + w);
+        });
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_Tl2WriteTx);
+
+void BM_ElideFastPath(benchmark::State& state) {
+  // Uncontended elided critical section on the RTM backend: every
+  // speculation commits on the first attempt (the elide fast path).
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::RunConfig cfg;
+    cfg.backend = core::Backend::kRtm;
+    cfg.threads = 1;
+    cfg.machine.interrupts_enabled = false;
+    core::TxRuntime rt(cfg);
+    sim::Addr a = rt.heap().host_alloc(4096, 64);
+    elide::mutex mu(rt);
+    state.ResumeTiming();
+    rt.run([&](core::TxCtx& ctx) {
+      for (int i = 0; i < kBatch; ++i) {
+        mu.critical_section(ctx, [&] { ctx.store(a, i); });
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ElideFastPath);
+
+void BM_HeapAllocFree(benchmark::State& state) {
+  // Allocator churn on one size class: steady-state alloc/free pairs after
+  // the first refill, exercising the flat block directory and the chunked
+  // free stacks.
+  constexpr int kBatch = 1024;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Machine mm(quiet(), 1);
+    mem::SimHeap heap(mm);
+    mm.set_thread(0, [&mm, &heap] {
+      for (int i = 0; i < kBatch; ++i) {
+        sim::Addr a = heap.alloc(64);
+        heap.free(a);
+      }
+    });
+    state.ResumeTiming();
+    mm.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_HeapAllocFree);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json[=FILE]: shorthand for google-benchmark's JSON reporters, kept
+  // stable for CI and for refreshing bench/BENCH_simcore.json.
+  static std::string fmt_arg, out_arg, out_fmt_arg;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      fmt_arg = "--benchmark_format=json";
+      args.push_back(fmt_arg.data());
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      out_arg = std::string("--benchmark_out=") + (argv[i] + 7);
+      out_fmt_arg = "--benchmark_out_format=json";
+      args.push_back(out_arg.data());
+      args.push_back(out_fmt_arg.data());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

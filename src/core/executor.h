@@ -26,6 +26,7 @@
 #include "mem/sim_heap.h"
 #include "sim/machine.h"
 #include "stm/common.h"
+#include "util/fn_ref.h"
 
 namespace tsx::obs {
 class TraceSink;
@@ -70,8 +71,10 @@ class TxExecutor {
   virtual const char* name() const = 0;
 
   // Runs `body` as one atomic block for the calling context. `site` labels
-  // the static transaction site for per-site statistics.
-  virtual void execute(const std::function<void()>& body, uint32_t site) = 0;
+  // the static transaction site for per-site statistics. The body reference
+  // is non-owning (util::FnRef): executors run it synchronously and never
+  // store it.
+  virtual void execute(util::FnRef<void()> body, uint32_t site) = 0;
 
   // Transactional data path for TxCtx inside atomic blocks. The default is
   // a plain machine access (hardware or a lock does the bookkeeping).
@@ -93,8 +96,8 @@ class TxExecutor {
   // never a real lock). The default runs the body through execute() with a
   // pre-check of the word, which is correct for the global-lock and serial
   // backends; speculative backends override it in executors.cpp.
-  virtual ElideOutcome elide(const std::function<void()>& body,
-                             sim::Addr lock_word, uint32_t site);
+  virtual ElideOutcome elide(util::FnRef<void()> body, sim::Addr lock_word,
+                             uint32_t site);
 
   // elide_fallback(): run `body` non-speculatively while the *caller*
   // already holds its fallback lock. Brackets the heap transaction scope and
@@ -102,8 +105,7 @@ class TxExecutor {
   // history shape. STM-backed executors override it to run the body as a
   // software transaction, which keeps stripe versions moving and so doom
   // concurrently elided readers (opacity).
-  virtual void elide_fallback(const std::function<void()>& body,
-                              uint32_t site);
+  virtual void elide_fallback(util::FnRef<void()> body, uint32_t site);
 
   // Lock-word read-modify-writes for the fallback path. Raw machine RMWs by
   // default; STM-backed executors wrap them in small software transactions

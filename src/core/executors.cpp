@@ -65,8 +65,7 @@ Hooks make_scope_hooks(const ExecutorEnv& env, bool observe_commit) {
 // scoping see elided sections exactly like executor transactions.
 ElideOutcome hw_elide(sim::Machine& m, obs::TraceSink* sink,
                       const htm::ScopeHooks& hooks,
-                      const std::function<void()>& body, Addr lock_word,
-                      uint32_t site) {
+                      util::FnRef<void()> body, Addr lock_word, uint32_t site) {
   if (sink) sink->set_site(m.current_ctx(), site);
   hooks.on_begin();
   htm::AttemptResult r = htm::attempt(m, [&] {
@@ -95,7 +94,7 @@ class SeqExecutor final : public TxExecutor {
 
   const char* name() const override { return "SEQ"; }
 
-  void execute(const std::function<void()>& body, uint32_t site) override {
+  void execute(util::FnRef<void()> body, uint32_t site) override {
     CtxId c = env_.machine->current_ctx();
     if (TxObserver* o = obs()) o->on_unit_begin(c, site);
     body();
@@ -118,7 +117,7 @@ class SpinLockExecutor final : public TxExecutor {
 
   const char* name() const override { return name_; }
 
-  void execute(const std::function<void()>& body, uint32_t site) override {
+  void execute(util::FnRef<void()> body, uint32_t site) override {
     CtxId c = env_.machine->current_ctx();
     lock_.lock();
     if (TxObserver* o = obs()) o->on_unit_begin(c, site);
@@ -158,12 +157,12 @@ class HleExecutor final : public TxExecutor {
 
   const char* name() const override { return "HLE"; }
 
-  void execute(const std::function<void()>& body, uint32_t site) override {
+  void execute(util::FnRef<void()> body, uint32_t site) override {
     if (env_.sink) env_.sink->set_site(env_.machine->current_ctx(), site);
     lock_.critical_section(body);
   }
 
-  ElideOutcome elide(const std::function<void()>& body, Addr lock_word,
+  ElideOutcome elide(util::FnRef<void()> body, Addr lock_word,
                      uint32_t site) override {
     return hw_elide(*env_.machine, env_.sink, elide_hooks_, body, lock_word,
                     site);
@@ -200,7 +199,7 @@ class RtmSerialExecutor final : public TxExecutor {
 
   const char* name() const override { return "RTM"; }
 
-  void execute(const std::function<void()>& body, uint32_t site) override {
+  void execute(util::FnRef<void()> body, uint32_t site) override {
     rtm_.execute(body, site);
   }
 
@@ -208,7 +207,7 @@ class RtmSerialExecutor final : public TxExecutor {
   // own word is the subscription target, and src/elide owns retry/fallback.
   // rtm_stats() intentionally keeps counting execute() transactions only;
   // per-lock elision statistics live in the elide layer and the PMU.
-  ElideOutcome elide(const std::function<void()>& body, Addr lock_word,
+  ElideOutcome elide(util::FnRef<void()> body, Addr lock_word,
                      uint32_t site) override {
     return hw_elide(*env_.machine, env_.sink, elide_hooks_, body, lock_word,
                     site);
@@ -285,7 +284,7 @@ class StmBackedExecutor : public TxExecutor {
   // its read set (tx_read validates it against the stripe clock). A busy
   // lock *commits* the read-only transaction — the busy observation was
   // atomic — and reports kLockBusy without burning an STM abort.
-  ElideOutcome elide(const std::function<void()>& body, Addr lock_word,
+  ElideOutcome elide(util::FnRef<void()> body, Addr lock_word,
                      uint32_t site) override {
     ElideOutcome out = ElideOutcome::kCommitted;
     bool committed = stm_exec_.execute_once(
@@ -308,8 +307,7 @@ class StmBackedExecutor : public TxExecutor {
   // acquisition could then read a torn snapshot without failing validation
   // (opacity). As a transaction, every write locks + version-bumps its
   // stripe, dooming such readers at read/commit time.
-  void elide_fallback(const std::function<void()>& body,
-                      uint32_t site) override {
+  void elide_fallback(util::FnRef<void()> body, uint32_t site) override {
     stm_exec_.execute(body, site);
   }
 
@@ -350,7 +348,7 @@ class StmExecutorAdapter final : public StmBackedExecutor {
 
   const char* name() const override { return stm_->name(); }
 
-  void execute(const std::function<void()>& body, uint32_t site) override {
+  void execute(util::FnRef<void()> body, uint32_t site) override {
     stm_exec_.execute(body, site);
   }
 };
@@ -404,7 +402,7 @@ class HybridExecutor final : public StmBackedExecutor {
 
   const char* name() const override { return "Hybrid"; }
 
-  void execute(const std::function<void()>& body, uint32_t site) override {
+  void execute(util::FnRef<void()> body, uint32_t site) override {
     // Index, not pointer: body() may yield to a fiber whose execute()
     // appends a new site and reallocates sites_ underneath us.
     size_t site_idx = sites_.size();
@@ -490,7 +488,7 @@ class HybridExecutor final : public StmBackedExecutor {
   // writing elided section publishes its commit to STM timestamp validation
   // exactly like execute()'s hardware path. Software-mode work (the caller's
   // fallback and lock-word RMWs) is inherited from StmBackedExecutor.
-  ElideOutcome elide(const std::function<void()>& body, Addr lock_word,
+  ElideOutcome elide(util::FnRef<void()> body, Addr lock_word,
                      uint32_t site) override {
     CtxId ctx = m_.current_ctx();
     if (env_.sink) env_.sink->set_site(ctx, site);
@@ -592,7 +590,7 @@ class HybridExecutor final : public StmBackedExecutor {
 // lock by nesting under the global one — semantically a correct (if
 // unexciting) elision. kSeq gets the same shape; src/elide disables elision
 // there because SeqExecutor provides no exclusion at all.
-ElideOutcome TxExecutor::elide(const std::function<void()>& body,
+ElideOutcome TxExecutor::elide(util::FnRef<void()> body,
                                sim::Addr lock_word, uint32_t site) {
   ElideOutcome out = ElideOutcome::kCommitted;
   execute(
@@ -612,7 +610,7 @@ ElideOutcome TxExecutor::elide(const std::function<void()>& body,
 // exclusion is needed here — just heap scoping plus recorder bracketing.
 // The unit seals before the caller releases the lock word, matching the
 // visibility order SpinLockExecutor establishes.
-void TxExecutor::elide_fallback(const std::function<void()>& body,
+void TxExecutor::elide_fallback(util::FnRef<void()> body,
                                 uint32_t site) {
   CtxId c = env_.machine->current_ctx();
   env_.heap->tx_scope_begin(c);

@@ -212,7 +212,7 @@ RunReport TxRuntime::report() const {
   return r;
 }
 
-void TxRuntime::execute_atomic(TxCtx& ctx, const std::function<void()>& body,
+void TxRuntime::execute_atomic(TxCtx& ctx, util::FnRef<void()> body,
                                uint32_t site) {
   if (ctx.in_atomic_) {  // flat nesting
     body();
@@ -261,11 +261,11 @@ Word TxCtx::fetch_add(Addr a, Word delta) {
 void TxCtx::compute(Cycles c) { rt_.machine_->compute(c); }
 void TxCtx::pause() { rt_.machine_->pause(); }
 
-void TxCtx::transaction(const std::function<void()>& body, uint32_t site) {
+void TxCtx::transaction(util::FnRef<void()> body, uint32_t site) {
   rt_.execute_atomic(*this, body, site);
 }
 
-ElideOutcome TxCtx::elide(const std::function<void()>& body, Addr lock_word,
+ElideOutcome TxCtx::elide(util::FnRef<void()> body, Addr lock_word,
                           uint32_t site) {
   if (in_atomic_) {
     throw std::logic_error("elide attempt inside an atomic section");
@@ -278,7 +278,7 @@ ElideOutcome TxCtx::elide(const std::function<void()>& body, Addr lock_word,
   return rt_.exec_->elide(body, lock_word, site);
 }
 
-void TxCtx::elide_fallback(const std::function<void()>& body, uint32_t site) {
+void TxCtx::elide_fallback(util::FnRef<void()> body, uint32_t site) {
   if (in_atomic_) {
     throw std::logic_error("elide fallback inside an atomic section");
   }

@@ -36,6 +36,7 @@
 #include "sim/machine.h"
 #include "sim/rng.h"
 #include "stm/common.h"
+#include "util/fn_ref.h"
 
 namespace tsx::obs {
 class TraceSink;
@@ -97,8 +98,10 @@ class TxCtx {
   void pause();
 
   // Runs `body` atomically under the configured backend. `site` labels the
-  // static transaction site for per-site RTM statistics.
-  void transaction(const std::function<void()>& body, uint32_t site = 0);
+  // static transaction site for per-site RTM statistics. The body is passed
+  // by non-owning reference (util::FnRef — two words, never allocates) and
+  // only runs synchronously within this call.
+  void transaction(util::FnRef<void()> body, uint32_t site = 0);
 
   // Lock-elision access for src/elide (guard-shaped scopes). elide() runs
   // one speculative attempt with `lock_word` subscribed; elide_fallback()
@@ -106,9 +109,9 @@ class TxCtx {
   // the body like transaction() (heap scoping, recorder units, executor
   // load/store routing) and throw std::logic_error when nested inside an
   // atomic block — elided sections are top-level by contract.
-  ElideOutcome elide(const std::function<void()>& body, Addr lock_word,
+  ElideOutcome elide(util::FnRef<void()> body, Addr lock_word,
                      uint32_t site = 0);
-  void elide_fallback(const std::function<void()>& body, uint32_t site = 0);
+  void elide_fallback(util::FnRef<void()> body, uint32_t site = 0);
 
   // Lock-word RMWs for the elision layer's fallback path. Plain machine
   // atomics on hardware/lock backends; small software transactions on
@@ -199,8 +202,7 @@ class TxRuntime {
  private:
   friend class TxCtx;
 
-  void execute_atomic(TxCtx& ctx, const std::function<void()>& body,
-                      uint32_t site);
+  void execute_atomic(TxCtx& ctx, util::FnRef<void()> body, uint32_t site);
 
   RunConfig cfg_;
   std::unique_ptr<sim::Machine> machine_;

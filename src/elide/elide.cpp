@@ -77,22 +77,20 @@ void LockBase::note_locked_acquire(core::TxCtx& ctx) {
 }
 
 LockBase::SpecResult LockBase::speculate(core::TxCtx& ctx,
-                                         const std::function<void()>& body,
+                                         util::FnRef<void()> body,
                                          Addr subscribed_word,
                                          const std::function<bool()>& more_free) {
   SpecResult r;
   if (!elision_active()) return r;
   bool extra_busy = false;
-  std::function<void()> wrapped = body;
-  if (more_free) {
-    wrapped = [&extra_busy, &more_free, &body] {
-      if (!more_free()) {
-        extra_busy = true;
-        return;
-      }
-      body();
-    };
-  }
+  // Host-side wrapper only; the more_free branch costs nothing simulated.
+  auto wrapped = [&extra_busy, &more_free, body] {
+    if (more_free && !more_free()) {
+      extra_busy = true;
+      return;
+    }
+    body();
+  };
   sim::Machine& m = rt_.machine();
   uint32_t attempt_no = 0;
   while (!cfg_.retry.exhausted(attempt_no)) {
@@ -164,8 +162,7 @@ bool mutex::held_by(core::TxCtx& ctx) {
   return rt_.machine().peek(word()) == owner_token(ctx);
 }
 
-void mutex::critical_section(core::TxCtx& ctx,
-                             const std::function<void()>& body) {
+void mutex::critical_section(core::TxCtx& ctx, util::FnRef<void()> body) {
   detail::LockBase::SpecResult r = speculate(ctx, body, subscribed(word()), {});
   if (r.committed) return;
   ++stats_.fallbacks;
@@ -181,8 +178,7 @@ void mutex::critical_section(core::TxCtx& ctx,
   account(ctx, obs::ElideAcqKind::kFallback, r.attempts, 0, r.wasted);
 }
 
-void mutex::locked_section(core::TxCtx& ctx,
-                           const std::function<void()>& body) {
+void mutex::locked_section(core::TxCtx& ctx, util::FnRef<void()> body) {
   lock(ctx);
   try {
     ctx.elide_fallback(body, site());
@@ -255,7 +251,7 @@ void shared_mutex::unlock_shared(core::TxCtx& ctx) {
 }
 
 void shared_mutex::critical_section(core::TxCtx& ctx,
-                                    const std::function<void()>& body) {
+                                    util::FnRef<void()> body) {
   // Exclusive speculation: the writer word is subscribed by the executor;
   // the reader count joins the read set through the in-transaction load, so
   // a raw reader's arrival dooms (or busies) the attempt.
@@ -281,7 +277,7 @@ void shared_mutex::critical_section(core::TxCtx& ctx,
 }
 
 void shared_mutex::critical_section_shared(core::TxCtx& ctx,
-                                           const std::function<void()>& body) {
+                                           util::FnRef<void()> body) {
   // Shared speculation subscribes only the writer word: concurrent readers
   // (elided or real) must not exclude each other.
   detail::LockBase::SpecResult r =
@@ -378,7 +374,7 @@ void sux_lock::x_unlock(core::TxCtx& ctx) {
 }
 
 void sux_lock::critical_section_shared(core::TxCtx& ctx,
-                                       const std::function<void()>& body) {
+                                       util::FnRef<void()> body) {
   // Shared coexists with an update holder, so only the writer flag is
   // subscribed: an elided reader runs happily beside u_lock owners and is
   // excluded (busied/doomed) exactly when an upgrade begins.
@@ -403,7 +399,7 @@ void sux_lock::critical_section_shared(core::TxCtx& ctx,
 }
 
 void sux_lock::critical_section_x(core::TxCtx& ctx,
-                                  const std::function<void()>& body) {
+                                  util::FnRef<void()> body) {
   // Exclusive speculation subscribes the update word (any u/x holder
   // excludes us; writer != 0 implies update != 0 by protocol) and loads the
   // reader count in-transaction so reader arrivals doom the attempt.

@@ -39,6 +39,7 @@
 
 #include "core/runtime.h"
 #include "sim/types.h"
+#include "util/fn_ref.h"
 
 namespace tsx::elide {
 
@@ -115,7 +116,7 @@ class LockBase {
   // composite locks to also require e.g. readers == 0. On `committed` the
   // acquisition is fully accounted; otherwise the caller takes the real
   // lock, runs the fallback, and calls account() with the returned tallies.
-  SpecResult speculate(core::TxCtx& ctx, const std::function<void()>& body,
+  SpecResult speculate(core::TxCtx& ctx, util::FnRef<void()> body,
                        Addr subscribed_word,
                        const std::function<bool()>& more_free);
 
@@ -171,12 +172,12 @@ class mutex : public detail::LockBase {
   // Guard-shaped elided critical section: speculate, then fall back to
   // lock()+body+unlock() on budget exhaustion. Must be called outside any
   // atomic section (throws std::logic_error otherwise).
-  void critical_section(core::TxCtx& ctx, const std::function<void()>& body);
+  void critical_section(core::TxCtx& ctx, util::FnRef<void()> body);
 
   // Forced non-speculative section: real acquisition around the body, with
   // the same heap/recorder bracketing as a fallback. Workloads use this to
   // guarantee genuine lock-holder windows.
-  void locked_section(core::TxCtx& ctx, const std::function<void()>& body);
+  void locked_section(core::TxCtx& ctx, util::FnRef<void()> body);
 
   Addr word() const { return base(); }
 
@@ -202,9 +203,9 @@ class shared_mutex : public detail::LockBase {
   // Elided sections. The shared flavour subscribes only the writer word
   // (concurrent readers must not doom it); the exclusive flavour checks
   // writer == 0 && readers == 0 inside the speculation.
-  void critical_section(core::TxCtx& ctx, const std::function<void()>& body);
+  void critical_section(core::TxCtx& ctx, util::FnRef<void()> body);
   void critical_section_shared(core::TxCtx& ctx,
-                               const std::function<void()>& body);
+                               util::FnRef<void()> body);
 
   Addr writer_word() const { return base(); }
   Addr reader_word() const { return base() + sim::kLineBytes; }
@@ -238,8 +239,8 @@ class sux_lock : public detail::LockBase {
   // Elided sections: shared subscribes the writer flag; exclusive checks
   // update, writer and readers all free inside the speculation.
   void critical_section_shared(core::TxCtx& ctx,
-                               const std::function<void()>& body);
-  void critical_section_x(core::TxCtx& ctx, const std::function<void()>& body);
+                               util::FnRef<void()> body);
+  void critical_section_x(core::TxCtx& ctx, util::FnRef<void()> body);
 
   Addr update_word() const { return base(); }
   Addr writer_word() const { return base() + sim::kLineBytes; }

@@ -5,7 +5,7 @@
 
 namespace tsx::htm {
 
-bool HleLock::try_elided(const std::function<void()>& body) {
+bool HleLock::try_elided(util::FnRef<void()> body) {
   hooks_.on_begin();
   AttemptResult r = attempt(m_, [&] {
     // The elided acquisition: the lock word joins the read-set and must
@@ -25,7 +25,7 @@ bool HleLock::try_elided(const std::function<void()>& body) {
   return false;
 }
 
-void HleLock::critical_section(const std::function<void()>& body) {
+void HleLock::critical_section(util::FnRef<void()> body) {
   ++stats_.sections;
   for (uint32_t a = 0; a < attempts_; ++a) {
     if (try_elided(body)) return;

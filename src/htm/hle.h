@@ -53,7 +53,7 @@ class HleLock {
   // Executes `body` as an elided critical section: speculatively first
   // (`attempts_` tries, as hardware would re-elide after some abort kinds),
   // then under the real lock.
-  void critical_section(const std::function<void()>& body);
+  void critical_section(util::FnRef<void()> body);
 
   // Per-attempt scope hooks, mirroring RtmExecutor's: `begin` before every
   // elided attempt and after the fallback lock acquisition; `commit` after
@@ -71,7 +71,7 @@ class HleLock {
   const HleStats& stats() const { return stats_; }
 
  private:
-  bool try_elided(const std::function<void()>& body);
+  bool try_elided(util::FnRef<void()> body);
 
   sim::Machine& m_;
   sync::TasSpinLock lock_;

@@ -34,7 +34,7 @@ void RtmStats::merge(const RtmStats& o) {
   cycles_fallback += o.cycles_fallback;
 }
 
-AttemptResult attempt(Machine& m, const std::function<void()>& body) {
+AttemptResult attempt(Machine& m, util::FnRef<void()> body) {
   AttemptResult r;
   Cycles t0 = m.now();
   try {
@@ -107,7 +107,7 @@ void RtmExecutor::record(RtmStats& s, const AttemptResult& r,
   ++s.aborts_by_reason[static_cast<size_t>(r.reason)];
 }
 
-void RtmExecutor::execute(const std::function<void()>& body, uint32_t site) {
+void RtmExecutor::execute(util::FnRef<void()> body, uint32_t site) {
   // Hold an index, not a pointer: body() may yield to another fiber whose
   // execute() appends a new site and reallocates sites_ underneath us.
   size_t site_idx = sites_.size();

@@ -23,6 +23,7 @@
 #include "sim/machine.h"
 #include "sim/types.h"
 #include "sync/spinlock.h"
+#include "util/fn_ref.h"
 
 namespace tsx::obs {
 class TraceSink;
@@ -54,7 +55,7 @@ struct AttemptResult {
 // the body via sim::TxAborted, which attempt() absorbs into the result.
 // The body must keep host-side state transactional-safe: only locals, with
 // all shared data in simulated memory (rolled back by the hardware model).
-AttemptResult attempt(Machine& m, const std::function<void()>& body);
+AttemptResult attempt(Machine& m, util::FnRef<void()> body);
 
 // Reporting buckets used by the paper.
 enum class AbortClass : uint8_t {
@@ -134,7 +135,7 @@ class RtmExecutor {
   // serial fallback. `site` identifies the static transaction site for
   // per-site statistics (Table IV's TID1-style breakdowns); pass 0 if
   // unneeded.
-  void execute(const std::function<void()>& body, uint32_t site = 0);
+  void execute(util::FnRef<void()> body, uint32_t site = 0);
 
   // True while the calling context holds the serial lock (body code can
   // check this to know it runs non-speculatively).

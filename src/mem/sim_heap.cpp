@@ -17,7 +17,7 @@ uint64_t SimHeap::size_class(uint64_t bytes) const {
 }
 
 Addr SimHeap::take_from_pool(PerCtx& pc, uint64_t csize, bool simulate_cost) {
-  auto& fl = pc.free_lists[csize];
+  FreeStack& fl = pc.free_lists[csize];
   if (fl.empty()) {
     // Refill: carve a chunk from the global bump region.
     ++stats_.refills;
@@ -38,15 +38,13 @@ Addr SimHeap::take_from_pool(PerCtx& pc, uint64_t csize, bool simulate_cost) {
         m_.compute((chunk / sim::kPageBytes) * cfg_.touch_page_cycles);
       }
     }
-    for (Addr a = base; a + csize <= base + chunk; a += csize) {
-      fl.push_back(a);
+    // Push descending so pops hand blocks out in address order.
+    uint64_t blocks = chunk / csize;
+    for (uint64_t i = blocks; i-- > 0;) {
+      fl.push(arena_, base + i * csize);
     }
-    // Hand blocks out in address order.
-    std::reverse(fl.begin(), fl.end());
   }
-  Addr a = fl.back();
-  fl.pop_back();
-  return a;
+  return fl.pop();
 }
 
 Addr SimHeap::alloc(uint64_t bytes, uint64_t align) {
@@ -58,7 +56,7 @@ Addr SimHeap::alloc(uint64_t bytes, uint64_t align) {
   uint64_t csize = size_class(std::max(bytes, align));
   m_.compute(cfg_.alloc_cycles);
   Addr a = take_from_pool(pc, csize, /*simulate_cost=*/true);
-  blocks_[a] = {csize, &pc};
+  blocks_[a] = Block{csize, &pc};
   ++stats_.allocs;
   stats_.bytes_live += csize;
   stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
@@ -73,7 +71,7 @@ Addr SimHeap::host_alloc(uint64_t bytes, uint64_t align) {
   uint64_t csize = size_class(std::max(bytes, align));
   Addr a = take_from_pool(host_ctx_, csize, /*simulate_cost=*/false);
   m_.prefault(a, csize);
-  blocks_[a] = {csize, &host_ctx_};
+  blocks_[a] = Block{csize, &host_ctx_};
   ++stats_.allocs;
   stats_.bytes_live += csize;
   stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
@@ -81,13 +79,14 @@ Addr SimHeap::host_alloc(uint64_t bytes, uint64_t align) {
 }
 
 void SimHeap::release(Addr addr) {
-  auto it = blocks_.find(addr);
-  if (it == blocks_.end()) throw std::invalid_argument("free of unknown block");
-  auto [csize, owner] = it->second;
-  blocks_.erase(it);
+  Block* b = blocks_.find(addr);
+  if (!b) throw std::invalid_argument("free of unknown block");
+  uint64_t csize = b->csize;
+  PerCtx* owner = b->owner;
+  blocks_.erase(addr);
   stats_.bytes_live -= csize;
   ++stats_.frees;
-  owner->free_lists[csize].push_back(addr);
+  owner->free_lists[csize].push(arena_, addr);
 }
 
 void SimHeap::free(Addr addr) {
@@ -128,8 +127,8 @@ void SimHeap::tx_scope_abort(CtxId ctx) {
 }
 
 uint64_t SimHeap::block_size(Addr addr) const {
-  auto it = blocks_.find(addr);
-  return it == blocks_.end() ? 0 : it->second.first;
+  const Block* b = blocks_.find(addr);
+  return b ? b->csize : 0;
 }
 
 }  // namespace tsx::mem

@@ -16,12 +16,13 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/layout.h"
 #include "sim/machine.h"
 #include "sim/types.h"
+#include "util/arena.h"
+#include "util/flat_table.h"
 
 namespace tsx::mem {
 
@@ -69,12 +70,60 @@ class SimHeap {
   uint64_t block_size(Addr addr) const;
 
  private:
+  // LIFO free list in arena-backed chunks: no per-node allocation, and the
+  // chunk links are recycled (a drained chunk stays linked via `next` for
+  // the next push wave), so steady-state alloc/free churn touches no
+  // allocator at all. Refills push block addresses DESCENDING so pops hand
+  // blocks out in ascending address order — the exact sequence the previous
+  // vector-based list (push ascending, reverse, pop_back) produced.
+  class FreeStack {
+   public:
+    bool empty() const { return size_ == 0; }
+    void push(util::Arena& arena, Addr v) {
+      if (!top_) {
+        top_ = new_chunk(arena, nullptr);
+      } else if (top_->count == kSlots) {
+        top_ = top_->next ? top_->next : new_chunk(arena, top_);
+      }
+      top_->slots[top_->count++] = v;
+      ++size_;
+    }
+    Addr pop() {
+      if (top_->count == 0) top_ = top_->prev;
+      --size_;
+      return top_->slots[--top_->count];
+    }
+
+   private:
+    static constexpr uint32_t kSlots = 64;
+    struct Chunk {
+      Chunk* prev = nullptr;
+      Chunk* next = nullptr;
+      uint32_t count = 0;
+      Addr slots[kSlots];
+    };
+    static Chunk* new_chunk(util::Arena& arena, Chunk* prev) {
+      Chunk* c = arena.create<Chunk>();
+      c->prev = prev;
+      if (prev) prev->next = c;
+      return c;
+    }
+
+    Chunk* top_ = nullptr;
+    uint64_t size_ = 0;
+  };
+
   struct PerCtx {
     // size-class -> free addresses
-    std::unordered_map<uint64_t, std::vector<Addr>> free_lists;
+    util::FlatTable<FreeStack> free_lists;
     bool scope_open = false;
     std::vector<Addr> scope_allocs;
     std::vector<Addr> scope_frees;
+  };
+
+  struct Block {
+    uint64_t csize = 0;
+    PerCtx* owner = nullptr;
   };
 
   uint64_t size_class(uint64_t bytes) const;
@@ -84,9 +133,12 @@ class SimHeap {
   Machine& m_;
   HeapConfig cfg_;
   Addr bump_;
+  util::Arena arena_;  // FreeStack chunk storage (lives as long as the heap)
   std::array<PerCtx, sim::kMaxCtxs> per_ctx_;
   PerCtx host_ctx_;
-  std::unordered_map<Addr, std::pair<uint64_t, PerCtx*>> blocks_;
+  // addr -> owning block metadata (flat: the directory is probed on every
+  // free and block_size query).
+  util::FlatTable<Block> blocks_;
   HeapStats stats_;
 };
 

@@ -18,15 +18,16 @@ const char* event_kind_name(EventKind k) {
   return "?";
 }
 
-TraceSink::TraceSink(size_t capacity) : cap_(capacity) {
+TraceSink::TraceSink(size_t capacity)
+    : cap_(capacity), arena_(capacity * sizeof(Event)) {
   if (capacity == 0) throw std::invalid_argument("TraceSink capacity == 0");
-  ring_.reserve(capacity);
+  ring_ = arena_.alloc_array<Event>(capacity);
   cur_site_.fill(kNoSite);
 }
 
 void TraceSink::push(const Event& e) {
-  if (ring_.size() < cap_) {
-    ring_.push_back(e);
+  if (size_ < cap_) {
+    ring_[size_++] = e;
     return;
   }
   ring_[head_] = e;  // overwrite the oldest
@@ -185,9 +186,9 @@ void TraceSink::stm_abort(sim::CtxId ctx, sim::Cycles t, uint64_t line,
 
 std::vector<Event> TraceSink::events() const {
   std::vector<Event> out;
-  out.reserve(ring_.size());
-  if (ring_.size() < cap_) {
-    out = ring_;
+  out.reserve(size_);
+  if (size_ < cap_) {
+    out.assign(ring_, ring_ + size_);
     return out;
   }
   for (size_t i = 0; i < cap_; ++i) {

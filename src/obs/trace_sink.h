@@ -22,6 +22,7 @@
 #include "obs/events.h"
 #include "sim/stats.h"
 #include "sim/types.h"
+#include "util/arena.h"
 
 namespace tsx::obs {
 
@@ -91,7 +92,7 @@ class TraceSink {
   // ---- Inspection / export ----
   // Events oldest -> newest (at most `capacity`).
   std::vector<Event> events() const;
-  size_t size() const { return ring_.size(); }
+  size_t size() const { return size_; }
   size_t capacity() const { return cap_; }
   // Number of events overwritten because the ring was full.
   size_t dropped() const { return dropped_; }
@@ -112,7 +113,12 @@ class TraceSink {
   }
 
   size_t cap_;
-  std::vector<Event> ring_;
+  // Ring storage allocated once at full capacity from the arena (events are
+  // flat PODs, never destroyed element-wise), so emission can never trigger
+  // a vector reallocation mid-run.
+  util::Arena arena_;
+  Event* ring_;
+  size_t size_ = 0;
   size_t head_ = 0;  // next write position once the ring is full
   size_t dropped_ = 0;
 

@@ -1,35 +1,28 @@
 #include "sim/backing_store.h"
 
-#include <stdexcept>
-
 namespace tsx::sim {
 
-BackingStore::Page& BackingStore::page_for(Addr addr) {
-  auto& slot = pages_[page_of(addr)];
-  if (!slot) slot = std::make_unique<Page>();
-  return *slot;
+BackingStore::Page* BackingStore::lookup_slow(uint64_t pno) const {
+  std::unique_ptr<Page>* slot = pages_.find(pno);
+  if (!slot) return nullptr;
+  Page* p = slot->get();
+  // Only present pages enter the cache (lookup_present relies on it).
+  if (p->present) {
+    cache_no_ = pno;
+    cache_page_ = p;
+  }
+  return p;
 }
 
-const BackingStore::Page* BackingStore::find_page(Addr addr) const {
-  auto it = pages_.find(page_of(addr));
-  return it == pages_.end() ? nullptr : it->second.get();
-}
-
-Word BackingStore::peek(Addr addr) const {
-  if (addr % kWordBytes != 0) throw std::invalid_argument("unaligned peek");
-  const Page* p = find_page(addr);
-  if (!p) return 0;
-  return p->words[(addr % kPageBytes) / kWordBytes];
-}
-
-void BackingStore::poke(Addr addr, Word value) {
-  if (addr % kWordBytes != 0) throw std::invalid_argument("unaligned poke");
-  page_for(addr).words[(addr % kPageBytes) / kWordBytes] = value;
-}
-
-bool BackingStore::present(Addr addr) const {
-  const Page* p = find_page(addr);
-  return p && p->present;
+BackingStore::Page& BackingStore::materialize(uint64_t pno) {
+  auto [slot, inserted] = pages_.try_emplace(pno);
+  if (inserted) *slot = std::make_unique<Page>();
+  Page* p = slot->get();
+  if (p->present) {
+    cache_no_ = pno;
+    cache_page_ = p;
+  }
+  return *p;
 }
 
 void BackingStore::make_present(Addr addr) { page_for(addr).present = true; }

@@ -5,33 +5,17 @@
 namespace tsx::sim {
 
 Cache::Cache(const CacheGeometry& geom, const char* name)
-    : sets_(geom.sets()), ways_(geom.ways), name_(name) {
+    : sets_(geom.sets()), set_mask_(geom.sets() - 1), ways_(geom.ways),
+      name_(name) {
   if (sets_ == 0 || (sets_ & (sets_ - 1)) != 0) {
     throw std::invalid_argument("cache set count must be a nonzero power of 2");
   }
   lines_.resize(static_cast<size_t>(sets_) * ways_);
-}
-
-CacheLine* Cache::probe(uint64_t line_addr) {
-  CacheLine* set = set_begin(set_index(line_addr));
-  for (uint32_t w = 0; w < ways_; ++w) {
-    if (set[w].valid && set[w].tag == line_addr) return &set[w];
-  }
-  return nullptr;
-}
-
-const CacheLine* Cache::probe(uint64_t line_addr) const {
-  return const_cast<Cache*>(this)->probe(line_addr);
-}
-
-CacheLine* Cache::touch(uint64_t line_addr) {
-  CacheLine* line = probe(line_addr);
-  if (line) line->lru = ++tick_;
-  return line;
+  mru_ = &lines_[0];  // any line works: invalid lines never match a probe
 }
 
 CacheLine* Cache::fill(uint64_t line_addr,
-                       const std::function<void(const CacheLine&)>& on_evict) {
+                       util::FnRef<void(const CacheLine&)> on_evict) {
   if (probe(line_addr)) {
     throw std::logic_error("fill of already-present line");
   }
@@ -53,7 +37,10 @@ CacheLine* Cache::fill(uint64_t line_addr,
 }
 
 void Cache::invalidate(uint64_t line_addr) {
-  if (CacheLine* line = probe(line_addr)) line->valid = false;
+  if (CacheLine* line = probe(line_addr)) {
+    line->valid = false;
+    line->tag = CacheLine::kNoTag;  // keeps probe()'s single-compare honest
+  }
 }
 
 uint64_t Cache::valid_lines() const {

@@ -10,18 +10,28 @@
 //     the whole cache hierarchy: read-capacity abort). L3 lines also carry
 //     the directory state: which cores' private caches hold the line, and
 //     which core (if any) holds it modified.
+//
+// probe/touch are header-inline: they run on every simulated access and the
+// way scan is a handful of compares over one contiguous set. The eviction
+// callback on fill() is a util::FnRef — constructed for free at the call
+// site, no std::function allocation on the miss path.
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/config.h"
 #include "sim/types.h"
+#include "util/fn_ref.h"
 
 namespace tsx::sim {
 
 struct CacheLine {
-  uint64_t tag = 0;  // full line address (addr / 64)
+  // Invalid lines carry kNoTag so probe() is a single compare per way (no
+  // real line address is ever ~0: the simulated address space is < 2^52).
+  // `valid` mirrors `tag != kNoTag` for readers; both are kept in sync.
+  static constexpr uint64_t kNoTag = ~0ull;
+
+  uint64_t tag = kNoTag;  // full line address (addr / 64), or kNoTag
   uint64_t lru = 0;
   bool valid = false;
   bool dirty = false;
@@ -45,18 +55,39 @@ class Cache {
  public:
   Cache(const CacheGeometry& geom, const char* name);
 
-  // Looks up without touching replacement state.
-  CacheLine* probe(uint64_t line_addr);
-  const CacheLine* probe(uint64_t line_addr) const;
+  // Looks up without touching replacement state. The MRU memo short-circuits
+  // the way scan for back-to-back hits on one line; it is self-validating
+  // (the memoed line still holding the asked-for tag proves it was neither
+  // invalidated nor re-filled), so it cannot change any probe result.
+  CacheLine* probe(uint64_t line_addr) {
+    if (mru_->tag == line_addr) return mru_;
+    CacheLine* set = set_begin(set_index(line_addr));
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (set[w].tag == line_addr) return mru_ = &set[w];
+    }
+    return nullptr;
+  }
+  const CacheLine* probe(uint64_t line_addr) const {
+    return const_cast<Cache*>(this)->probe(line_addr);
+  }
+
+  // Refreshes replacement state of a line returned by probe(). Split from
+  // touch() so speculative fast paths can look up first and only commit the
+  // LRU update once every other precondition holds.
+  void bump(CacheLine* line) { line->lru = ++tick_; }
 
   // Looks up and, on hit, refreshes LRU.
-  CacheLine* touch(uint64_t line_addr);
+  CacheLine* touch(uint64_t line_addr) {
+    CacheLine* line = probe(line_addr);
+    if (line) bump(line);
+    return line;
+  }
 
   // Allocates a slot for `line_addr` (which must not be present), invoking
   // `on_evict` with the victim line first if a valid line is displaced.
   // Returns the (re-initialized) line.
   CacheLine* fill(uint64_t line_addr,
-                  const std::function<void(const CacheLine&)>& on_evict);
+                  util::FnRef<void(const CacheLine&)> on_evict);
 
   // Drops the line if present (no writeback — caller decides what the
   // invalidation means).
@@ -70,15 +101,22 @@ class Cache {
   uint64_t valid_lines() const;
 
  private:
+  // sets_ is validated as a power of two, so the modulo is a mask — probe()
+  // runs on every simulated access and a runtime integer divide would
+  // dominate it.
   uint32_t set_index(uint64_t line_addr) const {
-    return static_cast<uint32_t>(line_addr % sets_);
+    return static_cast<uint32_t>(line_addr) & set_mask_;
   }
   CacheLine* set_begin(uint32_t set) { return &lines_[set * ways_]; }
 
   uint32_t sets_;
+  uint32_t set_mask_;
   uint32_t ways_;
   uint64_t tick_ = 0;
   std::vector<CacheLine> lines_;
+  // Most-recently probed-hit line; always a valid pointer into lines_ (never
+  // null, so the hot compare needs no null check). See probe().
+  CacheLine* mru_;
   const char* name_;
 };
 

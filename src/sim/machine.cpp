@@ -1,30 +1,57 @@
 #include "sim/machine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace tsx::sim {
 
-Machine::Machine(const MachineConfig& cfg, uint32_t num_threads)
-    : cfg_(cfg), num_threads_(num_threads), setup_rng_(cfg.seed ^ 0xabcdef),
-      sched_rng_(cfg.seed ^ 0x5c4ed01eull) {
-  if (num_threads == 0 || num_threads > kMaxCtxs) {
+Cycles Machine::interrupt_gate_for(double next_interrupt) {
+  // 2^63 comfortably exceeds any simulated clock; casting infinity (the
+  // interrupts-disabled sentinel) would be UB.
+  if (next_interrupt >= 9.2e18) return ~Cycles{0};
+  return static_cast<Cycles>(std::ceil(next_interrupt));
+}
+
+uint32_t Machine::checked_threads(uint32_t n) {
+  if (n == 0 || n > kMaxCtxs) {
     throw std::invalid_argument("thread count must be 1..8");
   }
-  mem_ = std::make_unique<MemorySystem>(
-      cfg_, num_threads, &stats_.mem,
-      [this](CtxId victim, AbortReason r, uint64_t line, CtxId attacker) {
-        abort_tx(victim, r, line, 0, attacker);
-      });
+  return n;
+}
+
+Machine::Machine(const MachineConfig& cfg, uint32_t num_threads)
+    : cfg_(cfg), num_threads_(checked_threads(num_threads)),
+      mem_(cfg_, num_threads_, &stats_.mem,
+           [this](CtxId victim, AbortReason r, uint64_t line, CtxId attacker) {
+             abort_tx(victim, r, line, 0, attacker);
+           }),
+      setup_rng_(cfg.seed ^ 0xabcdef), sched_rng_(cfg.seed ^ 0x5c4ed01eull) {
+  smt_possible_ = num_threads_ > cfg_.cores;
+  lat_l1_hit_ = cfg_.lat_issue + cfg_.lat_l1;
+  // Sized exactly once: SimContext* stays stable for the machine's lifetime.
+  ctxs_.resize(num_threads);
   for (CtxId i = 0; i < num_threads; ++i) {
-    auto c = std::make_unique<SimContext>();
-    c->id = i;
-    c->core = mem_->core_of(i);
-    c->rng.reseed(cfg_.seed * 0x9e3779b97f4a7c15ull + i + 1);
-    c->next_interrupt = cfg_.interrupts_enabled
-                            ? c->rng.exponential(cfg_.interrupt_mean_cycles)
-                            : 0;
-    ctxs_.push_back(std::move(c));
+    SimContext& c = ctxs_[i];
+    c.id = i;
+    c.core = mem_.core_of(i);
+    c.rng.reseed(cfg_.seed * 0x9e3779b97f4a7c15ull + i + 1);
+    // +infinity when disabled: the per-op due check is then never true.
+    c.next_interrupt = cfg_.interrupts_enabled
+                           ? c.rng.exponential(cfg_.interrupt_mean_cycles)
+                           : std::numeric_limits<double>::infinity();
+    c.interrupt_gate = interrupt_gate_for(c.next_interrupt);
+    c.l1 = &mem_.l1(c.core);
   }
+  // Same-core sibling lists for the SMT-slowdown check.
+  for (SimContext& c : ctxs_) {
+    for (SimContext& other : ctxs_) {
+      if (other.id != c.id && other.core == c.core) {
+        c.siblings[c.n_siblings++] = &other;
+      }
+    }
+  }
+  refresh_fast_flags();
 }
 
 Machine::~Machine() = default;
@@ -34,30 +61,25 @@ void Machine::set_obs_hooks(ObsHooks hooks, Cycles sample_window_cycles) {
   sample_window_ = obs_.on_sample_window ? sample_window_cycles : 0;
   next_sample_ = sample_window_;
   max_clock_seen_ = 0;
+  sample_gate_ = sample_window_ ? 0 : ~Cycles{0};
   if (obs_.on_tx_evict) {
-    mem_->set_evict_hook([this](CtxId by, int level, uint64_t line) {
-      obs_.on_tx_evict(by, ctxs_[by]->clock, level, line);
+    mem_.set_evict_hook([this](CtxId by, int level, uint64_t line) {
+      obs_.on_tx_evict(by, ctxs_[by].clock, level, line);
     });
   } else {
-    mem_->set_evict_hook(nullptr);
+    mem_.set_evict_hook(nullptr);
   }
 }
 
 void Machine::set_thread(CtxId ctx, ThreadFn fn) {
   if (ctx >= num_threads_) throw std::invalid_argument("bad ctx id");
-  if (ctxs_[ctx]->fiber) throw std::logic_error("thread already set");
-  ctxs_[ctx]->fiber =
+  if (ctxs_[ctx].fiber) throw std::logic_error("thread already set");
+  ctxs_[ctx].fiber =
       std::make_unique<Fiber>(cfg_.fiber_stack_bytes, std::move(fn));
 }
 
-Machine::SimContext& Machine::cur() {
-  if (!current_) throw std::logic_error("simulation op outside a fiber");
-  return *current_;
-}
-
-const Machine::SimContext& Machine::cur() const {
-  if (!current_) throw std::logic_error("simulation op outside a fiber");
-  return *current_;
+void Machine::throw_off_fiber() {
+  throw std::logic_error("simulation op outside a fiber");
 }
 
 CtxId Machine::current_ctx() const { return cur().id; }
@@ -66,18 +88,17 @@ Cycles Machine::now() const { return cur().clock; }
 
 Cycles Machine::wall() const {
   Cycles w = 0;
-  for (const auto& c : ctxs_) w = std::max(w, c->clock);
+  for (const SimContext& c : ctxs_) w = std::max(w, c.clock);
   return w;
 }
 
-Cycles Machine::ctx_finish(CtxId ctx) const { return ctxs_[ctx]->clock; }
+Cycles Machine::ctx_finish(CtxId ctx) const { return ctxs_[ctx].clock; }
 
 double Machine::core_busy_cycles() const {
   // A core is modeled busy for as long as its busiest context.
   std::vector<double> core_busy(cfg_.cores, 0.0);
-  for (const auto& c : ctxs_) {
-    core_busy[c->core] =
-        std::max(core_busy[c->core], static_cast<double>(c->busy));
+  for (const SimContext& c : ctxs_) {
+    core_busy[c.core] = std::max(core_busy[c.core], static_cast<double>(c.busy));
   }
   double total = 0;
   for (double b : core_busy) total += b;
@@ -85,51 +106,35 @@ double Machine::core_busy_cycles() const {
 }
 
 bool Machine::sibling_active(const SimContext& c) const {
-  for (const auto& other : ctxs_) {
-    if (other->id != c.id && other->core == c.core &&
-        !other->fiber->finished()) {
-      return true;
-    }
+  for (uint32_t i = 0; i < c.n_siblings; ++i) {
+    if (!c.siblings[i]->finished) return true;
   }
   return false;
 }
 
-void Machine::advance(Cycles core_cycles, Cycles mem_cycles) {
-  SimContext& c = cur();
-  Cycles adj_core = core_cycles;
-  if (num_threads_ > cfg_.cores && sibling_active(c)) {
-    adj_core = static_cast<Cycles>(
-        static_cast<double>(core_cycles) * cfg_.smt_slowdown + 0.5);
-  }
-  c.clock += adj_core + mem_cycles;
-  c.busy += adj_core + mem_cycles;
-  // Sample-window counter sampling: report each window boundary the first
-  // time any context's clock crosses it. The high-water mark makes boundary
-  // order monotonic; emission is host-side only, so sampling never perturbs
-  // the simulated timeline.
-  if (sample_window_ && c.clock > max_clock_seen_) {
-    max_clock_seen_ = c.clock;
-    while (max_clock_seen_ >= next_sample_) {
-      obs_.on_sample_window(next_sample_, stats_);
-      next_sample_ += sample_window_;
-    }
+// The high-water mark makes boundary order monotonic across contexts.
+void Machine::cross_sample_windows(SimContext& c) {
+  max_clock_seen_ = c.clock;
+  sample_gate_ = c.clock;
+  while (max_clock_seen_ >= next_sample_) {
+    obs_.on_sample_window(next_sample_, stats_);
+    next_sample_ += sample_window_;
   }
 }
 
-void Machine::maybe_yield() {
-  if (num_threads_ == 1) return;
+void Machine::maybe_yield_slow() {
   SimContext& c = cur();
   // sched_quantum_ops: hold the fiber for a full quantum of ops before the
   // usual clock comparison may deschedule it.
   if (cfg_.sched_quantum_ops > 0) {
     if (++c.ops_since_resume < cfg_.sched_quantum_ops) return;
   }
-  for (const auto& other : ctxs_) {
-    if (other->id == c.id || other->fiber->finished() || other->waiting) {
+  for (const SimContext& other : ctxs_) {
+    if (other.id == c.id || other.finished || other.waiting) {
       continue;
     }
-    if (other->clock < c.clock + cfg_.sched_jitter_window ||
-        (other->clock == c.clock && other->id < c.id)) {
+    if (other.clock < c.clock + cfg_.sched_jitter_window ||
+        (other.clock == c.clock && other.id < c.id)) {
       c.fiber->yield();
       return;
     }
@@ -139,15 +144,15 @@ void Machine::maybe_yield() {
 Machine::SimContext* Machine::pick_next() {
   SimContext* best = nullptr;
   bool any_waiting = false;
-  for (auto& c : ctxs_) {
-    if (c->fiber->finished()) continue;
-    if (c->waiting) {
+  for (SimContext& c : ctxs_) {
+    if (c.finished) continue;
+    if (c.waiting) {
       any_waiting = true;
       continue;
     }
-    if (!best || c->clock < best->clock ||
-        (c->clock == best->clock && c->id < best->id)) {
-      best = c.get();
+    if (!best || c.clock < best->clock ||
+        (c.clock == best->clock && c.id < best->id)) {
+      best = &c;
     }
   }
   if (!best && any_waiting) {
@@ -161,10 +166,10 @@ Machine::SimContext* Machine::pick_next() {
   if (best && cfg_.sched_jitter_window > 0) {
     SimContext* eligible[kMaxCtxs];
     uint32_t n = 0;
-    for (auto& c : ctxs_) {
-      if (c->fiber->finished() || c->waiting) continue;
-      if (c->clock <= best->clock + cfg_.sched_jitter_window) {
-        eligible[n++] = c.get();
+    for (SimContext& c : ctxs_) {
+      if (c.finished || c.waiting) continue;
+      if (c.clock <= best->clock + cfg_.sched_jitter_window) {
+        eligible[n++] = &c;
       }
     }
     if (n > 1) best = eligible[sched_rng_.below(n)];
@@ -174,16 +179,19 @@ Machine::SimContext* Machine::pick_next() {
 
 void Machine::run() {
   if (ran_) throw std::logic_error("Machine::run called twice");
-  for (auto& c : ctxs_) {
-    if (!c->fiber) throw std::logic_error("unset thread function");
+  for (SimContext& c : ctxs_) {
+    if (!c.fiber) throw std::logic_error("unset thread function");
   }
   ran_ = true;
   while (SimContext* next = pick_next()) {
     current_ = next;
     next->ops_since_resume = 0;
+    refresh_fast_ctx();
     next->fiber->resume();
     current_ = nullptr;
-    if (next->fiber->finished() && next->fiber->error()) {
+    refresh_fast_ctx();
+    next->finished = next->fiber->finished();
+    if (next->finished && next->fiber->error()) {
       std::rethrow_exception(next->fiber->error());
     }
   }
@@ -201,6 +209,7 @@ void Machine::op_prologue() {
       c.busy += cfg_.interrupt_handler_cycles;
       c.next_interrupt = static_cast<double>(c.clock) +
                          c.rng.exponential(cfg_.interrupt_mean_cycles);
+      c.interrupt_gate = interrupt_gate_for(c.next_interrupt);
     }
   }
   check_doomed();
@@ -217,20 +226,22 @@ void Machine::deliver_abort(SimContext& c) {
   c.tx.doomed = false;
   c.tx.active = false;
   c.tx.depth = 0;
+  refresh_fast_ctx();
   maybe_yield();
   throw ex;
 }
 
 void Machine::abort_tx(CtxId victim, AbortReason reason, uint64_t line,
                        uint8_t code, CtxId attacker) {
-  SimContext& v = *ctxs_[victim];
+  SimContext& v = ctxs_[victim];
   if (!v.tx.active || v.tx.doomed) return;
   // Roll back speculative values (newest first).
   for (auto it = v.tx.undo.rbegin(); it != v.tx.undo.rend(); ++it) {
-    mem_->backing().poke(it->first, it->second);
+    mem_.backing().poke(it->first, it->second);
   }
   v.tx.undo.clear();
-  mem_->tx_clear(victim);
+  mem_.tx_clear(victim);
+  refresh_fast_ctx();
   v.tx.doomed = true;
   v.tx.reason = reason;
   v.tx.conflict_line = line;
@@ -250,31 +261,35 @@ Cycles Machine::mem_access(Addr addr, bool is_write) {
   bool tx = c.tx.active && !c.tx.doomed;
   // Page-fault model: faults are suppressed inside transactions (the tx
   // aborts and the page stays absent, as on real TSX hardware).
-  if (!mem_->backing().present(addr)) {
+  if (!mem_.backing().present(addr)) {
     if (tx) {
       abort_tx(c.id, AbortReason::kPageFault, line_of(addr), 0, c.id);
       deliver_abort(c);
     }
     ++stats_.mem.page_faults;
     advance(cfg_.page_fault_cycles, 0);
-    mem_->backing().make_present(addr);
+    mem_.backing().make_present(addr);
   }
-  Cycles lat = mem_->access(c.id, addr, is_write, tx);
+  Cycles lat = mem_.access(c.id, addr, is_write, tx);
   ++stats_.ops;
   // Issue and L1-hit cycles are core-bound (the L1 ports are shared by the
   // hyper-thread pair and scale with smt_slowdown); anything beyond the L1
   // is latency in the uncore and overlaps freely.
-  Cycles core_part = std::min(lat, cfg_.lat_issue + cfg_.lat_l1);
+  Cycles core_part = std::min(lat, lat_l1_hit_);
   advance(core_part, lat - core_part);
   return lat;
 }
 
-Word Machine::load(Addr addr) {
+// The inline fast paths (machine.h) bail out to the *_general continuations
+// below for everything else: faults, transactions, hooks, interrupts, cache
+// misses, upgrades, unaligned addresses.
+
+Word Machine::load_general(Addr addr) {
   op_prologue();
   mem_access(addr, /*is_write=*/false);
   check_doomed();
   SimContext& c = cur();
-  Word v = mem_->backing().peek(addr);
+  Word v = mem_.backing().peek(addr);
   if (trace_.on_access) {
     trace_.on_access(c.id, addr, v, v, /*is_write=*/false, c.tx.active);
   }
@@ -282,29 +297,29 @@ Word Machine::load(Addr addr) {
   return v;
 }
 
-void Machine::store(Addr addr, Word value) {
+void Machine::store_general(Addr addr, Word value) {
   op_prologue();
   mem_access(addr, /*is_write=*/true);
   check_doomed();
   SimContext& c = cur();
-  Word old = mem_->backing().peek(addr);
+  Word old = mem_.backing().peek(addr);
   if (c.tx.active) {
     c.tx.undo.emplace_back(addr, old);
   }
-  mem_->backing().poke(addr, value);
+  mem_.backing().poke(addr, value);
   if (trace_.on_access) {
     trace_.on_access(c.id, addr, old, value, /*is_write=*/true, c.tx.active);
   }
   maybe_yield();
 }
 
-bool Machine::cas(Addr addr, Word expected, Word desired) {
+bool Machine::cas_general(Addr addr, Word expected, Word desired) {
   op_prologue();
   mem_access(addr, /*is_write=*/true);
   check_doomed();
   SimContext& c = cur();
   advance(4, 0);  // lock-prefixed op overhead beyond the exclusive access
-  Word old = mem_->backing().peek(addr);
+  Word old = mem_.backing().peek(addr);
   if (old != expected) {
     if (trace_.on_access) {
       trace_.on_access(c.id, addr, old, old, /*is_write=*/false, c.tx.active);
@@ -313,7 +328,7 @@ bool Machine::cas(Addr addr, Word expected, Word desired) {
     return false;
   }
   if (c.tx.active) c.tx.undo.emplace_back(addr, old);
-  mem_->backing().poke(addr, desired);
+  mem_.backing().poke(addr, desired);
   if (trace_.on_access) {
     trace_.on_access(c.id, addr, old, old, /*is_write=*/false, c.tx.active);
     trace_.on_access(c.id, addr, old, desired, /*is_write=*/true, c.tx.active);
@@ -322,15 +337,15 @@ bool Machine::cas(Addr addr, Word expected, Word desired) {
   return true;
 }
 
-Word Machine::fetch_add(Addr addr, Word delta) {
+Word Machine::fetch_add_general(Addr addr, Word delta) {
   op_prologue();
   mem_access(addr, /*is_write=*/true);
   check_doomed();
   SimContext& c = cur();
   advance(4, 0);
-  Word old = mem_->backing().peek(addr);
+  Word old = mem_.backing().peek(addr);
   if (c.tx.active) c.tx.undo.emplace_back(addr, old);
-  mem_->backing().poke(addr, old + delta);
+  mem_.backing().poke(addr, old + delta);
   if (trace_.on_access) {
     trace_.on_access(c.id, addr, old, old, /*is_write=*/false, c.tx.active);
     trace_.on_access(c.id, addr, old, old + delta, /*is_write=*/true,
@@ -346,9 +361,9 @@ Word Machine::swap(Addr addr, Word value) {
   check_doomed();
   SimContext& c = cur();
   advance(4, 0);
-  Word old = mem_->backing().peek(addr);
+  Word old = mem_.backing().peek(addr);
   if (c.tx.active) c.tx.undo.emplace_back(addr, old);
-  mem_->backing().poke(addr, value);
+  mem_.backing().poke(addr, value);
   if (trace_.on_access) {
     trace_.on_access(c.id, addr, old, value, /*is_write=*/true, c.tx.active);
   }
@@ -356,7 +371,7 @@ Word Machine::swap(Addr addr, Word value) {
   return old;
 }
 
-void Machine::compute(Cycles cycles) {
+void Machine::compute_general(Cycles cycles) {
   op_prologue();
   ++stats_.ops;
   advance(cycles, 0);
@@ -383,7 +398,8 @@ void Machine::tx_begin() {
   c.tx.conflict_line = ~0ull;
   c.tx.status = 0;
   c.tx.undo.clear();
-  mem_->tx_begin(c.id, c.clock);
+  mem_.tx_begin(c.id, c.clock);
+  refresh_fast_ctx();
   ++stats_.tx.started;
   if (trace_.on_tx_begin) trace_.on_tx_begin(c.id);
   if (obs_.on_tx_begin) obs_.on_tx_begin(c.id, c.clock);
@@ -402,10 +418,11 @@ void Machine::tx_commit() {
   }
   ++stats_.ops;
   advance(cfg_.tx_commit_cycles, 0);
-  mem_->tx_clear(c.id);
+  mem_.tx_clear(c.id);
   c.tx.active = false;
   c.tx.depth = 0;
   c.tx.undo.clear();
+  refresh_fast_ctx();
   ++stats_.tx.committed;
   // The commit hook fires here — after the speculative state became the
   // committed state, before the next scheduling point — so a recorder sees
@@ -451,10 +468,10 @@ void Machine::barrier() {
     barrier_clock_ = 0;
     ++barrier_generation_;
     (void)gen;
-    for (auto& other : ctxs_) {
-      if (other->waiting) {
-        other->waiting = false;
-        other->clock = std::max(other->clock, release);
+    for (SimContext& other : ctxs_) {
+      if (other.waiting) {
+        other.waiting = false;
+        other.clock = std::max(other.clock, release);
       }
     }
     c.clock = std::max(c.clock, release);

@@ -12,6 +12,16 @@
 // All simulated work must go through Machine ops (load/store/cas/compute/…):
 // each op is a scheduling point, an interrupt-delivery point, and an
 // abort-delivery point.
+//
+// Hot path (DESIGN.md §10): each data op is split into an inline fast path
+// and an out-of-line general path. The fast path handles the overwhelmingly
+// common case — no access-trace hook installed (fast_ok_, recomputed when
+// hooks change), no due interrupt, context not in a transaction, page
+// materialized, zero live transactions machine-wide, L1 hit — and is
+// op-for-op equivalent to the general path: identical stat increments in
+// identical order, identical advance() arguments, identical scheduling
+// points. MachineConfig::disable_fast_paths forces the general path so the
+// equivalence is testable.
 
 #include <cstdint>
 #include <functional>
@@ -133,12 +143,12 @@ class Machine {
   Cycles ctx_finish(CtxId) const;  // after run(): per-context finish time
   // Per-context busy cycles (the PMU's unhalted-clock counter; excludes
   // time parked in barriers, unlike the clock itself).
-  Cycles ctx_busy(CtxId ctx) const { return ctxs_[ctx]->busy; }
+  Cycles ctx_busy(CtxId ctx) const { return ctxs_[ctx].busy; }
 
   // Host-side (costless) value access for setup/validation.
-  Word peek(Addr addr) const { return mem_->backing().peek(addr); }
-  void poke(Addr addr, Word value) { mem_->backing().poke(addr, value); }
-  void prefault(Addr addr, uint64_t bytes) { mem_->backing().prefault(addr, bytes); }
+  Word peek(Addr addr) const { return mem_.backing().peek(addr); }
+  void poke(Addr addr, Word value) { mem_.backing().poke(addr, value); }
+  void prefault(Addr addr, uint64_t bytes) { mem_.backing().prefault(addr, bytes); }
 
   // Named barrier across all threads of the machine. Host-level: waiting
   // contexts are descheduled (no simulated spinning); on release their
@@ -149,18 +159,22 @@ class Machine {
   const MachineStats& stats() const { return stats_; }
   MachineStats snapshot() const { return stats_; }
 
-  MemorySystem& memory() { return *mem_; }
+  MemorySystem& memory() { return mem_; }
   Rng& setup_rng() { return setup_rng_; }
 
   // Per-core busy cycles for the energy model (valid after run()).
   double core_busy_cycles() const;
 
   // Read-only view of the last abort delivered to `ctx` (testing).
-  AbortReason last_abort_reason(CtxId ctx) const { return ctxs_[ctx]->tx.reason; }
+  AbortReason last_abort_reason(CtxId ctx) const { return ctxs_[ctx].tx.reason; }
 
   // Installs (or clears) the observation hooks. Safe to call between ops;
-  // typically done before run() by src/check's recorder.
-  void set_trace_hooks(TraceHooks hooks) { trace_ = std::move(hooks); }
+  // typically done before run() by src/check's recorder. An installed
+  // on_access hook routes every data op through the general path.
+  void set_trace_hooks(TraceHooks hooks) {
+    trace_ = std::move(hooks);
+    refresh_fast_flags();
+  }
 
   // Installs (or clears) the observability hooks (src/obs tracer). Distinct
   // from set_trace_hooks so recorder and tracer can coexist. If
@@ -185,16 +199,59 @@ class Machine {
     uint32_t core = 0;
     Cycles clock = 0;
     Cycles busy = 0;
-    bool waiting = false;  // parked in a barrier
+    bool waiting = false;   // parked in a barrier
+    bool finished = false;  // cached Fiber::finished() (updated in run())
     std::unique_ptr<Fiber> fiber;
     HwTx tx;
     Rng rng;
+    // Next interrupt arrival time; +infinity when interrupts are disabled,
+    // so the per-op due check is one branchless compare.
     double next_interrupt = 0;
+    // ceil(next_interrupt) saturated to ~0 — the same due check as an
+    // integer compare (n >= x iff n >= ceil(x) for integer n), saving the
+    // int->double convert on every op. Kept in sync wherever
+    // next_interrupt changes.
+    Cycles interrupt_gate = 0;
+    // This context's core-private L1 (mem_.l1(core)), cached so the data-op
+    // fast paths skip the core load and per-core vector indexing.
+    Cache* l1 = nullptr;
     uint32_t ops_since_resume = 0;  // for the sched_quantum_ops knob
+    // Same-core sibling contexts (SMT), precomputed in the ctor so
+    // sibling_active() is a short fixed walk instead of an all-ctx scan.
+    uint32_t n_siblings = 0;
+    SimContext* siblings[kMaxCtxs - 1] = {};
   };
 
   SimContext& cur();
   const SimContext& cur() const;
+
+  // True when the current op may take the inline fast path: the cached
+  // fast-context pointer is non-null (hooks and config allow it, the
+  // context is outside any transaction, and no transaction is live
+  // machine-wide — doomed implies active, so no abort can be pending
+  // either) and no interrupt is due. next_interrupt is +infinity when
+  // interrupts are disabled, so one compare covers both knobs.
+  bool fast_op_ok(const SimContext* c) const {
+    return c != nullptr && c->clock < c->interrupt_gate;
+  }
+  // Saturating ceil for SimContext::interrupt_gate (infinity when interrupts
+  // are disabled; a double->uint64 cast of infinity would be UB).
+  static Cycles interrupt_gate_for(double next_interrupt);
+  void refresh_fast_flags() {
+    fast_ok_ = !trace_.on_access && !cfg_.disable_fast_paths;
+    refresh_fast_ctx();
+  }
+  // Recomputes fast_ctx_. Must be called whenever one of its inputs changes:
+  // the running fiber (run loop), the current context's tx.active, the
+  // machine-wide live-transaction count (tx_begin / tx_clear sites), or
+  // fast_ok_.
+  void refresh_fast_ctx() {
+    SimContext* c = current_;
+    fast_ctx_ = (c != nullptr && fast_ok_ && !c->tx.active &&
+                 mem_.active_tx_count() == 0)
+                    ? c
+                    : nullptr;
+  }
 
   // Op prologue: deliver due interrupts, then any pending abort.
   void op_prologue();
@@ -208,20 +265,42 @@ class Machine {
                 CtxId attacker);
 
   void advance(Cycles core_cycles, Cycles mem_cycles);
+  void advance_ctx(SimContext& c, Cycles core_cycles, Cycles mem_cycles);
   bool sibling_active(const SimContext& c) const;
   void maybe_yield();
+  // Cold continuations of the inline hot helpers below the class.
+  void maybe_yield_slow();
+  void cross_sample_windows(SimContext& c);
+  [[noreturn]] static void throw_off_fiber();
   SimContext* pick_next();
 
-  // Common memory-op body.
+  // Common memory-op body (general path).
   Cycles mem_access(Addr addr, bool is_write);
+
+  // Out-of-line general paths: everything the fast paths bail out of
+  // (faults, transactions, hooks, interrupts, cache misses, upgrades).
+  Word load_general(Addr addr);
+  void store_general(Addr addr, Word value);
+  bool cas_general(Addr addr, Word expected, Word desired);
+  Word fetch_add_general(Addr addr, Word delta);
+  void compute_general(Cycles cycles);
+
+  static uint32_t checked_threads(uint32_t n);
 
   MachineConfig cfg_;
   uint32_t num_threads_;
   MachineStats stats_;
-  std::unique_ptr<MemorySystem> mem_;
-  std::vector<std::unique_ptr<SimContext>> ctxs_;
+  MemorySystem mem_;  // by value: hot paths reach it without a pointer chase
+  std::vector<SimContext> ctxs_;  // sized once in the ctor; pointers stable
   SimContext* current_ = nullptr;
+  // current_ when every fast-path precondition except interrupt arrival
+  // holds, else null (see refresh_fast_ctx). The data-op fast paths guard on
+  // this single pointer.
+  SimContext* fast_ctx_ = nullptr;
   bool ran_ = false;
+  bool fast_ok_ = false;  // no on_access hook && fast paths enabled
+  bool smt_possible_ = false;       // num_threads_ > cfg_.cores, fixed
+  Cycles lat_l1_hit_ = 0;           // cfg_.lat_issue + cfg_.lat_l1, fixed
 
   // Barrier state.
   uint32_t barrier_arrived_ = 0;
@@ -235,6 +314,145 @@ class Machine {
   Cycles sample_window_ = 0;  // 0 = counter sampling off
   Cycles next_sample_ = 0;    // next window boundary to report
   Cycles max_clock_seen_ = 0; // high-water mark driving window crossings
+  // max_clock_seen_ while sampling is on, ~0 while off: the per-op window
+  // check is then a single load+compare.
+  Cycles sample_gate_ = ~Cycles{0};
 };
+
+// ---- Inline hot paths (DESIGN.md §10) -------------------------------------
+//
+// cur()/advance()/maybe_yield() and the data-op fast paths are header-inline
+// so a workload loop compiles into straight-line code: callers see through
+// the guard chain, keep the hot SimContext fields in registers, and only
+// call out of line into the cold continuations (the general paths,
+// sample-window crossings, and the multi-thread scheduler). Each fast path
+// is op-for-op equivalent to its *_general twin for the cases it accepts:
+// identical stat increments in identical order, identical advance()
+// arguments, identical scheduling points. Every precondition is checked
+// before anything is mutated, so bailing out replays the op from scratch
+// with no double counting. Invariants relied on:
+//   * !tx.active implies !tx.doomed (abort_tx only dooms active txs), so
+//     neither check_doomed nor undo logging can be needed.
+//   * fast_load/fast_store refuse when any transaction is live anywhere, so
+//     conflict checks, tx tracking, and abort callbacks cannot fire.
+//   * An L1 hit cannot fault (the first touch materialized the page) and
+//     cannot evict, so requester_ attribution is never read.
+
+inline Machine::SimContext& Machine::cur() {
+  if (!current_) throw_off_fiber();
+  return *current_;
+}
+
+inline const Machine::SimContext& Machine::cur() const {
+  if (!current_) throw_off_fiber();
+  return *current_;
+}
+
+inline void Machine::advance_ctx(SimContext& c, Cycles core_cycles,
+                                 Cycles mem_cycles) {
+  Cycles adj_core = core_cycles;
+  if (smt_possible_ && sibling_active(c)) {
+    adj_core = static_cast<Cycles>(
+        static_cast<double>(core_cycles) * cfg_.smt_slowdown + 0.5);
+  }
+  c.clock += adj_core + mem_cycles;
+  c.busy += adj_core + mem_cycles;
+  // Sample-window counter sampling: report each window boundary the first
+  // time any context's clock crosses it (emission is host-side only, so
+  // sampling never perturbs the simulated timeline). sample_gate_ is the
+  // high-water mark, or ~0 when sampling is off — one compare covers both.
+  if (c.clock > sample_gate_) cross_sample_windows(c);
+}
+
+inline void Machine::advance(Cycles core_cycles, Cycles mem_cycles) {
+  advance_ctx(cur(), core_cycles, mem_cycles);
+}
+
+inline void Machine::maybe_yield() {
+  if (num_threads_ == 1) return;  // nothing to deschedule to
+  maybe_yield_slow();
+}
+
+inline Word Machine::load(Addr addr) {
+  SimContext* c = fast_ctx_;
+  if (fast_op_ok(c) && addr % kWordBytes == 0) {
+    if (BackingStore::Page* pg = mem_.backing().lookup_present(addr)) {
+      if (Cycles lat = mem_.fast_load(*c->l1, line_of(addr))) {
+        ++stats_.ops;
+        advance_ctx(*c, lat, 0);
+        Word v = pg->words[(addr % kPageBytes) / kWordBytes];
+        maybe_yield();
+        return v;
+      }
+    }
+  }
+  return load_general(addr);
+}
+
+inline void Machine::store(Addr addr, Word value) {
+  SimContext* c = fast_ctx_;
+  if (fast_op_ok(c) && addr % kWordBytes == 0) {
+    if (BackingStore::Page* pg = mem_.backing().lookup_present(addr)) {
+      if (Cycles lat = mem_.fast_store(*c->l1, c->core, line_of(addr))) {
+        ++stats_.ops;
+        advance_ctx(*c, lat, 0);
+        pg->words[(addr % kPageBytes) / kWordBytes] = value;
+        maybe_yield();
+        return;
+      }
+    }
+  }
+  store_general(addr, value);
+}
+
+inline bool Machine::cas(Addr addr, Word expected, Word desired) {
+  SimContext* c = fast_ctx_;
+  if (fast_op_ok(c) && addr % kWordBytes == 0) {
+    if (BackingStore::Page* pg = mem_.backing().lookup_present(addr)) {
+      if (Cycles lat = mem_.fast_store(*c->l1, c->core, line_of(addr))) {
+        ++stats_.ops;
+        advance_ctx(*c, lat, 0);
+        advance_ctx(*c, 4, 0);  // lock-prefixed overhead, as general path
+        Word& slot = pg->words[(addr % kPageBytes) / kWordBytes];
+        Word old = slot;
+        bool ok = old == expected;
+        if (ok) slot = desired;
+        maybe_yield();
+        return ok;
+      }
+    }
+  }
+  return cas_general(addr, expected, desired);
+}
+
+inline Word Machine::fetch_add(Addr addr, Word delta) {
+  SimContext* c = fast_ctx_;
+  if (fast_op_ok(c) && addr % kWordBytes == 0) {
+    if (BackingStore::Page* pg = mem_.backing().lookup_present(addr)) {
+      if (Cycles lat = mem_.fast_store(*c->l1, c->core, line_of(addr))) {
+        ++stats_.ops;
+        advance_ctx(*c, lat, 0);
+        advance_ctx(*c, 4, 0);
+        Word& slot = pg->words[(addr % kPageBytes) / kWordBytes];
+        Word old = slot;
+        slot = old + delta;
+        maybe_yield();
+        return old;
+      }
+    }
+  }
+  return fetch_add_general(addr, delta);
+}
+
+inline void Machine::compute(Cycles cycles) {
+  SimContext* c = fast_ctx_;
+  if (fast_op_ok(c)) {
+    ++stats_.ops;
+    advance_ctx(*c, cycles, 0);
+    maybe_yield();
+    return;
+  }
+  compute_general(cycles);
+}
 
 }  // namespace tsx::sim

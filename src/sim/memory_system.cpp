@@ -10,15 +10,18 @@ MemorySystem::MemorySystem(const MachineConfig& cfg, uint32_t num_ctxs,
     : cfg_(cfg),
       cores_(cfg.cores),
       num_ctxs_(num_ctxs),
+      lat_l1_hit_(cfg.lat_issue + cfg.lat_l1),
       stats_(stats),
       on_abort_(std::move(on_abort)),
+      l3_(cfg.l3, "L3"),
       tx_(num_ctxs) {
   if (num_ctxs > kMaxCtxs) throw std::invalid_argument("too many contexts");
+  l1_.reserve(cores_);
+  l2_.reserve(cores_);
   for (uint32_t c = 0; c < cores_; ++c) {
-    l1_.push_back(std::make_unique<Cache>(cfg.l1, "L1"));
-    l2_.push_back(std::make_unique<Cache>(cfg.l2, "L2"));
+    l1_.emplace_back(cfg.l1, "L1");
+    l2_.emplace_back(cfg.l2, "L2");
   }
-  l3_ = std::make_unique<Cache>(cfg.l3, "L3");
 }
 
 void MemorySystem::tx_begin(CtxId ctx, Cycles begin_clock) {
@@ -35,12 +38,12 @@ void MemorySystem::tx_clear(CtxId ctx) {
   uint32_t core = core_of(ctx);
   uint8_t bit = static_cast<uint8_t>(1u << ctx);
   for (uint64_t line : t.write_lines) {
-    if (CacheLine* l = l1_[core]->probe(line)) {
+    if (CacheLine* l = l1_[core].probe(line)) {
       l->tx_write_mask &= static_cast<uint8_t>(~bit);
     }
   }
   for (uint64_t line : t.read_lines) {
-    if (CacheLine* l = l3_->probe(line)) {
+    if (CacheLine* l = l3_.probe(line)) {
       l->tx_read_mask &= static_cast<uint8_t>(~bit);
     }
   }
@@ -80,8 +83,8 @@ void MemorySystem::check_conflicts(CtxId requester, uint64_t line,
 }
 
 void MemorySystem::drop_sharer_if_absent(uint32_t core, uint64_t line) {
-  if (l1_[core]->probe(line) || l2_[core]->probe(line)) return;
-  if (CacheLine* l3l = l3_->probe(line)) {
+  if (l1_[core].probe(line) || l2_[core].probe(line)) return;
+  if (CacheLine* l3l = l3_.probe(line)) {
     l3l->sharers &= static_cast<uint8_t>(~(1u << core));
     if (l3l->dirty_owner == static_cast<int8_t>(core)) l3l->dirty_owner = -1;
   }
@@ -99,13 +102,13 @@ void MemorySystem::on_l1_evict(uint32_t core, CacheLine victim) {
   }
   // L1 victims fall into the L2 (which typically still holds the line since
   // fills install in both). Dirty data must not be lost.
-  if (CacheLine* l2l = l2_[core]->probe(victim.tag)) {
+  if (CacheLine* l2l = l2_[core].probe(victim.tag)) {
     l2l->dirty = l2l->dirty || victim.dirty;
     return;
   }
   if (victim.dirty) {
     CacheLine* nl =
-        l2_[core]->fill(victim.tag, [&](const CacheLine& v) { on_l2_evict(core, v); });
+        l2_[core].fill(victim.tag, [&](const CacheLine& v) { on_l2_evict(core, v); });
     nl->dirty = true;
     return;
   }
@@ -117,10 +120,10 @@ void MemorySystem::on_l2_evict(uint32_t core, CacheLine victim) {
   if (victim.dirty) {
     // Writeback to the (inclusive) L3.
     ++stats_->writebacks;
-    if (CacheLine* l3l = l3_->probe(victim.tag)) {
+    if (CacheLine* l3l = l3_.probe(victim.tag)) {
       l3l->dirty = true;
       if (l3l->dirty_owner == static_cast<int8_t>(core) &&
-          !l1_[core]->probe(victim.tag)) {
+          !l1_[core].probe(victim.tag)) {
         l3l->dirty_owner = -1;
       }
     }
@@ -144,7 +147,7 @@ void MemorySystem::on_l3_evict(CacheLine victim) {
   for (uint32_t core = 0; core < cores_; ++core) {
     if (!(sharers & (1u << core))) continue;
     ++stats_->invalidations;
-    if (CacheLine* l1l = l1_[core]->probe(victim.tag)) {
+    if (CacheLine* l1l = l1_[core].probe(victim.tag)) {
       if (l1l->tx_write_mask) {
         if (on_evict_) on_evict_(requester_, 1, victim.tag);
         uint8_t mask = l1l->tx_write_mask;
@@ -154,9 +157,9 @@ void MemorySystem::on_l3_evict(CacheLine victim) {
           }
         }
       }
-      l1_[core]->invalidate(victim.tag);
+      l1_[core].invalidate(victim.tag);
     }
-    l2_[core]->invalidate(victim.tag);
+    l2_[core].invalidate(victim.tag);
   }
   if (victim.dirty || victim.dirty_owner >= 0) ++stats_->writebacks;
 }
@@ -169,16 +172,16 @@ void MemorySystem::invalidate_other_private(uint32_t keep_core,
   for (uint32_t core = 0; core < cores_; ++core) {
     if (!(others & (1u << core))) continue;
     ++stats_->invalidations;
-    if (CacheLine* l1l = l1_[core]->probe(line)) {
+    if (CacheLine* l1l = l1_[core].probe(line)) {
       // A tx-written line being stolen by another core: conflict semantics
       // are handled by check_conflicts via the tx sets; here we only drop
       // the stale copy (the owning tx has already been aborted).
       if (l1l->dirty) l3_line->dirty = true;
-      l1_[core]->invalidate(line);
+      l1_[core].invalidate(line);
     }
-    if (CacheLine* l2l = l2_[core]->probe(line)) {
+    if (CacheLine* l2l = l2_[core].probe(line)) {
       if (l2l->dirty) l3_line->dirty = true;
-      l2_[core]->invalidate(line);
+      l2_[core].invalidate(line);
     }
   }
   l3_line->sharers &= static_cast<uint8_t>(1u << keep_core);
@@ -205,14 +208,14 @@ Cycles MemorySystem::access(CtxId ctx, Addr addr, bool is_write, bool tx_mode) {
   check_conflicts(ctx, line, is_write);
 
   Cycles lat = cfg_.lat_issue;
-  CacheLine* l1l = l1_[core]->touch(line);
+  CacheLine* l1l = l1_[core].touch(line);
   CacheLine* l3l = nullptr;
 
   if (l1l) {
     ++stats_->l1_hits;
     lat += cfg_.lat_l1;
     if (is_write) {
-      l3l = l3_->probe(line);
+      l3l = l3_.probe(line);
       if (l3l && (l3l->sharers & static_cast<uint8_t>(~core_bit))) {
         lat += cfg_.lat_upgrade;
         invalidate_other_private(core, l3l);
@@ -220,11 +223,11 @@ Cycles MemorySystem::access(CtxId ctx, Addr addr, bool is_write, bool tx_mode) {
       if (l3l) l3l->dirty_owner = static_cast<int8_t>(core);
       l1l->dirty = true;
     }
-  } else if (CacheLine* l2l = l2_[core]->touch(line)) {
+  } else if (CacheLine* l2l = l2_[core].touch(line)) {
     ++stats_->l2_hits;
     lat += cfg_.lat_l2;
     if (is_write) {
-      l3l = l3_->probe(line);
+      l3l = l3_.probe(line);
       if (l3l && (l3l->sharers & static_cast<uint8_t>(~core_bit))) {
         lat += cfg_.lat_upgrade;
         invalidate_other_private(core, l3l);
@@ -233,11 +236,11 @@ Cycles MemorySystem::access(CtxId ctx, Addr addr, bool is_write, bool tx_mode) {
     }
     // Promote into L1.
     bool was_dirty = l2l->dirty;
-    l1l = l1_[core]->fill(line,
-                          [&](const CacheLine& v) { on_l1_evict(core, v); });
+    l1l = l1_[core].fill(line,
+                         [&](const CacheLine& v) { on_l1_evict(core, v); });
     l1l->dirty = was_dirty || is_write;
   } else {
-    l3l = l3_->touch(line);
+    l3l = l3_.touch(line);
     if (l3l) {
       ++stats_->l3_hits;
       // Dirty in another core's private cache: cache-to-cache forward.
@@ -250,8 +253,8 @@ Cycles MemorySystem::access(CtxId ctx, Addr addr, bool is_write, bool tx_mode) {
           invalidate_other_private(core, l3l);
         } else {
           // Downgrade the owner to shared; data written back to L3.
-          if (CacheLine* ol = l1_[owner]->probe(line)) ol->dirty = false;
-          if (CacheLine* ol = l2_[owner]->probe(line)) ol->dirty = false;
+          if (CacheLine* ol = l1_[owner].probe(line)) ol->dirty = false;
+          if (CacheLine* ol = l2_[owner].probe(line)) ol->dirty = false;
           l3l->dirty = true;
           l3l->dirty_owner = -1;
         }
@@ -265,16 +268,16 @@ Cycles MemorySystem::access(CtxId ctx, Addr addr, bool is_write, bool tx_mode) {
     } else {
       ++stats_->mem_accesses;
       lat += cfg_.lat_mem;
-      l3l = l3_->fill(line, [&](const CacheLine& v) { on_l3_evict(v); });
+      l3l = l3_.fill(line, [&](const CacheLine& v) { on_l3_evict(v); });
     }
     l3l->sharers |= core_bit;
     if (is_write) l3l->dirty_owner = static_cast<int8_t>(core);
     // Fill the private levels.
     CacheLine* l2n =
-        l2_[core]->fill(line, [&](const CacheLine& v) { on_l2_evict(core, v); });
+        l2_[core].fill(line, [&](const CacheLine& v) { on_l2_evict(core, v); });
     l2n->dirty = false;
-    l1l = l1_[core]->fill(line,
-                          [&](const CacheLine& v) { on_l1_evict(core, v); });
+    l1l = l1_[core].fill(line,
+                         [&](const CacheLine& v) { on_l1_evict(core, v); });
     l1l->dirty = is_write;
   }
 
@@ -288,7 +291,7 @@ Cycles MemorySystem::access(CtxId ctx, Addr addr, bool is_write, bool tx_mode) {
       l1l->tx_write_mask |= ctx_bit;
     } else {
       tx_[ctx].read_lines.insert(line);
-      if (!l3l) l3l = l3_->probe(line);
+      if (!l3l) l3l = l3_.probe(line);
       if (l3l) l3l->tx_read_mask |= ctx_bit;
     }
   }

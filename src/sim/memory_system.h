@@ -20,11 +20,17 @@
 //
 // The MemorySystem performs no value movement: it returns timing and raises
 // abort callbacks; the Machine moves values through the BackingStore.
+//
+// Hot path (DESIGN.md §10): fast_load/fast_store are header-inline replicas
+// of access()'s L1-hit branch for the zero-live-transactions case. They
+// check every precondition before mutating anything (stats, LRU), so a
+// bail-out to the full access() replays the op with no double-counting.
+// Transactional line sets are util::FlatSet (O(1) epoch clear, insertion-
+// order iteration); caches are stored by value to drop a pointer chase.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/backing_store.h"
@@ -32,6 +38,7 @@
 #include "sim/config.h"
 #include "sim/stats.h"
 #include "sim/types.h"
+#include "util/flat_table.h"
 
 namespace tsx::sim {
 
@@ -57,16 +64,55 @@ class MemorySystem {
   // requester's transactional sets.
   Cycles access(CtxId ctx, Addr addr, bool is_write, bool tx_mode);
 
+  // Fast-path load: L1 hit with no live transaction anywhere. The zero-
+  // live-transactions precondition is the CALLER's to guarantee (the
+  // Machine's fast_ctx_ is null whenever any transaction is live, see
+  // machine.h) — it is what makes conflict checks, tx tracking, and abort
+  // callbacks unreachable. Returns the latency, or 0 if the L1 misses
+  // (caller must then run the full access(); nothing has been mutated).
+  // Mirrors access()'s L1-read branch: same stats, same LRU update, same
+  // latency.
+  // `l1` is the requester's core-private L1 (the Machine caches the pointer
+  // per context, see SimContext::l1).
+  Cycles fast_load(Cache& l1, uint64_t line) {
+    CacheLine* l1l = l1.probe(line);
+    if (!l1l) return 0;
+    l1.bump(l1l);
+    ++stats_->loads;
+    ++stats_->l1_hits;
+    return lat_l1_hit_;
+  }
+
+  // Fast-path store: additionally requires that no other core shares the
+  // line (otherwise the upgrade/invalidate path must run). Mirrors
+  // access()'s L1-write branch. Same caller-guaranteed precondition as
+  // fast_load.
+  Cycles fast_store(Cache& l1, uint32_t core, uint64_t line) {
+    CacheLine* l1l = l1.probe(line);
+    if (!l1l) return 0;
+    CacheLine* l3l = l3_.probe(line);
+    uint8_t core_bit = static_cast<uint8_t>(1u << core);
+    if (l3l && (l3l->sharers & static_cast<uint8_t>(~core_bit))) return 0;
+    l1.bump(l1l);
+    ++stats_->stores;
+    ++stats_->l1_hits;
+    if (l3l) l3l->dirty_owner = static_cast<int8_t>(core);
+    l1l->dirty = true;
+    return lat_l1_hit_;
+  }
+
+  uint32_t active_tx_count() const { return active_tx_count_; }
+
   // `begin_clock` orders transactions by age for the mutual-kill policy.
   void tx_begin(CtxId ctx, Cycles begin_clock);
   // Clears transactional flags and sets (used for both commit and abort).
   void tx_clear(CtxId ctx);
   bool tx_active(CtxId ctx) const { return tx_[ctx].active; }
 
-  const std::unordered_set<uint64_t>& read_lines(CtxId ctx) const {
+  const util::FlatSet& read_lines(CtxId ctx) const {
     return tx_[ctx].read_lines;
   }
-  const std::unordered_set<uint64_t>& write_lines(CtxId ctx) const {
+  const util::FlatSet& write_lines(CtxId ctx) const {
     return tx_[ctx].write_lines;
   }
 
@@ -76,9 +122,9 @@ class MemorySystem {
   uint32_t core_of(CtxId ctx) const { return ctx % cores_; }
 
   // Testing hooks.
-  Cache& l1(uint32_t core) { return *l1_[core]; }
-  Cache& l2(uint32_t core) { return *l2_[core]; }
-  Cache& l3() { return *l3_; }
+  Cache& l1(uint32_t core) { return l1_[core]; }
+  Cache& l2(uint32_t core) { return l2_[core]; }
+  Cache& l3() { return l3_; }
 
   // Installs (or clears) the capacity-eviction observability hook. Unset
   // costs one branch per tx-tracked eviction.
@@ -88,8 +134,8 @@ class MemorySystem {
   struct TxTrack {
     bool active = false;
     Cycles begin_clock = 0;
-    std::unordered_set<uint64_t> read_lines;
-    std::unordered_set<uint64_t> write_lines;
+    util::FlatSet read_lines;
+    util::FlatSet write_lines;
   };
 
   void check_conflicts(CtxId requester, uint64_t line, bool is_write);
@@ -103,17 +149,19 @@ class MemorySystem {
   const MachineConfig& cfg_;
   uint32_t cores_;
   uint32_t num_ctxs_;
+  Cycles lat_l1_hit_;  // cfg_.lat_issue + cfg_.lat_l1, precomputed
   MemStats* stats_;
   AbortFn on_abort_;
   EvictFn on_evict_;
   // Context of the access() currently in flight — attributed as the attacker
   // of any abort the access triggers (conflict kills and capacity evictions
-  // both happen inside access()).
+  // both happen inside access()). Fast paths skip it: they cannot trigger
+  // aborts or evictions, and every slow access() re-sets it first.
   CtxId requester_ = 0;
 
-  std::vector<std::unique_ptr<Cache>> l1_;
-  std::vector<std::unique_ptr<Cache>> l2_;
-  std::unique_ptr<Cache> l3_;
+  std::vector<Cache> l1_;
+  std::vector<Cache> l2_;
+  Cache l3_;
   BackingStore backing_;
 
   std::vector<TxTrack> tx_;

@@ -11,9 +11,12 @@
 namespace tsx::sim {
 
 struct MemStats {
+  // loads and l1_hits are deliberately adjacent: the L1-hit load fast path
+  // increments exactly this pair, and adjacency lets the compiler fuse the
+  // two read-modify-writes into one 16-byte update.
   uint64_t loads = 0;
-  uint64_t stores = 0;
   uint64_t l1_hits = 0;
+  uint64_t stores = 0;
   uint64_t l2_hits = 0;
   uint64_t l3_hits = 0;
   uint64_t mem_accesses = 0;

@@ -24,7 +24,7 @@ void LockTable::init() {
   }
 }
 
-void StmExecutor::execute(const std::function<void()>& body, uint32_t site) {
+void StmExecutor::execute(util::FnRef<void()> body, uint32_t site) {
   ++stm_.stats().transactions;
   uint32_t attempt_no = 0;
   CtxId ctx = m_.current_ctx();
@@ -63,8 +63,7 @@ void StmExecutor::execute(const std::function<void()>& body, uint32_t site) {
   }
 }
 
-bool StmExecutor::execute_once(const std::function<void()>& body,
-                               uint32_t site) {
+bool StmExecutor::execute_once(util::FnRef<void()> body, uint32_t site) {
   ++stm_.stats().transactions;
   ++stm_.stats().starts;
   CtxId ctx = m_.current_ctx();

@@ -17,6 +17,7 @@
 #include "core/retry_policy.h"
 #include "sim/machine.h"
 #include "sim/types.h"
+#include "util/fn_ref.h"
 
 namespace tsx::obs {
 class TraceSink;
@@ -234,13 +235,13 @@ class StmExecutor {
   // The body routes its shared-memory accesses through tx_read/tx_write of
   // the owning runtime layer. `site` labels the static transaction site for
   // trace attribution.
-  void execute(const std::function<void()>& body, uint32_t site = 0);
+  void execute(util::FnRef<void()> body, uint32_t site = 0);
 
   // Executes `body` as exactly one STM attempt: true on commit, false on
   // abort (after cleanup), with no backoff and no retry. The lock-elision
   // layer uses this so *its* RetryPolicy meters speculative attempts the
   // same way across hardware and software backends.
-  bool execute_once(const std::function<void()>& body, uint32_t site = 0);
+  bool execute_once(util::FnRef<void()> body, uint32_t site = 0);
 
  private:
   Machine& m_;

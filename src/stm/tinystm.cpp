@@ -71,8 +71,9 @@ Word TinyStm::tx_read(CtxId ctx, Addr addr) {
     if (LockTable::owner_of(lw) == ctx) {
       // Read-after-write: serve from the write log.
       m_.compute(cfg_.log_maintain_cycles);
-      auto it = tx.write_index.find(addr);
-      if (it != tx.write_index.end()) return tx.write_list[it->second].second;
+      if (uint32_t* p = tx.write_index.find(addr)) {
+        return tx.write_list[*p].second;
+      }
       // We own the stripe but never wrote this word (stripe aliasing):
       // memory still holds the committed value.
       return m_.load(addr);
@@ -125,12 +126,12 @@ void TinyStm::tx_write(CtxId ctx, Addr addr, Word value) {
     tx.locks.push_back({la, lw});
   }
   m_.compute(cfg_.log_maintain_cycles);
-  auto [it, inserted] = tx.write_index.try_emplace(addr, tx.write_list.size());
-  if (inserted) {
+  if (uint32_t* p = tx.write_index.find(addr)) {
+    tx.write_list[*p].second = value;
+  } else {
+    tx.write_index.insert(addr, static_cast<uint32_t>(tx.write_list.size()));
     tx.write_list.emplace_back(addr, value);
     tx.log.append(2);  // address + value in the write log
-  } else {
-    tx.write_list[it->second].second = value;
   }
 }
 

@@ -10,10 +10,10 @@
 // the modeled machine.
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "stm/common.h"
+#include "util/flat_table.h"
 
 namespace tsx::stm {
 
@@ -55,8 +55,8 @@ class TinyStm final : public StmSystem {
     Word rv = 0;  // read (snapshot) timestamp
     std::vector<ReadEntry> read_set;
     std::vector<OwnedLock> locks;
-    std::vector<std::pair<Addr, Word>> write_list;     // ordered write-back
-    std::unordered_map<Addr, size_t> write_index;      // RAW lookups
+    std::vector<std::pair<Addr, Word>> write_list;  // ordered write-back
+    util::WriteIndex write_index;                   // RAW lookups
     LogRing log;
   };
 

@@ -47,8 +47,9 @@ Word Tl2::tx_read(CtxId ctx, Addr addr) {
   TxDesc& tx = tx_[ctx];
   // Read-after-write served from the redo log.
   m_.compute(cfg_.log_maintain_cycles);
-  auto it = tx.write_index.find(addr);
-  if (it != tx.write_index.end()) return tx.write_list[it->second].second;
+  if (uint32_t* p = tx.write_index.find(addr)) {
+    return tx.write_list[*p].second;
+  }
 
   Addr la = locks_.lock_addr(addr);
   Word lw = m_.load(la);
@@ -75,12 +76,12 @@ Word Tl2::tx_read(CtxId ctx, Addr addr) {
 void Tl2::tx_write(CtxId ctx, Addr addr, Word value) {
   TxDesc& tx = tx_[ctx];
   m_.compute(cfg_.log_maintain_cycles);
-  auto [it, inserted] = tx.write_index.try_emplace(addr, tx.write_list.size());
-  if (inserted) {
+  if (uint32_t* p = tx.write_index.find(addr)) {
+    tx.write_list[*p].second = value;
+  } else {
+    tx.write_index.insert(addr, static_cast<uint32_t>(tx.write_list.size()));
     tx.write_list.emplace_back(addr, value);
     tx.log.append(2);
-  } else {
-    tx.write_list[it->second].second = value;
   }
 }
 
@@ -102,12 +103,14 @@ void Tl2::tx_commit(CtxId ctx) {
   }
   // Commit-time lock acquisition over the distinct stripes of the write set.
   // (Stripes are deduplicated; acquisition order is write order, with abort
-  // on any contention — classic TL2 trylock behaviour.)
-  std::unordered_map<Addr, bool> acquired;
+  // on any contention — classic TL2 trylock behaviour.) The dedup scratch
+  // lives on the descriptor and is epoch-cleared: no per-commit allocation.
+  util::FlatSet& acquired = tx.acquired_scratch;
+  acquired.clear();
   for (const auto& [addr, value] : tx.write_list) {
     (void)value;
     Addr la = locks_.lock_addr(addr);
-    if (acquired.count(la)) continue;
+    if (!acquired.insert(la)) continue;
     Word lw = m_.load(la);
     if (LockTable::is_locked(lw)) {
       abort_tx(StmAbortCause::kWriteLocked, addr, LockTable::owner_of(lw));
@@ -117,7 +120,6 @@ void Tl2::tx_commit(CtxId ctx) {
       abort_tx(StmAbortCause::kWriteLocked, addr);
     }
     tx.held.emplace_back(la, lw);
-    acquired.emplace(la, true);
   }
   Word wv = m_.fetch_add(clock_addr_, 1) + 1;
   if (wv != tx.rv + 1) {

@@ -6,10 +6,10 @@
 // claim on this machine model.
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "stm/common.h"
+#include "util/flat_table.h"
 
 namespace tsx::stm {
 
@@ -39,8 +39,9 @@ class Tl2 final : public StmSystem {
     Word rv = 0;
     std::vector<ReadEntry> read_set;
     std::vector<std::pair<Addr, Word>> write_list;
-    std::unordered_map<Addr, size_t> write_index;
+    util::WriteIndex write_index;
     std::vector<std::pair<Addr, Word>> held;  // commit-time: lock addr, prev
+    util::FlatSet acquired_scratch;  // commit-time stripe dedup (reused)
     LogRing log;
   };
 

@@ -309,4 +309,92 @@ TEST(Machine, SmtSlowsComputePerCore) {
               cfg.smt_slowdown, 0.05);
 }
 
+// The fast/general-path equivalence contract (DESIGN.md §10): with
+// disable_fast_paths flipped, an identical workload must produce identical
+// stats, clocks, and memory — op for op.
+struct EquivResult {
+  MachineStats stats;
+  Cycles wall = 0;
+  std::vector<Cycles> finish;
+  std::vector<Word> values;
+};
+
+EquivResult run_equiv_workload(bool disable_fast, bool interrupts) {
+  MachineConfig cfg;
+  cfg.interrupts_enabled = interrupts;
+  cfg.interrupt_mean_cycles = 20'000;  // several per run at this length
+  cfg.disable_fast_paths = disable_fast;
+  constexpr uint32_t kThreads = 4;
+  Machine m(cfg, kThreads);
+  m.prefault(0x1000, 4096);
+  // 0x900000 left unfaulted: the first touches exercise the page-fault path.
+  for (CtxId t = 0; t < kThreads; ++t) {
+    m.set_thread(t, [&m, t] {
+      Addr priv = 0x1000 + t * 512;
+      Addr shared = 0x1000;
+      Addr cold = 0x900000 + t * 8192;
+      for (int i = 0; i < 400; ++i) {
+        m.store(priv, m.load(priv) + 1);
+        m.compute(5);
+        if (i % 7 == 0) m.fetch_add(shared, 1);
+        if (i % 11 == 0) m.cas(priv + 8, m.load(priv + 8), i);
+        if (i % 31 == 0) m.load(cold + i * 8);
+        if (i % 13 == 0) {
+          try {
+            m.tx_begin();
+            m.store(priv + 16, m.load(priv + 16) + 1);
+            m.load(shared + 64 + (t % 2) * 64);
+            m.tx_commit();
+          } catch (const TxAborted&) {
+            // aborted attempts count too; no retry needed for equivalence
+          }
+        }
+        if (i == 200) m.barrier();
+      }
+    });
+  }
+  m.run();
+  EquivResult r;
+  r.stats = m.snapshot();
+  r.wall = m.wall();
+  for (CtxId t = 0; t < kThreads; ++t) {
+    r.finish.push_back(m.ctx_finish(t));
+    r.values.push_back(m.peek(0x1000 + t * 512));
+    r.values.push_back(m.peek(0x1000 + t * 512 + 16));
+  }
+  r.values.push_back(m.peek(0x1000));
+  return r;
+}
+
+void expect_equiv(const EquivResult& fast, const EquivResult& slow) {
+  EXPECT_EQ(fast.stats.ops, slow.stats.ops);
+  EXPECT_EQ(fast.stats.interrupts, slow.stats.interrupts);
+  EXPECT_EQ(fast.stats.mem.loads, slow.stats.mem.loads);
+  EXPECT_EQ(fast.stats.mem.stores, slow.stats.mem.stores);
+  EXPECT_EQ(fast.stats.mem.l1_hits, slow.stats.mem.l1_hits);
+  EXPECT_EQ(fast.stats.mem.l2_hits, slow.stats.mem.l2_hits);
+  EXPECT_EQ(fast.stats.mem.l3_hits, slow.stats.mem.l3_hits);
+  EXPECT_EQ(fast.stats.mem.mem_accesses, slow.stats.mem.mem_accesses);
+  EXPECT_EQ(fast.stats.mem.c2c_transfers, slow.stats.mem.c2c_transfers);
+  EXPECT_EQ(fast.stats.mem.invalidations, slow.stats.mem.invalidations);
+  EXPECT_EQ(fast.stats.mem.writebacks, slow.stats.mem.writebacks);
+  EXPECT_EQ(fast.stats.mem.page_faults, slow.stats.mem.page_faults);
+  EXPECT_EQ(fast.stats.tx.started, slow.stats.tx.started);
+  EXPECT_EQ(fast.stats.tx.committed, slow.stats.tx.committed);
+  EXPECT_EQ(fast.stats.tx.aborts_by_reason, slow.stats.tx.aborts_by_reason);
+  EXPECT_EQ(fast.wall, slow.wall);
+  EXPECT_EQ(fast.finish, slow.finish);
+  EXPECT_EQ(fast.values, slow.values);
+}
+
+TEST(Machine, FastPathEquivalenceQuiet) {
+  expect_equiv(run_equiv_workload(/*disable_fast=*/false, /*interrupts=*/false),
+               run_equiv_workload(/*disable_fast=*/true, /*interrupts=*/false));
+}
+
+TEST(Machine, FastPathEquivalenceWithInterrupts) {
+  expect_equiv(run_equiv_workload(/*disable_fast=*/false, /*interrupts=*/true),
+               run_equiv_workload(/*disable_fast=*/true, /*interrupts=*/true));
+}
+
 }  // namespace
