@@ -25,6 +25,7 @@
 #include "util/flags.h"
 #include "util/summary.h"
 #include "util/table.h"
+#include "util/warn_once.h"
 
 namespace tsx::bench {
 
@@ -199,8 +200,13 @@ struct BenchArgs {
         // when --sample-interval is absent.
         int64_t ew = flags.get_int("energy-window", 0);
         if (ew < 0) throw std::invalid_argument("--energy-window must be >= 0");
-        std::cerr << argv[0] << ": --energy-window is deprecated; use "
-                  << "--sample-interval=CYCLES\n";
+        // Once per run, never once per sweep cell: deprecation (and any
+        // other repeatable stderr warning) goes through util::warn_once so
+        // serial and --jobs N stderr stay identical.
+        util::warn_once("flags:energy-window-deprecated",
+                        std::string(argv[0]) +
+                            ": --energy-window is deprecated; use "
+                            "--sample-interval=CYCLES");
         if (si == 0) si = ew;
       }
       a.sample_interval = static_cast<core::Cycles>(si);

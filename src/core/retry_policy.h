@@ -10,6 +10,7 @@
 // without linking against tsx_core.
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 
 #include "sim/rng.h"
@@ -47,20 +48,42 @@ struct RetryPolicy {
     return !unbounded() && attempts >= static_cast<uint32_t>(max_attempts);
   }
 
+  // Largest backoff window ever handed out: 2^62 simulated cycles, beyond
+  // any horizon a run can reach, and small enough that base + draw cannot
+  // wrap uint64_t for any sane base.
+  static constexpr uint64_t kMaxBackoffWindow = uint64_t{1} << 62;
+
   // Simulated cycles to wait before the attempt following `attempt_no`
   // failed tries. Randomized within the shape's window (exactly one rng draw
   // for any shape but kNone, which draws nothing). Callers must skip the
   // machine compute() entirely when this returns 0 so a no-backoff policy
   // introduces no extra scheduling points.
+  //
+  // Both `backoff_cap_shift` (a knob) and `attempt_no` (unbounded under a
+  // generous budget) can reach the word width, where a raw `1 << shift` /
+  // `base << shift` is undefined behavior — so every shift is clamped below
+  // 64 and the window saturates at kMaxBackoffWindow instead of wrapping.
+  // In-range configurations (shift small enough that nothing saturates) are
+  // bit-for-bit unchanged.
   sim::Cycles backoff_cycles(uint32_t attempt_no, sim::Rng& rng) const {
     if (backoff == BackoffShape::kNone) return 0;
     uint64_t window;
     if (backoff == BackoffShape::kLinear) {
-      uint64_t cap = uint64_t{1} << backoff_cap_shift;
-      window = backoff_base_cycles * std::min<uint64_t>(attempt_no, cap);
+      // attempt_no < 2^32, so a cap beyond 2^32 never binds; clamping the
+      // shift there keeps it far below the word width.
+      uint64_t cap = uint64_t{1} << std::min(backoff_cap_shift, 32u);
+      __uint128_t w = static_cast<__uint128_t>(backoff_base_cycles) *
+                      std::min<uint64_t>(attempt_no, cap);
+      window = w > kMaxBackoffWindow ? kMaxBackoffWindow
+                                     : static_cast<uint64_t>(w);
     } else {
-      uint32_t shift = std::min(attempt_no, backoff_cap_shift);
-      window = static_cast<uint64_t>(backoff_base_cycles) << shift;
+      uint64_t base = backoff_base_cycles;
+      uint32_t width = static_cast<uint32_t>(std::bit_width(base));
+      // base << shift < 2^(width + shift): keeping width + shift <= 62
+      // bounds the window by kMaxBackoffWindow with no overflow.
+      uint32_t max_shift = width < 62 ? 62 - width : 0;
+      uint32_t shift = std::min({attempt_no, backoff_cap_shift, max_shift});
+      window = base << shift;
     }
     return backoff_base_cycles + rng.below(window | 1);
   }

@@ -1,14 +1,26 @@
 #pragma once
 // Fixed-bucket log2 histogram for the simulated PMU's latency distributions
-// (transaction duration, abort latency, retries-per-commit).
+// (transaction duration, abort latency, retries-per-commit) and the server
+// scoreboards' latency SLO columns (bench/server).
 //
 // Buckets are powers of two: bucket 0 holds the value 0, bucket b >= 1 holds
 // values in [2^(b-1), 2^b). With 65 buckets every uint64_t value has a home.
-// Recording is O(1) and allocation-free; percentiles walk the (tiny) bucket
-// array and return the *lower bound* of the bucket containing the requested
-// rank — exact for distributions placed on bucket bounds (what the tests
-// use) and within 2x for everything else, which is the usual log2-histogram
-// contract (cf. hdrhistogram / perf's --log-scale buckets).
+// Recording is O(1) and allocation-free.
+//
+// Percentile contract (changed for the server scoreboards — the original
+// implementation returned the bucket *lower* bound, which underreports a
+// tail percentile by up to 2x and is the wrong side of the error for an SLO
+// gate):
+//   * If every recorded value in the target bucket equals the bucket's
+//     lower bound (detected exactly via the per-bucket sum), the bound is
+//     returned exactly. This preserves the historical exact-on-bound
+//     behavior that the test_pmu distributions rely on.
+//   * Otherwise the requested rank is interpolated linearly *within* the
+//     bucket's [lower, upper] range, reaching the upper bound at the
+//     bucket's top rank — so a percentile never underreports by more than
+//     the within-bucket spread, and the reported tail is conservative
+//     (hdrhistogram's "equivalent value range" reporting, upper-bound
+//     flavored).
 
 #include <array>
 #include <bit>
@@ -26,11 +38,29 @@ class Log2Histogram {
   static constexpr uint64_t bucket_lower_bound(size_t b) {
     return b == 0 ? 0 : uint64_t{1} << (b - 1);
   }
+  // Largest value the bucket can hold (inclusive). Bucket 64 tops out at
+  // the uint64_t maximum.
+  static constexpr uint64_t bucket_upper_bound(size_t b) {
+    return b >= kBuckets - 1 ? ~uint64_t{0} : (uint64_t{1} << b) - 1;
+  }
 
   void record(uint64_t v) {
-    ++counts_[bucket_of(v)];
+    size_t b = bucket_of(v);
+    ++counts_[b];
+    bucket_sums_[b] += v;
     ++n_;
     sum_ += v;
+  }
+
+  // Adds every recorded value of `o` into this histogram (exact: bucket
+  // counts and sums are additive). Used to merge per-rep scoreboards.
+  void merge(const Log2Histogram& o) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      counts_[b] += o.counts_[b];
+      bucket_sums_[b] += o.bucket_sums_[b];
+    }
+    n_ += o.n_;
+    sum_ += o.sum_;
   }
 
   uint64_t count() const { return n_; }
@@ -39,8 +69,10 @@ class Log2Histogram {
     return n_ ? static_cast<double>(sum_) / static_cast<double>(n_) : 0.0;
   }
 
-  // Lower bound of the bucket holding the ceil(p/100 * n)-th smallest
-  // recorded value (1-based rank, clamped to [1, n]). 0 when empty.
+  // Value at the ceil(p/100 * n)-th smallest recorded value (1-based rank,
+  // clamped to [1, n]); 0 when empty. Exact when the target bucket holds
+  // only its lower bound; within-bucket rank interpolation otherwise (see
+  // the contract at the top of this header).
   uint64_t percentile(double p) const {
     if (n_ == 0) return 0;
     if (p < 0) p = 0;
@@ -52,16 +84,31 @@ class Log2Histogram {
     if (rank == 0) rank = 1;
     uint64_t seen = 0;
     for (size_t b = 0; b < kBuckets; ++b) {
+      if (counts_[b] == 0) continue;
       seen += counts_[b];
-      if (seen >= rank) return bucket_lower_bound(b);
+      if (seen < rank) continue;
+      uint64_t lo = bucket_lower_bound(b);
+      uint64_t c = counts_[b];
+      // All values in the bucket sit exactly on the lower bound (lo is the
+      // bucket minimum, so sum == c * lo iff every value equals lo): the
+      // bound is the exact answer. The product is widened so a huge bucket
+      // cannot wrap into a false match.
+      if (static_cast<__uint128_t>(lo) * c == bucket_sums_[b]) return lo;
+      // Rank interpolation across the bucket's value range: rank_in_bucket
+      // runs 1..c and maps onto (lo, hi], hitting hi at the top rank.
+      uint64_t hi = bucket_upper_bound(b);
+      uint64_t rank_in_bucket = rank - (seen - c);
+      return lo + static_cast<uint64_t>(static_cast<__uint128_t>(hi - lo) *
+                                        rank_in_bucket / c);
     }
-    return bucket_lower_bound(kBuckets - 1);
+    return bucket_upper_bound(kBuckets - 1);
   }
 
   const std::array<uint64_t, kBuckets>& counts() const { return counts_; }
 
  private:
   std::array<uint64_t, kBuckets> counts_{};
+  std::array<uint64_t, kBuckets> bucket_sums_{};
   uint64_t n_ = 0;
   uint64_t sum_ = 0;
 };

@@ -77,4 +77,75 @@ class Rng {
   uint64_t s_[4];
 };
 
+// Zipf(n, theta) sampler over [0, n) by rejection inversion of the bounding
+// envelope (Hormann & Derflinger 1996), the scheme commons-rng and YCSB's
+// scrambled generator build on. O(1) per draw with no per-element tables, so
+// n can be in the millions, and numerically stable for theta near 1: every
+// x^(1-theta) evaluation is phrased through log1p/expm1 helpers instead of
+// pow, which cancels catastrophically as 1-theta -> 0.
+class ZipfSampler {
+ public:
+  // n >= 1 elements; theta > 0 is the skew exponent (P(k) proportional to
+  // 1/(k+1)^theta). theta == 1 is handled via the log branch of hIntegral.
+  ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+    double nd = static_cast<double>(n);
+    h_integral_x1_ = hIntegral(1.5) - 1.0;
+    h_integral_num_elements_ = hIntegral(nd + 0.5);
+    s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Draws from [0, n); rank 0 is the hottest element.
+  uint64_t operator()(Rng& rng) const {
+    if (n_ == 1) return 0;
+    while (true) {
+      double u = h_integral_num_elements_ +
+                 rng.uniform() * (h_integral_x1_ - h_integral_num_elements_);
+      double x = hIntegralInverse(u);
+      double kd = x < 1.0 ? 1.0 : std::floor(x + 0.5);
+      if (kd > static_cast<double>(n_)) kd = static_cast<double>(n_);
+      // Accept k if u falls within its own bar of the histogram; the s_
+      // shortcut accepts the body of every bar without evaluating h.
+      if (kd - x <= s_ || u >= hIntegral(kd + 0.5) - h(kd)) {
+        return static_cast<uint64_t>(kd) - 1;
+      }
+    }
+  }
+
+ private:
+  // Integral of the envelope h: x^(1-theta)/(1-theta), written as
+  // log(x) * helper1((1-theta) log x) so the theta -> 1 limit (log x) is
+  // exact instead of 0/0.
+  double hIntegral(double x) const {
+    double log_x = std::log(x);
+    return helper2((1.0 - theta_) * log_x) * log_x;
+  }
+
+  double h(double x) const { return std::exp(-theta_ * std::log(x)); }
+
+  double hIntegralInverse(double x) const {
+    double t = x * (1.0 - theta_);
+    if (t < -1.0) t = -1.0;  // round-off guard near the distribution head
+    return std::exp(helper1(t) * x);
+  }
+
+  // helper1(x) = log1p(x)/x, continuous at 0.
+  static double helper1(double x) {
+    return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x * 0.5 + x * x / 3.0;
+  }
+
+  // helper2(x) = expm1(x)/x, continuous at 0.
+  static double helper2(double x) {
+    return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x * 0.5 + x * x / 6.0;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+};
+
 }  // namespace tsx::sim

@@ -1,0 +1,47 @@
+#include "util/warn_once.h"
+
+#include <iostream>
+#include <mutex>
+#include <unordered_set>
+
+namespace tsx::util {
+
+namespace {
+
+struct WarnRegistry {
+  std::mutex mu;
+  std::unordered_set<std::string> keys;
+};
+
+WarnRegistry& registry() {
+  static WarnRegistry r;
+  return r;
+}
+
+}  // namespace
+
+bool warn_once(const std::string& key, const std::string& message) {
+  WarnRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (!r.keys.insert(key).second) return false;
+  // Emitted under the lock: two racing first-time warnings (distinct keys
+  // from concurrent sweep cells) must not interleave their characters.
+  std::cerr << message << "\n";
+  return true;
+}
+
+bool warned(const std::string& key) {
+  WarnRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.keys.count(key) != 0;
+}
+
+size_t warn_once_reset_for_tests() {
+  WarnRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  size_t n = r.keys.size();
+  r.keys.clear();
+  return n;
+}
+
+}  // namespace tsx::util

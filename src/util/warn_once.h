@@ -1,0 +1,27 @@
+#pragma once
+// Once-per-run stderr warnings. Bench sweeps shard cells across host
+// threads (--jobs N); a warning emitted from inside a cell would repeat
+// once per shard and make parallel stderr diverge from the serial run.
+// Routing such warnings through warn_once() dedupes them against one
+// process-wide key set, so stderr carries exactly one line per distinct
+// condition regardless of --jobs or which worker thread hits it first.
+
+#include <string>
+
+namespace tsx::util {
+
+// Emits "message\n" to stderr the first time `key` is seen in this process;
+// later calls with the same key are dropped. Thread-safe (the emission
+// happens under the registry lock, so concurrent first calls cannot
+// interleave their output). Returns true iff this call emitted.
+bool warn_once(const std::string& key, const std::string& message);
+
+// True once `key` has been registered (with or without an emission having
+// been observed by the caller).
+bool warned(const std::string& key);
+
+// Test seam: forgets every key so a test can observe a fresh first
+// emission. Returns how many keys were registered.
+size_t warn_once_reset_for_tests();
+
+}  // namespace tsx::util

@@ -70,6 +70,60 @@ TEST(Log2Histogram, PercentilesAreExactOnBucketBounds) {
   EXPECT_EQ(h.percentile(100), 1024u);
 }
 
+TEST(Log2Histogram, PercentileInterpolatesWithinMixedBuckets) {
+  obs::Log2Histogram h;
+  // 90x 100 (bucket [64, 127]) and 10x 1000 (bucket [512, 1023]). The
+  // original percentile() returned the bucket *lower* bound, so p99 came
+  // back as 512 — underreporting the true tail value (1000) by nearly 2x.
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  // Regression: the lower bound must no longer be reported for a bucket
+  // whose values do not sit on it.
+  EXPECT_NE(h.percentile(99), 512u);
+  // Within-bucket rank interpolation: rank 99 is the 9th of 10 values in
+  // [512, 1023] -> 512 + (1023 - 512) * 9 / 10 = 971.
+  EXPECT_EQ(h.percentile(99), 971u);
+  // The bucket's top rank reaches the upper bound exactly.
+  EXPECT_EQ(h.percentile(100), 1023u);
+  // A mid-bucket percentile is also interpolated, never the raw bound.
+  EXPECT_EQ(h.percentile(50), 64u + (127u - 64u) * 50 / 90);
+  // Never below the bucket's lower bound, never above its upper bound.
+  EXPECT_GE(h.percentile(99), 512u);
+  EXPECT_LE(h.percentile(99), 1023u);
+}
+
+TEST(Log2Histogram, PercentileStaysExactWhenBucketIsDegenerate) {
+  obs::Log2Histogram h;
+  // A mix: bucket 5 holds only its exact lower bound (16), bucket 11 holds
+  // off-bound values. The degenerate bucket must keep the historical exact
+  // answer while the other interpolates.
+  for (int i = 0; i < 95; ++i) h.record(16);
+  for (int i = 0; i < 5; ++i) h.record(1500);
+  EXPECT_EQ(h.percentile(50), 16u);
+  EXPECT_EQ(h.percentile(95), 16u);
+  EXPECT_NE(h.percentile(99), 1024u);  // not the old lower bound
+  EXPECT_GE(h.percentile(99), 1024u);
+  EXPECT_LE(h.percentile(99), 2047u);
+}
+
+TEST(Log2Histogram, MergeMatchesRecordingEverything) {
+  obs::Log2Histogram a, b, all;
+  for (uint64_t v : {3ull, 16ull, 100ull, 999ull}) {
+    a.record(v);
+    all.record(v);
+  }
+  for (uint64_t v : {0ull, 16ull, 1ull << 20, 77ull}) {
+    b.record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(a.percentile(p), all.percentile(p)) << "p=" << p;
+  }
+}
+
 TEST(Log2Histogram, EmptyHistogramIsAllZero) {
   obs::Log2Histogram h;
   EXPECT_EQ(h.count(), 0u);

@@ -88,6 +88,54 @@ TEST(RetryPolicy, LinearBackoffGrowsLinearly) {
   }
 }
 
+TEST(RetryPolicy, ExponentialBackoffClampsShiftAtWordWidth) {
+  RetryPolicy p;
+  p.backoff = BackoffShape::kExponential;
+  p.backoff_base_cycles = 120;
+  // A knob at/beyond the word width used to shift by >= 64 (undefined
+  // behavior); the window must instead saturate at kMaxBackoffWindow.
+  p.backoff_cap_shift = 200;
+  tsx::sim::Rng rng(5);
+  for (uint32_t attempt : {63u, 64u, 65u, 1000u, ~0u}) {
+    uint64_t w = p.backoff_cycles(attempt, rng);
+    EXPECT_GE(w, p.backoff_base_cycles);
+    EXPECT_LE(w, p.backoff_base_cycles + RetryPolicy::kMaxBackoffWindow);
+  }
+}
+
+TEST(RetryPolicy, LinearBackoffClampsHugeAttemptCounts) {
+  RetryPolicy p;
+  p.backoff = BackoffShape::kLinear;
+  p.backoff_base_cycles = ~0ull / 2;  // base * attempt would wrap
+  p.backoff_cap_shift = 80;           // cap 1 << 80 would also wrap
+  tsx::sim::Rng rng(6);
+  for (uint32_t attempt : {1u, 100u, ~0u}) {
+    uint64_t w = p.backoff_cycles(attempt, rng);
+    EXPECT_GE(w, p.backoff_base_cycles);
+    // base + draw stays inside uint64_t: draw is bounded by the saturated
+    // window, which kMaxBackoffWindow keeps far below the wrap point... for
+    // sane bases; here we only require no crash and a non-zero window.
+    EXPECT_GT(w, 0u);
+  }
+}
+
+TEST(RetryPolicy, ClampDoesNotChangeInRangeWindows) {
+  // Two identical policies, one queried through the clamped path with the
+  // same in-range knobs: the drawn values must be bit-identical (golden
+  // stability of every existing configuration).
+  RetryPolicy p;
+  p.backoff = BackoffShape::kExponential;
+  p.backoff_base_cycles = 120;
+  p.backoff_cap_shift = 10;
+  tsx::sim::Rng rng_a(77), rng_b(77);
+  for (uint32_t attempt = 1; attempt <= 16; ++attempt) {
+    uint64_t shift = std::min(attempt, p.backoff_cap_shift);
+    uint64_t window = static_cast<uint64_t>(p.backoff_base_cycles) << shift;
+    uint64_t expect = p.backoff_base_cycles + rng_b.below(window | 1);
+    EXPECT_EQ(p.backoff_cycles(attempt, rng_a), expect);
+  }
+}
+
 // ---- Through the public TxExecutor interface ----
 
 TEST(RetryPolicySeam, BudgetExhaustionTakesFallbackAfterExactlyMaxAttempts) {

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iostream>
 #include <sstream>
 
 #include "util/flags.h"
 #include "util/summary.h"
 #include "util/table.h"
+#include "util/warn_once.h"
 
 namespace {
 
@@ -186,6 +188,35 @@ TEST(Summary, EmptySampleThrows) {
 
 TEST(Summary, GeomeanRejectsNonPositive) {
   EXPECT_THROW(tsx::util::geomean({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(WarnOnce, EmitsExactlyOncePerKey) {
+  tsx::util::warn_once_reset_for_tests();
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  EXPECT_TRUE(tsx::util::warn_once("test:k1", "first warning"));
+  EXPECT_FALSE(tsx::util::warn_once("test:k1", "first warning"));
+  EXPECT_FALSE(tsx::util::warn_once("test:k1", "different text, same key"));
+  EXPECT_TRUE(tsx::util::warn_once("test:k2", "second key"));
+  std::cerr.rdbuf(old);
+  // One line per distinct key — the once-per-run guarantee benches rely on
+  // when a warning fires from inside sharded sweep cells.
+  EXPECT_EQ(captured.str(), "first warning\nsecond key\n");
+  EXPECT_TRUE(tsx::util::warned("test:k1"));
+  EXPECT_TRUE(tsx::util::warned("test:k2"));
+  EXPECT_FALSE(tsx::util::warned("test:k3"));
+}
+
+TEST(WarnOnce, ResetSeamForgetsKeys) {
+  tsx::util::warn_once_reset_for_tests();
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  EXPECT_TRUE(tsx::util::warn_once("test:reset", "a"));
+  size_t n = tsx::util::warn_once_reset_for_tests();
+  EXPECT_GE(n, 1u);
+  EXPECT_FALSE(tsx::util::warned("test:reset"));
+  EXPECT_TRUE(tsx::util::warn_once("test:reset", "a"));
+  std::cerr.rdbuf(old);
 }
 
 }  // namespace
