@@ -16,6 +16,7 @@
 #include "check/checker.h"
 #include "check/history.h"
 #include "core/runtime.h"
+#include "mem/sim_heap.h"
 #include "harness/runner.h"
 #include "obs/abort_report.h"
 #include "obs/chrome_trace.h"
@@ -57,6 +58,85 @@ inline void apply_obs(core::RunConfig& cfg, const std::string& label) {
   cfg.obs.enabled = true;
   cfg.obs.sample_interval = s.sample_interval;
   cfg.obs.label = label;
+}
+
+// --malloc-policy / --malloc-pack-sets settings, parsed into a
+// process-global (same pattern as ObsSettings) so the drivers' run-config
+// helpers can consult them without seeing BenchArgs.
+struct HeapSettings {
+  bool set = false;  // a --malloc-policy flag was given
+  mem::PlacementPolicy policy = mem::PlacementPolicy::kSizeClass;
+  uint32_t color_sets = 0;  // kColored only: 0 = spread, N = pack into N sets
+};
+
+inline HeapSettings& heap_settings() {
+  static HeapSettings s;
+  return s;
+}
+
+// Per-cell placement override for sweep drivers (extension_malloc_placement
+// runs several policies in one process): HeapPolicyScope sets it around a
+// cell's run and apply_heap picks it up, beating the process-global flag.
+// Thread-local because sweep jobs run concurrently on host threads.
+struct TlsHeapPolicy {
+  bool set = false;
+  mem::PlacementPolicy policy = mem::PlacementPolicy::kSizeClass;
+  uint32_t color_sets = 0;
+};
+
+inline TlsHeapPolicy& tls_heap_policy() {
+  thread_local TlsHeapPolicy p;
+  return p;
+}
+
+class HeapPolicyScope {
+ public:
+  HeapPolicyScope(mem::PlacementPolicy policy, uint32_t color_sets) {
+    TlsHeapPolicy& p = tls_heap_policy();
+    p.set = true;
+    p.policy = policy;
+    p.color_sets = color_sets;
+  }
+  ~HeapPolicyScope() { tls_heap_policy() = TlsHeapPolicy{}; }
+  HeapPolicyScope(const HeapPolicyScope&) = delete;
+  HeapPolicyScope& operator=(const HeapPolicyScope&) = delete;
+};
+
+// Fills cfg.heap's placement fields: a thread-local HeapPolicyScope wins,
+// then the --malloc-policy flag; with neither, the config is untouched (so
+// default runs stay byte-identical to the pre-policy allocator).
+inline void apply_heap(core::RunConfig& cfg) {
+  const TlsHeapPolicy& tls = tls_heap_policy();
+  if (tls.set) {
+    cfg.heap.policy = tls.policy;
+    cfg.heap.color_sets = tls.color_sets;
+    return;
+  }
+  const HeapSettings& s = heap_settings();
+  if (!s.set) return;
+  cfg.heap.policy = s.policy;
+  cfg.heap.color_sets = s.color_sets;
+}
+
+// Parses a --malloc-policy value. "colored-spread" and "colored-pack" both
+// map to kColored; pack uses --malloc-pack-sets (default 2) as color_sets.
+inline mem::PlacementPolicy parse_malloc_policy(const std::string& name,
+                                                bool* pack) {
+  *pack = false;
+  if (name == "size-class") return mem::PlacementPolicy::kSizeClass;
+  if (name == "bump") return mem::PlacementPolicy::kBumpPerThread;
+  if (name == "padded") return mem::PlacementPolicy::kPadded;
+  if (name == "colored-spread" || name == "colored") {
+    return mem::PlacementPolicy::kColored;
+  }
+  if (name == "colored-pack") {
+    *pack = true;
+    return mem::PlacementPolicy::kColored;
+  }
+  throw std::invalid_argument(
+      "--malloc-policy must be one of size-class, bump, padded, "
+      "colored-spread, colored-pack (got '" +
+      name + "')");
 }
 
 // Label for runs whose RunConfig is built deep inside an app lambda (the
@@ -155,7 +235,11 @@ class ObsFlusher {
 // --energy-split (extra committed/wasted energy columns in the energy
 // drivers' CSV output; default output stays byte-identical),
 // --progress[=BOOL] (force sweep progress lines on/off; default: only when
-// stderr is a TTY, see harness::RunnerOptions::assume_tty).
+// stderr is a TTY, see harness::RunnerOptions::assume_tty),
+// --malloc-policy=NAME (simulated-heap placement policy for every measured
+// run: size-class (default), bump, padded, colored-spread, colored-pack;
+// see mem::PlacementPolicy), --malloc-pack-sets=N (L1 sets colored-pack
+// confines placements to; default 2).
 struct BenchArgs {
   int reps = 2;
   bool csv = false;
@@ -214,6 +298,19 @@ struct BenchArgs {
       a.progress = flags.has("progress")
                        ? (flags.get_bool("progress", true) ? 1 : 0)
                        : -1;
+      int64_t pack_sets = flags.get_int("malloc-pack-sets", 2);
+      if (pack_sets < 1) {
+        throw std::invalid_argument("--malloc-pack-sets must be >= 1");
+      }
+      if (flags.has("malloc-policy")) {
+        bool pack = false;
+        mem::PlacementPolicy pol =
+            parse_malloc_policy(flags.get_string("malloc-policy", ""), &pack);
+        HeapSettings& hs = heap_settings();
+        hs.set = true;
+        hs.policy = pol;
+        hs.color_sets = pack ? static_cast<uint32_t>(pack_sets) : 0;
+      }
       ObsSettings& s = obs_settings();
       s.trace = !a.trace.empty();
       s.abort_report = a.abort_report;
@@ -288,6 +385,24 @@ inline harness::RunnerOptions runner_options(const BenchArgs& args,
            << ", \"self_stops\": " << e.self_stops << "}";
       }
       os << "]";
+      return os.str();
+    };
+    // Summed simulated-heap counters for the manifest's "heap" object
+    // (label-sorted aggregation in the registry, hence --jobs-invariant).
+    opt.heap_fn = [] {
+      obs::HeapPmuCounters h = obs::Registry::global().heap_totals();
+      if (!h.present) return std::string();
+      std::ostringstream os;
+      os << "{\"policy\": \"" << h.policy << "\", \"allocs\": " << h.allocs
+         << ", \"frees\": " << h.frees << ", \"refills\": " << h.refills
+         << ", \"bytes_live\": " << h.bytes_live
+         << ", \"bytes_peak\": " << h.bytes_peak
+         << ", \"bytes_padding\": " << h.bytes_padding
+         << ", \"set_allocs\": [";
+      for (size_t i = 0; i < h.set_allocs.size(); ++i) {
+        os << (i ? ", " : "") << h.set_allocs[i];
+      }
+      os << "]}";
       return os.str();
     };
   }

@@ -526,6 +526,7 @@ inline core::RunConfig server_run_cfg(core::Backend b,
   cfg.threads = traffic.threads;
   cfg.machine.seed = seed;
   cfg.seed = seed;
+  apply_heap(cfg);  // --malloc-policy
   return cfg;
 }
 

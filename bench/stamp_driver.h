@@ -45,6 +45,8 @@ inline core::RunConfig stamp_run_cfg(core::Backend b, uint32_t threads,
   // Traced when an ObsLabelScope is active (the app lambdas build their
   // RunConfig here, out of reach of the sweep's per-job label).
   apply_obs(cfg, tls_obs_label());
+  // Placement policy: per-cell HeapPolicyScope, else --malloc-policy.
+  apply_heap(cfg);
   return cfg;
 }
 

@@ -20,6 +20,7 @@ core::RunConfig rtm_cfg(uint32_t threads, uint64_t seed) {
   cfg.machine.seed = seed;
   cfg.seed = seed;
   scale_machine_for_stamp(cfg.machine);
+  apply_heap(cfg);  // --malloc-policy
   return cfg;
 }
 

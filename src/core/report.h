@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "htm/rtm.h"
+#include "mem/sim_heap.h"
 #include "sim/energy_model.h"
 #include "sim/stats.h"
 #include "stm/common.h"
@@ -39,6 +40,10 @@ struct RunReport {
   sim::MachineStats machine;  // deltas over the measured region
   htm::RtmStats rtm;          // zero unless backend == kRtm
   stm::StmStats stm;          // zero unless an STM backend
+  // Simulated-heap counters (whole run, not window-diffed: allocator state
+  // is cumulative) and the placement policy that produced them.
+  mem::HeapStats heap;
+  mem::PlacementPolicy heap_policy = mem::PlacementPolicy::kSizeClass;
   // Per-transaction-site RTM statistics (whole run, not window-diffed);
   // used for the paper's TID-level tables (IV, V).
   std::vector<std::pair<uint32_t, htm::RtmStats>> rtm_sites;

@@ -140,10 +140,23 @@ std::optional<obs::PmuData> TxRuntime::pmu_data() const {
       busy[i] = machine_->ctx_busy(i);
     }
   }
-  return pmu_->finalize(machine_->snapshot(), ran_ ? machine_->wall() : 0,
-                        finish, busy,
-                        ran_ ? machine_->core_busy_cycles() : 0.0,
-                        cfg_.machine.energy, cfg_.machine.freq_ghz);
+  obs::PmuData d = pmu_->finalize(
+      machine_->snapshot(), ran_ ? machine_->wall() : 0, finish, busy,
+      ran_ ? machine_->core_busy_cycles() : 0.0, cfg_.machine.energy,
+      cfg_.machine.freq_ghz);
+  // Heap placement counters ride along with the PMU data (perf-stat "heap"
+  // block, counter digest, manifest) but come straight from the allocator.
+  const mem::HeapStats& hs = heap_->stats();
+  d.heap.present = true;
+  d.heap.policy = mem::placement_policy_name(cfg_.heap.policy);
+  d.heap.allocs = hs.allocs;
+  d.heap.frees = hs.frees;
+  d.heap.refills = hs.refills;
+  d.heap.bytes_live = hs.bytes_live;
+  d.heap.bytes_peak = hs.bytes_peak;
+  d.heap.bytes_padding = hs.bytes_padding;
+  d.heap.set_allocs = hs.set_allocs;
+  return d;
 }
 
 void TxRuntime::run(const std::function<void(TxCtx&)>& worker) {
@@ -201,6 +214,8 @@ RunReport TxRuntime::report() const {
   }
 
   r.rtm_sites = exec_->rtm_site_stats();
+  r.heap = heap_->stats();
+  r.heap_policy = cfg_.heap.policy;
 
   sim::EnergyModel em(cfg_.machine.energy, cfg_.machine.freq_ghz);
   r.seconds = em.seconds(r.wall_cycles);

@@ -199,6 +199,12 @@ void Runner::emit_manifest(const std::vector<Job>& jobs,
     // Pre-rendered JSON array of per-lock elision counters.
     *os << "  \"elide_locks\": " << elide_locks << ",\n";
   }
+  std::string heap;
+  if (opt_.heap_fn) heap = opt_.heap_fn();
+  if (!heap.empty()) {
+    // Pre-rendered JSON object of summed heap/placement counters.
+    *os << "  \"heap\": " << heap << ",\n";
+  }
   *os << "  \"jobs_flag\": " << jobs_ << ",\n"
       << "  \"total_jobs\": " << jobs.size() << ",\n"
       << "  \"wall_seconds\": " << json_fixed(wall_seconds, 6) << ",\n"

@@ -98,6 +98,10 @@ struct RunnerOptions {
   // pre-rendered JSON array value (e.g. `[{"name": "m", ...}]`) or an empty
   // string to omit the field. Must be deterministic w.r.t. --jobs.
   std::function<std::string()> elide_locks_fn;
+  // Optional simulated-heap counters, recorded in the manifest as "heap".
+  // Same contract as elide_locks_fn: pre-rendered JSON object value or an
+  // empty string to omit; deterministic w.r.t. --jobs.
+  std::function<std::string()> heap_fn;
 };
 
 class Runner {

@@ -6,45 +6,122 @@
 
 namespace tsx::mem {
 
+const char* placement_policy_name(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kSizeClass: return "size-class";
+    case PlacementPolicy::kBumpPerThread: return "bump";
+    case PlacementPolicy::kPadded: return "padded";
+    case PlacementPolicy::kColored: return "colored";
+  }
+  return "?";
+}
+
 SimHeap::SimHeap(Machine& m, HeapConfig cfg)
-    : m_(m), cfg_(cfg), bump_(kHeapBase) {}
+    : m_(m),
+      cfg_(cfg),
+      bump_(kHeapBase),
+      l1_sets_(std::max<uint32_t>(1, m.l1_geometry().sets())) {
+  stats_.set_allocs.assign(l1_sets_, 0);
+}
 
 uint64_t SimHeap::size_class(uint64_t bytes) const {
   // Round to the next power of two, minimum one word. STAMP apps allocate a
   // handful of node sizes, so classes stay few and reuse is high.
   uint64_t b = std::max<uint64_t>(bytes, sim::kWordBytes);
-  return std::bit_ceil(b);
+  uint64_t c = std::bit_ceil(b);
+  // Line-granular policies never share a cache line between blocks.
+  if (cfg_.policy == PlacementPolicy::kPadded ||
+      cfg_.policy == PlacementPolicy::kColored) {
+    c = std::max<uint64_t>(c, sim::kLineBytes);
+  }
+  return c;
 }
 
-Addr SimHeap::take_from_pool(PerCtx& pc, uint64_t csize, bool simulate_cost) {
-  FreeStack& fl = pc.free_lists[csize];
-  if (fl.empty()) {
-    // Refill: carve a chunk from the global bump region.
-    ++stats_.refills;
-    uint64_t chunk = std::max(cfg_.chunk_bytes, csize);
-    if (bump_ + chunk > kHeapBase + kHeapBytes) {
-      throw std::runtime_error("simulated heap exhausted");
+Addr SimHeap::carve_chunk(uint64_t chunk, uint64_t align, bool simulate_cost) {
+  ++stats_.refills;
+  // Round the refill base up to the requested alignment. Without this, a
+  // class larger than the previous refills' chunk granularity would hand
+  // out blocks that violate the caller's power-of-two `align` contract
+  // (e.g. a 128 KiB class carved at a 64 KiB-aligned bump cursor).
+  Addr base = (bump_ + align - 1) & ~(align - 1);
+  if (base + chunk > kHeapBase + kHeapBytes) {
+    throw std::runtime_error("simulated heap exhausted");
+  }
+  bump_ = base + chunk;
+  if (cfg_.prefault_on_refill) {
+    // The optimized allocator touches every page of the new pool before
+    // handing memory out. The touches themselves must not be speculative
+    // (a refill can be triggered from inside a transaction, and faulting
+    // there would defeat the optimization), so pages are marked present
+    // directly and the fault-service time is charged as plain cycles.
+    m_.prefault(base, chunk);
+    if (simulate_cost) {
+      m_.compute((chunk / sim::kPageBytes) * cfg_.touch_page_cycles);
     }
-    Addr base = bump_;
-    bump_ += chunk;
-    if (cfg_.prefault_on_refill) {
-      // The optimized allocator touches every page of the new pool before
-      // handing memory out. The touches themselves must not be speculative
-      // (a refill can be triggered from inside a transaction, and faulting
-      // there would defeat the optimization), so pages are marked present
-      // directly and the fault-service time is charged as plain cycles.
-      m_.prefault(base, chunk);
-      if (simulate_cost) {
-        m_.compute((chunk / sim::kPageBytes) * cfg_.touch_page_cycles);
-      }
-    }
+  }
+  return base;
+}
+
+void SimHeap::refill(FreeStack& fl, uint64_t csize, bool simulate_cost) {
+  uint64_t chunk = std::max(cfg_.chunk_bytes, csize);
+  if (cfg_.policy != PlacementPolicy::kColored) {
+    Addr base = carve_chunk(chunk, csize, simulate_cost);
     // Push descending so pops hand blocks out in address order.
     uint64_t blocks = chunk / csize;
     for (uint64_t i = blocks; i-- > 0;) {
       fl.push(arena_, base + i * csize);
     }
+    return;
   }
+
+  // kColored: place blocks by their L1 set index. The carve is aligned to
+  // the larger of the class and one full set sweep, so the chunk base
+  // always starts on set 0 and the eligible-slot sweep below cannot come
+  // up empty.
+  uint64_t sweep = uint64_t{l1_sets_} * sim::kLineBytes;
+  Addr base = carve_chunk(chunk, std::max(csize, sweep), simulate_cost);
+  uint64_t slots = chunk / csize;
+  uint32_t sets = cfg_.color_sets;
+  if (sets == 0 || sets >= l1_sets_) {
+    // Spread: all slots are eligible, but the pop order is rotated per
+    // refill. Each class's chunk base maps to set 0, so without rotation
+    // every pool would lead with the same few sets; rotating balances the
+    // cross-class set histogram.
+    uint64_t rot = color_rot_++ % slots;
+    for (uint64_t j = slots; j-- > 0;) {
+      fl.push(arena_, base + ((rot + j) % slots) * csize);
+    }
+    return;
+  }
+  // Pack: keep only slots whose first line maps to one of the first
+  // `color_sets` sets. Fewer blocks per chunk — the skipped address space
+  // is the price of concentrating the working set into few sets.
+  for (uint64_t i = slots; i-- > 0;) {
+    Addr a = base + i * csize;
+    if ((a / sim::kLineBytes) % l1_sets_ < sets) fl.push(arena_, a);
+  }
+}
+
+Addr SimHeap::take_from_pool(PerCtx& pc, uint64_t csize, bool simulate_cost) {
+  if (cfg_.policy == PlacementPolicy::kBumpPerThread) {
+    // Sequential carving from the context's current run; natural alignment
+    // satisfies any `align <= csize` request.
+    Addr cur = (pc.bump_cur + csize - 1) & ~(csize - 1);
+    if (cur + csize > pc.bump_end) {
+      uint64_t chunk = std::max(cfg_.chunk_bytes, csize);
+      cur = carve_chunk(chunk, csize, simulate_cost);
+      pc.bump_end = cur + chunk;
+    }
+    pc.bump_cur = cur + csize;
+    return cur;
+  }
+  FreeStack& fl = pc.free_lists[csize];
+  if (fl.empty()) refill(fl, csize, simulate_cost);
   return fl.pop();
+}
+
+void SimHeap::count_placement(Addr addr) {
+  ++stats_.set_allocs[(addr / sim::kLineBytes) % l1_sets_];
 }
 
 Addr SimHeap::alloc(uint64_t bytes, uint64_t align) {
@@ -53,13 +130,17 @@ Addr SimHeap::alloc(uint64_t bytes, uint64_t align) {
   }
   CtxId ctx = m_.current_ctx();
   PerCtx& pc = per_ctx_[ctx];
-  uint64_t csize = size_class(std::max(bytes, align));
+  uint64_t want = std::max(bytes, align);
+  uint64_t csize = size_class(want);
   m_.compute(cfg_.alloc_cycles);
   Addr a = take_from_pool(pc, csize, /*simulate_cost=*/true);
   blocks_[a] = Block{csize, &pc};
   ++stats_.allocs;
   stats_.bytes_live += csize;
   stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+  stats_.bytes_padding +=
+      csize - std::bit_ceil(std::max<uint64_t>(want, sim::kWordBytes));
+  count_placement(a);
   if (pc.scope_open) pc.scope_allocs.push_back(a);
   return a;
 }
@@ -68,13 +149,17 @@ Addr SimHeap::host_alloc(uint64_t bytes, uint64_t align) {
   if (align < 8 || (align & (align - 1)) != 0) {
     throw std::invalid_argument("bad alignment");
   }
-  uint64_t csize = size_class(std::max(bytes, align));
+  uint64_t want = std::max(bytes, align);
+  uint64_t csize = size_class(want);
   Addr a = take_from_pool(host_ctx_, csize, /*simulate_cost=*/false);
   m_.prefault(a, csize);
   blocks_[a] = Block{csize, &host_ctx_};
   ++stats_.allocs;
   stats_.bytes_live += csize;
   stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+  stats_.bytes_padding +=
+      csize - std::bit_ceil(std::max<uint64_t>(want, sim::kWordBytes));
+  count_placement(a);
   return a;
 }
 
@@ -86,18 +171,35 @@ void SimHeap::release(Addr addr) {
   blocks_.erase(addr);
   stats_.bytes_live -= csize;
   ++stats_.frees;
-  owner->free_lists[csize].push(arena_, addr);
+  if (cfg_.policy != PlacementPolicy::kBumpPerThread) {
+    owner->free_lists[csize].push(arena_, addr);
+  }
+  // kBumpPerThread never reuses: the address is retired for good.
 }
 
 void SimHeap::free(Addr addr) {
   CtxId ctx = m_.current_ctx();
   PerCtx& pc = per_ctx_[ctx];
-  m_.compute(cfg_.free_cycles);
+  // Validate BEFORE charging free_cycles: an invalid free must surface as
+  // an exception from free() itself, without mutating simulated time (a
+  // mid-executor throw after compute() would leave the error path with a
+  // different clock than the caller observed).
+  if (!blocks_.find(addr)) {
+    throw std::invalid_argument("free of unknown block");
+  }
   if (pc.scope_open) {
+    for (Addr f : pc.scope_frees) {
+      if (f == addr) {
+        throw std::invalid_argument(
+            "double free of one block inside a transaction scope");
+      }
+    }
+    m_.compute(cfg_.free_cycles);
     // Defer: an aborted attempt must not have freed anything.
     pc.scope_frees.push_back(addr);
     return;
   }
+  m_.compute(cfg_.free_cycles);
   release(addr);
 }
 

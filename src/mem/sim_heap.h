@@ -10,9 +10,30 @@
 //   * `prefault_on_refill`: the optimized allocator touches chunk pages when
 //     the pool grows (simulated non-tx stores), eliminating in-tx faults.
 //
+// Placement is a first-class policy axis (Dice/Harris/Kogan/Lev, "The
+// Influence of Malloc Placement on TSX HTM": allocator placement alone
+// swings abort rates via index conflicts in the L1 write set):
+//   * kSizeClass — segregated power-of-two classes with LIFO reuse; the
+//     byte-identical historical default.
+//   * kBumpPerThread — sequential per-thread carving, no reuse: every
+//     allocation is fresh address space, so hot blocks never alias recently
+//     freed ones.
+//   * kPadded — classes rounded up to whole cache lines; blocks smaller
+//     than a line get their own line, killing allocator-induced false
+//     sharing between neighbouring nodes.
+//   * kColored — line-granular, L1-set-aware placement. With
+//     `color_sets == 0` blocks spread across all sets (each refill's carve
+//     is rotated so class pools don't all lead with the chunk-base set);
+//     with `color_sets == k` every block starts on one of the first k sets,
+//     deliberately packing the write set into few sets to provoke
+//     associativity/capacity (MISC2) aborts.
+//
 // Transactional scopes: allocations made inside a speculative attempt are
 // registered and released again if the attempt aborts; frees are deferred to
 // commit (an aborted attempt must not release memory the old state uses).
+// A double free() of one address within an open scope is a programming
+// error and is detected at free() time, before any simulated cost is
+// charged.
 
 #include <array>
 #include <cstdint>
@@ -30,12 +51,26 @@ using sim::Addr;
 using sim::CtxId;
 using sim::Machine;
 
+enum class PlacementPolicy : uint8_t {
+  kSizeClass = 0,   // segregated power-of-two classes, LIFO reuse (default)
+  kBumpPerThread,   // sequential per-thread carving, no reuse
+  kPadded,          // classes rounded up to whole cache lines
+  kColored,         // line-granular, L1-set-aware (spread or pack)
+};
+
+const char* placement_policy_name(PlacementPolicy p);
+
 struct HeapConfig {
   bool prefault_on_refill = false;
   uint64_t chunk_bytes = 64 * 1024;
   sim::Cycles alloc_cycles = 28;  // malloc fast-path cost
   sim::Cycles free_cycles = 20;
   sim::Cycles touch_page_cycles = 900;  // pre-touch cost per page on refill
+  PlacementPolicy policy = PlacementPolicy::kSizeClass;
+  // kColored only: number of distinct L1 sets placement may use, counted
+  // from set 0. 0 = spread over all sets; values >= the L1 set count are
+  // clamped to spread.
+  uint32_t color_sets = 0;
 };
 
 struct HeapStats {
@@ -44,6 +79,14 @@ struct HeapStats {
   uint64_t refills = 0;
   uint64_t bytes_live = 0;
   uint64_t bytes_peak = 0;
+  // Extra bytes the placement policy added on top of the power-of-two size
+  // class (padding to cache lines under kPadded/kColored).
+  uint64_t bytes_padding = 0;
+  // Cumulative block placements per L1 set index (of the block's first
+  // line), sized to the machine's L1 set count. Covers alloc() and
+  // host_alloc(): the set-occupancy histogram of everything the app's data
+  // structures live in.
+  std::vector<uint64_t> set_allocs;
 };
 
 class SimHeap {
@@ -65,6 +108,7 @@ class SimHeap {
   void tx_scope_abort(CtxId ctx);
 
   const HeapStats& stats() const { return stats_; }
+  const HeapConfig& config() const { return cfg_; }
 
   // Testing: size of the block owning `addr`, 0 if unknown.
   uint64_t block_size(Addr addr) const;
@@ -116,6 +160,9 @@ class SimHeap {
   struct PerCtx {
     // size-class -> free addresses
     util::FlatTable<FreeStack> free_lists;
+    // kBumpPerThread: the context's current sequential run.
+    Addr bump_cur = 0;
+    Addr bump_end = 0;
     bool scope_open = false;
     std::vector<Addr> scope_allocs;
     std::vector<Addr> scope_frees;
@@ -127,12 +174,20 @@ class SimHeap {
   };
 
   uint64_t size_class(uint64_t bytes) const;
+  // Carves `chunk` bytes from the global bump region, with the base rounded
+  // up to `align` (power of two). Counts a refill and services the
+  // prefault-on-refill policy.
+  Addr carve_chunk(uint64_t chunk, uint64_t align, bool simulate_cost);
+  void refill(FreeStack& fl, uint64_t csize, bool simulate_cost);
   Addr take_from_pool(PerCtx& pc, uint64_t csize, bool simulate_cost);
   void release(Addr addr);
+  void count_placement(Addr addr);
 
   Machine& m_;
   HeapConfig cfg_;
   Addr bump_;
+  uint32_t l1_sets_;      // L1 set count (coloring geometry), >= 1
+  uint64_t color_rot_ = 0;  // kColored spread: per-refill carve rotation
   util::Arena arena_;  // FreeStack chunk storage (lives as long as the heap)
   std::array<PerCtx, sim::kMaxCtxs> per_ctx_;
   PerCtx host_ctx_;

@@ -335,6 +335,38 @@ void write_perf_stat(std::ostream& os, const std::vector<Capture>& captures) {
            << lpad(pct(e.cycles_wasted, spec), 6) << "\n";
       }
     }
+    if (d.heap.present) {
+      const HeapPmuCounters& h = d.heap;
+      os << "\n heap (malloc placement):\n";
+      os << "   policy " << rpad(h.policy, 12) << " allocs "
+         << lpad(group_digits(h.allocs), 10) << "  frees "
+         << lpad(group_digits(h.frees), 10) << "  refills "
+         << lpad(group_digits(h.refills), 6) << "\n";
+      os << "   live " << lpad(group_digits(h.bytes_live), 12) << " B  peak "
+         << lpad(group_digits(h.bytes_peak), 12) << " B  padding "
+         << lpad(group_digits(h.bytes_padding), 10) << " B\n";
+      uint64_t placed = 0, used = 0, max_count = 0;
+      size_t max_set = 0;
+      for (size_t i = 0; i < h.set_allocs.size(); ++i) {
+        placed += h.set_allocs[i];
+        if (h.set_allocs[i]) ++used;
+        if (h.set_allocs[i] > max_count) {
+          max_count = h.set_allocs[i];
+          max_set = i;
+        }
+      }
+      os << "   set-occupancy: " << h.set_allocs.size() << " L1 sets, "
+         << used << " used";
+      if (placed) {
+        os << ", max " << group_digits(max_count) << " placements on set "
+           << max_set << " = "
+           << util::json_fixed(100.0 * static_cast<double>(max_count) /
+                                   static_cast<double>(placed),
+                               1)
+           << "% of " << group_digits(placed);
+      }
+      os << "\n";
+    }
     if (!d.samples.empty()) {
       os << " samples: " << d.samples.size() << " (interval boundaries; see "
          << "--timeseries for the CSV)\n";

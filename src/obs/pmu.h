@@ -107,6 +107,22 @@ struct ElideLockCounters {
   sim::Cycles cycles_wasted = 0;
 };
 
+// Simulated-heap counters for the perf-stat "heap" block: the allocator's
+// whole-run stats under the placement policy that produced them (mem::
+// PlacementPolicy — the malloc-placement axis). Filled by TxRuntime when
+// the capture is built; not an event-derived aggregate.
+struct HeapPmuCounters {
+  bool present = false;
+  std::string policy;  // placement_policy_name() of the run's heap
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t refills = 0;
+  uint64_t bytes_live = 0;
+  uint64_t bytes_peak = 0;
+  uint64_t bytes_padding = 0;
+  std::vector<uint64_t> set_allocs;  // placements per L1 set index
+};
+
 // One row of the counter time series (--sample-interval): cumulative values
 // at a simulated-time window boundary.
 struct PmuSample {
@@ -154,6 +170,9 @@ struct PmuData {
   // Per-lock elision statistics, sorted by lock id; empty when the run used
   // no elide locks.
   std::vector<ElideLockCounters> elide;
+
+  // Simulated-heap placement counters (present for every traced TxRuntime).
+  HeapPmuCounters heap;
 
   // false if attempt events were mispaired or an attempt window exceeded
   // its context's clock (would make non_tx negative). Never expected; the

@@ -100,6 +100,17 @@ uint64_t Registry::counter_digest() const {
       f.add(e.cycles_elided);
       f.add(e.cycles_wasted);
     }
+    if (d.heap.present) {
+      f.add(d.heap.policy);
+      f.add(d.heap.allocs);
+      f.add(d.heap.frees);
+      f.add(d.heap.refills);
+      f.add(d.heap.bytes_live);
+      f.add(d.heap.bytes_peak);
+      f.add(d.heap.bytes_padding);
+      f.add(static_cast<uint64_t>(d.heap.set_allocs.size()));
+      for (uint64_t v : d.heap.set_allocs) f.add(v);
+    }
   }
   return f.h;
 }
@@ -128,6 +139,37 @@ std::vector<ElideLockCounters> Registry::elide_totals() const {
   out.reserve(by_name.size());
   for (auto& [name, e] : by_name) out.push_back(std::move(e));
   return out;
+}
+
+HeapPmuCounters Registry::heap_totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Iterate label-sorted (like counter_digest) so the "first" policy and
+  // the summed counters are --jobs-invariant.
+  std::vector<const Capture*> sorted;
+  sorted.reserve(captures_.size());
+  for (const Capture& c : captures_) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Capture* a, const Capture* b) { return a->label < b->label; });
+  HeapPmuCounters t;
+  for (const Capture* c : sorted) {
+    if (!c->pmu || !c->pmu->heap.present) continue;
+    const HeapPmuCounters& h = c->pmu->heap;
+    if (!t.present) t.policy = h.policy;
+    t.present = true;
+    t.allocs += h.allocs;
+    t.frees += h.frees;
+    t.refills += h.refills;
+    t.bytes_live += h.bytes_live;
+    t.bytes_peak += h.bytes_peak;
+    t.bytes_padding += h.bytes_padding;
+    if (t.set_allocs.size() < h.set_allocs.size()) {
+      t.set_allocs.resize(h.set_allocs.size(), 0);
+    }
+    for (size_t i = 0; i < h.set_allocs.size(); ++i) {
+      t.set_allocs[i] += h.set_allocs[i];
+    }
+  }
+  return t;
 }
 
 }  // namespace tsx::obs

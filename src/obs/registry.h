@@ -59,6 +59,13 @@ class Registry {
   // `elide_locks` array. Empty when no capture recorded elide locks.
   std::vector<ElideLockCounters> elide_totals() const;
 
+  // Simulated-heap counters summed across all captures (policy from the
+  // first capture that carries one — a sweep runs one policy per process
+  // unless a driver overrides per cell, in which case the manifest reports
+  // the first). present == false when no capture has PMU data.
+  // Non-destructive; used for the harness manifest's `heap` object.
+  HeapPmuCounters heap_totals() const;
+
  private:
   mutable std::mutex mu_;
   std::vector<Capture> captures_;

@@ -108,6 +108,9 @@ class Machine {
 
   uint32_t num_threads() const { return num_threads_; }
   const MachineConfig& config() const { return cfg_; }
+  // L1 geometry seam for set-index-aware clients (the heap's coloring
+  // policies place blocks by L1 set; see mem::PlacementPolicy).
+  const CacheGeometry& l1_geometry() const { return cfg_.l1; }
 
   // Registers the workload for context `ctx` (must be called for every
   // context exactly once before run()). The function runs on a fiber; it may

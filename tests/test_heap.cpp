@@ -163,4 +163,195 @@ TEST(SimHeap, PerThreadPoolsDontInterleave) {
   EXPECT_GE(std::max(a0, a1) - std::min(a0, a1), 64u * 1024u);
 }
 
+// Regression: a refill's base must be rounded up to the requested alignment.
+// After a smaller-class refill leaves the global bump cursor on a 64 KiB
+// boundary, a class larger than chunk_bytes (here align = 128 KiB) used to
+// carve at that 64 KiB-aligned cursor and hand out a misaligned block.
+TEST(SimHeap, RefillAlignsBaseForClassLargerThanChunk) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);  // chunk_bytes = 64 KiB
+  m.set_thread(0, [&] {
+    heap.alloc(64);  // heap churn: bump cursor now base + 64 KiB
+    Addr a = heap.alloc(8, 128 * 1024);
+    EXPECT_EQ(a % (128u * 1024u), 0u);
+    EXPECT_EQ(heap.block_size(a), 128u * 1024u);
+  });
+  m.run();
+}
+
+TEST(SimHeap, RefillAlignsBaseAfterSmallerChunkRefills) {
+  Machine m(quiet(), 1);
+  HeapConfig cfg;
+  cfg.chunk_bytes = 4096;
+  SimHeap heap(m, cfg);
+  m.set_thread(0, [&] {
+    heap.alloc(64);  // 4 KiB refill: cursor no longer 8 KiB-aligned
+    Addr a = heap.alloc(100, 8192);
+    EXPECT_EQ(a % 8192u, 0u);
+  });
+  m.run();
+}
+
+// Regression: a double free() of one address inside an open tx scope is
+// detected at the second free() call — not later at tx_scope_commit, by
+// which point the error has escaped the transaction — and charges no
+// simulated cycles on the error path.
+TEST(SimHeap, DoubleFreeInScopeThrowsAtFreeTime) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(64);
+    heap.tx_scope_begin(0);
+    heap.free(a);  // deferred to commit
+    Cycles before = m.now();
+    EXPECT_THROW(heap.free(a), std::invalid_argument);
+    EXPECT_EQ(m.now(), before);  // free_cycles not charged before the throw
+    heap.tx_scope_commit(0);  // the one deferred free still commits cleanly
+  });
+  m.run();
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+  EXPECT_EQ(heap.stats().frees, 1u);
+}
+
+TEST(SimHeap, InvalidFreeChargesNoCycles) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    Cycles before = m.now();
+    EXPECT_THROW(heap.free(kHeapBase + 0x9999000), std::invalid_argument);
+    EXPECT_EQ(m.now(), before);
+  });
+  m.run();
+}
+
+// Conservation: an aborted scope leaves bytes_live exactly as it found it
+// (allocations undone, deferred frees dropped); a committed scope releases
+// exactly the deferred set.
+TEST(SimHeap, TxScopeAbortConservesBytesLive) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    Addr x = heap.alloc(128);
+    uint64_t before = heap.stats().bytes_live;
+    heap.tx_scope_begin(0);
+    heap.alloc(64);
+    heap.alloc(256);
+    heap.free(x);
+    heap.tx_scope_abort(0);
+    EXPECT_EQ(heap.stats().bytes_live, before);
+    EXPECT_EQ(heap.block_size(x), 128u);  // the deferred free never happened
+  });
+  m.run();
+}
+
+TEST(SimHeap, TxScopeCommitReleasesExactlyDeferredSet) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(64);
+    Addr b = heap.alloc(512);
+    uint64_t before = heap.stats().bytes_live;
+    heap.tx_scope_begin(0);
+    heap.free(a);
+    Addr c = heap.alloc(32);
+    heap.tx_scope_commit(0);
+    // -64 (deferred free of a) +32 (allocation kept): nothing else moved.
+    EXPECT_EQ(heap.stats().bytes_live, before - 64 + 32);
+    EXPECT_EQ(heap.block_size(a), 0u);
+    EXPECT_EQ(heap.block_size(b), 512u);
+    EXPECT_EQ(heap.block_size(c), 32u);
+  });
+  m.run();
+}
+
+// ---- Placement policies ----
+
+TEST(SimHeapPolicy, PolicyNamesAreStable) {
+  EXPECT_STREQ(placement_policy_name(PlacementPolicy::kSizeClass),
+               "size-class");
+  EXPECT_STREQ(placement_policy_name(PlacementPolicy::kBumpPerThread), "bump");
+  EXPECT_STREQ(placement_policy_name(PlacementPolicy::kPadded), "padded");
+  EXPECT_STREQ(placement_policy_name(PlacementPolicy::kColored), "colored");
+}
+
+TEST(SimHeapPolicy, PaddedBlocksAreLineExclusive) {
+  Machine m(quiet(), 1);
+  HeapConfig cfg;
+  cfg.policy = PlacementPolicy::kPadded;
+  SimHeap heap(m, cfg);
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(8);
+    Addr b = heap.alloc(8);
+    EXPECT_EQ(heap.block_size(a), 64u);  // sub-line class rounded to a line
+    EXPECT_EQ(a % 64u, 0u);
+    EXPECT_NE(a / 64, b / 64);  // never share a cache line
+    EXPECT_EQ(heap.stats().bytes_padding, 2u * (64 - 8));
+  });
+  m.run();
+}
+
+TEST(SimHeapPolicy, BumpNeverReusesFreedBlocks) {
+  Machine m(quiet(), 1);
+  HeapConfig cfg;
+  cfg.policy = PlacementPolicy::kBumpPerThread;
+  SimHeap heap(m, cfg);
+  m.set_thread(0, [&] {
+    Addr a = heap.alloc(64);
+    heap.free(a);
+    Addr b = heap.alloc(64);
+    EXPECT_NE(a, b);  // fresh address space, not LIFO reuse
+    EXPECT_GT(b, a);  // sequential carving
+  });
+  m.run();
+  EXPECT_EQ(heap.stats().bytes_live, 64u);
+  EXPECT_EQ(heap.stats().frees, 1u);
+}
+
+TEST(SimHeapPolicy, ColoredPackConfinesPlacementsToFirstSets) {
+  Machine m(quiet(), 1);  // default L1: 32 KiB / 8-way = 64 sets
+  HeapConfig cfg;
+  cfg.policy = PlacementPolicy::kColored;
+  cfg.color_sets = 2;
+  SimHeap heap(m, cfg);
+  const uint32_t sets = m.l1_geometry().sets();
+  ASSERT_EQ(sets, 64u);
+  m.set_thread(0, [&] {
+    for (int i = 0; i < 100; ++i) {
+      Addr a = heap.alloc(48);
+      EXPECT_LT((a / 64) % sets, 2u);
+    }
+  });
+  m.run();
+  const auto& sa = heap.stats().set_allocs;
+  ASSERT_EQ(sa.size(), sets);
+  EXPECT_EQ(sa[0] + sa[1], 100u);
+  for (size_t s = 2; s < sa.size(); ++s) EXPECT_EQ(sa[s], 0u);
+}
+
+TEST(SimHeapPolicy, ColoredSpreadUsesManySets) {
+  Machine m(quiet(), 1);
+  HeapConfig cfg;
+  cfg.policy = PlacementPolicy::kColored;  // color_sets = 0: spread
+  SimHeap heap(m, cfg);
+  m.set_thread(0, [&] {
+    for (int i = 0; i < 512; ++i) heap.alloc(48);
+  });
+  m.run();
+  size_t used = 0;
+  for (uint64_t v : heap.stats().set_allocs) used += v != 0;
+  EXPECT_GE(used, 32u);  // >= half of the 64 sets see placements
+}
+
+TEST(SimHeapPolicy, SetHistogramMatchesAllocCount) {
+  Machine m(quiet(), 1);
+  SimHeap heap(m);  // default size-class policy also feeds the histogram
+  m.set_thread(0, [&] {
+    for (int i = 0; i < 37; ++i) heap.alloc(100);
+  });
+  m.run();
+  uint64_t placed = 0;
+  for (uint64_t v : heap.stats().set_allocs) placed += v;
+  EXPECT_EQ(placed, heap.stats().allocs);
+}
+
 }  // namespace

@@ -327,6 +327,54 @@ TEST(Timeseries, CsvHasSamplesAndIsByteDeterministic) {
   EXPECT_EQ(a, render());
 }
 
+// Heap placement counters ride in PmuData: they must feed the counter
+// digest and the manifest's heap totals, and stay invariant to capture
+// insertion order (the --jobs determinism contract: the registry sorts by
+// label before hashing/summing).
+obs::Capture captured_heap_run(const std::string& label,
+                               mem::PlacementPolicy policy) {
+  core::RunConfig cfg = pmu_cfg(Backend::kRtm, 2, false);
+  cfg.heap.policy = policy;
+  core::TxRuntime rt(cfg);
+  run_counter_workload(rt, 2);
+  obs::Capture c = obs::make_capture(*rt.trace_sink(), label, 3.3, 2);
+  c.pmu = rt.pmu_data();
+  return c;
+}
+
+TEST(Registry, HeapCountersAreDigestedOrderInvariantly) {
+  obs::Capture a =
+      captured_heap_run("heap:a", mem::PlacementPolicy::kSizeClass);
+  obs::Capture b = captured_heap_run("heap:b", mem::PlacementPolicy::kPadded);
+  ASSERT_TRUE(a.pmu.has_value());
+  ASSERT_TRUE(a.pmu->heap.present);
+  EXPECT_GT(a.pmu->heap.allocs, 0u);
+
+  obs::Registry serial, shuffled;  // jobs=1 vs jobs=N completion orders
+  serial.add(a);
+  serial.add(b);
+  shuffled.add(b);
+  shuffled.add(a);
+  EXPECT_EQ(serial.counter_digest(), shuffled.counter_digest());
+
+  obs::HeapPmuCounters t1 = serial.heap_totals();
+  obs::HeapPmuCounters t2 = shuffled.heap_totals();
+  EXPECT_TRUE(t1.present);
+  EXPECT_EQ(t1.policy, "size-class");  // label-sorted first capture's policy
+  EXPECT_EQ(t2.policy, t1.policy);
+  EXPECT_EQ(t1.allocs, a.pmu->heap.allocs + b.pmu->heap.allocs);
+  EXPECT_EQ(t2.allocs, t1.allocs);
+  ASSERT_EQ(t1.set_allocs.size(), t2.set_allocs.size());
+  EXPECT_EQ(t1.set_allocs, t2.set_allocs);
+}
+
+TEST(Registry, HeapPolicyChangesTheCounterDigest) {
+  obs::Registry r1, r2;
+  r1.add(captured_heap_run("heap:x", mem::PlacementPolicy::kSizeClass));
+  r2.add(captured_heap_run("heap:x", mem::PlacementPolicy::kPadded));
+  EXPECT_NE(r1.counter_digest(), r2.counter_digest());
+}
+
 TEST(Registry, CounterDigestIsStableAndNonDestructive) {
   obs::Registry reg;
   reg.add(captured_run(Backend::kRtm));
