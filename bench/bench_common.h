@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -20,6 +21,7 @@
 #include "harness/runner.h"
 #include "obs/abort_report.h"
 #include "obs/chrome_trace.h"
+#include "obs/metrics.h"
 #include "obs/pmu.h"
 #include "obs/registry.h"
 #include "obs/timeseries.h"
@@ -30,17 +32,19 @@
 
 namespace tsx::bench {
 
-// --trace / --abort-report / --perf-stat / --timeseries settings, parsed
-// into a process-global so the drivers' run-config helpers (which never see
-// BenchArgs) can consult them.
+// --trace / --abort-report / --perf-stat / --timeseries / --metrics /
+// --flamegraph settings, parsed into a process-global so the drivers'
+// run-config helpers (which never see BenchArgs) can consult them.
 struct ObsSettings {
   bool trace = false;
   bool abort_report = false;
   bool perf_stat = false;
   bool timeseries = false;
+  bool metrics = false;     // --metrics or --flamegraph (hub-backed exports)
   core::Cycles sample_interval = 0;
+  core::Cycles metrics_window = 0;  // hub window; 0 = hub off
   bool enabled() const {
-    return trace || abort_report || perf_stat || timeseries;
+    return trace || abort_report || perf_stat || timeseries || metrics;
   }
 };
 
@@ -57,6 +61,7 @@ inline void apply_obs(core::RunConfig& cfg, const std::string& label) {
   if (!s.enabled() || label.empty()) return;
   cfg.obs.enabled = true;
   cfg.obs.sample_interval = s.sample_interval;
+  cfg.obs.metrics.window_cycles = s.metrics_window;
   cfg.obs.label = label;
 }
 
@@ -160,19 +165,39 @@ class ObsLabelScope {
 
 // Drains the global capture registry when the last BenchArgs copy dies (end
 // of main), so the exporters cover every traced run of the process. All
-// outputs avoid stdout: the Chrome trace / time series go to their files,
-// the abort report and a bare --perf-stat to stderr — driver stdout stays
-// byte-identical with observability on.
+// outputs avoid stdout: each exporter writes to its file, or to stderr for
+// the "-" destination — driver stdout stays byte-identical with
+// observability on.
 class ObsFlusher {
  public:
-  ObsFlusher(std::string trace_file, bool abort_report,
-             std::string perf_stat_file, std::string timeseries_file)
+  ObsFlusher(std::string trace_file, std::string abort_report_file,
+             std::string perf_stat_file, std::string timeseries_file,
+             std::string metrics_file, std::string flamegraph_file)
       : trace_file_(std::move(trace_file)),
-        abort_report_(abort_report),
+        abort_report_file_(std::move(abort_report_file)),
         perf_stat_file_(std::move(perf_stat_file)),
-        timeseries_file_(std::move(timeseries_file)) {}
+        timeseries_file_(std::move(timeseries_file)),
+        metrics_file_(std::move(metrics_file)),
+        flamegraph_file_(std::move(flamegraph_file)) {}
   ~ObsFlusher() {
     std::vector<obs::Capture> caps = obs::Registry::global().drain();
+    // "" = exporter off, "-" = stderr, else a file path.
+    auto flush = [&caps](const std::string& dest, const char* what,
+                         void (*write)(std::ostream&,
+                                       const std::vector<obs::Capture>&)) {
+      if (dest.empty()) return;
+      if (dest == "-") {
+        write(std::cerr, caps);
+        return;
+      }
+      std::ofstream out(dest);
+      if (!out) {
+        std::cerr << "[obs] cannot write " << what << " to '" << dest << "'\n";
+        return;
+      }
+      write(out, caps);
+      std::cerr << "[obs] wrote " << what << " to " << dest << "\n";
+    };
     if (!trace_file_.empty()) {
       std::ofstream out(trace_file_);
       if (!out) {
@@ -183,39 +208,20 @@ class ObsFlusher {
                   << trace_file_ << "\n";
       }
     }
-    if (abort_report_) obs::write_abort_report(std::cerr, caps);
-    if (!perf_stat_file_.empty()) {
-      if (perf_stat_file_ == "-") {
-        obs::write_perf_stat(std::cerr, caps);
-      } else {
-        std::ofstream out(perf_stat_file_);
-        if (!out) {
-          std::cerr << "[obs] cannot write perf stat to '" << perf_stat_file_
-                    << "'\n";
-        } else {
-          obs::write_perf_stat(out, caps);
-          std::cerr << "[obs] wrote perf stat to " << perf_stat_file_ << "\n";
-        }
-      }
-    }
-    if (!timeseries_file_.empty()) {
-      std::ofstream out(timeseries_file_);
-      if (!out) {
-        std::cerr << "[obs] cannot write time series to '" << timeseries_file_
-                  << "'\n";
-      } else {
-        obs::write_timeseries_csv(out, caps);
-        std::cerr << "[obs] wrote time series to " << timeseries_file_
-                  << "\n";
-      }
-    }
+    flush(abort_report_file_, "abort report", &obs::write_abort_report);
+    flush(perf_stat_file_, "perf stat", &obs::write_perf_stat);
+    flush(timeseries_file_, "time series", &obs::write_timeseries_csv);
+    flush(metrics_file_, "metrics", &obs::write_openmetrics);
+    flush(flamegraph_file_, "flame profile", &obs::write_flamegraph);
   }
 
  private:
   std::string trace_file_;
-  bool abort_report_;
+  std::string abort_report_file_;
   std::string perf_stat_file_;
   std::string timeseries_file_;
+  std::string metrics_file_;
+  std::string flamegraph_file_;
 };
 
 // Standard bench flags: --reps (seeds averaged), --csv, --fast (smaller
@@ -225,11 +231,17 @@ class ObsFlusher {
 // 1 = the exact serial path; stdout is byte-identical for every N),
 // --manifest[=FILE] (JSON run manifest to FILE, or stderr when bare),
 // --trace[=FILE] (Chrome trace-event JSON of every measured run, default
-// trace.json; load in Perfetto / chrome://tracing), --abort-report
-// (per-call-site abort attribution table on stderr at exit),
+// trace.json; load in Perfetto / chrome://tracing), --abort-report[=FILE]
+// (per-call-site abort attribution table, to FILE or stderr when bare),
 // --perf-stat[=FILE] (perf-stat-style simulated-PMU report per measured run,
 // to FILE or stderr when bare), --timeseries[=FILE] (counter time-series
 // CSV, default timeseries.csv; needs --sample-interval),
+// --metrics[=FILE] (OpenMetrics text exposition of the per-window metric
+// series per cell, default metrics.prom), --flamegraph[=FILE]
+// (collapsed-stack wasted-cycle flame profile, default flamegraph.folded;
+// feed to flamegraph.pl or speedscope), --metrics-window=CYCLES
+// (simulated-time window for the metrics hub; defaults to 10000 when
+// --metrics/--flamegraph is given),
 // --sample-interval=CYCLES (counter-sampling window for the time series and
 // the trace's counter tracks; --energy-window is a deprecated alias),
 // --energy-split (extra committed/wasted energy columns in the energy
@@ -248,10 +260,13 @@ struct BenchArgs {
   int jobs = 0;
   std::string manifest;
   std::string trace;        // resolved trace file; "" = tracing off
-  bool abort_report = false;
+  std::string abort_report; // "" = off, "-" = stderr, else file path
   std::string perf_stat;    // "" = off, "-" = stderr, else file path
   std::string timeseries;   // resolved CSV file; "" = off
+  std::string metrics;      // OpenMetrics file; "" = off, "-" = stderr
+  std::string flamegraph;   // collapsed-stack file; "" = off, "-" = stderr
   core::Cycles sample_interval = 0;
+  core::Cycles metrics_window = 0;  // resolved hub window; 0 = hub off
   bool energy_split = false;
   int progress = -1;        // -1 auto (isatty), 0 off, 1 on
   // Keeps the exporters alive until the last BenchArgs copy dies.
@@ -272,11 +287,22 @@ struct BenchArgs {
       a.manifest = flags.get_string("manifest", "");
       a.trace = flags.get_string("trace", "");
       if (a.trace == "true") a.trace = "trace.json";  // bare --trace
-      a.abort_report = flags.get_bool("abort-report", false);
+      a.abort_report = flags.get_string("abort-report", "");
+      if (a.abort_report == "true") a.abort_report = "-";  // bare form
       a.perf_stat = flags.get_string("perf-stat", "");
       if (a.perf_stat == "true") a.perf_stat = "-";  // bare --perf-stat
       a.timeseries = flags.get_string("timeseries", "");
       if (a.timeseries == "true") a.timeseries = "timeseries.csv";
+      a.metrics = flags.get_string("metrics", "");
+      if (a.metrics == "true") a.metrics = "metrics.prom";
+      a.flamegraph = flags.get_string("flamegraph", "");
+      if (a.flamegraph == "true") a.flamegraph = "flamegraph.folded";
+      int64_t mw = flags.get_int("metrics-window", 0);
+      if (mw < 0) throw std::invalid_argument("--metrics-window must be >= 0");
+      if (mw == 0 && (!a.metrics.empty() || !a.flamegraph.empty())) {
+        mw = 10000;  // hub exports requested: a sane default window
+      }
+      a.metrics_window = static_cast<core::Cycles>(mw);
       int64_t si = flags.get_int("sample-interval", 0);
       if (si < 0) throw std::invalid_argument("--sample-interval must be >= 0");
       if (flags.has("energy-window")) {
@@ -313,13 +339,16 @@ struct BenchArgs {
       }
       ObsSettings& s = obs_settings();
       s.trace = !a.trace.empty();
-      s.abort_report = a.abort_report;
+      s.abort_report = !a.abort_report.empty();
       s.perf_stat = !a.perf_stat.empty();
       s.timeseries = !a.timeseries.empty();
+      s.metrics = !a.metrics.empty() || !a.flamegraph.empty();
       s.sample_interval = a.sample_interval;
+      s.metrics_window = a.metrics_window;
       if (s.enabled()) {
         a.obs_flusher = std::make_shared<ObsFlusher>(
-            a.trace, a.abort_report, a.perf_stat, a.timeseries);
+            a.trace, a.abort_report, a.perf_stat, a.timeseries, a.metrics,
+            a.flamegraph);
       }
       auto un = flags.unconsumed();
       if (!un.empty()) {
@@ -363,6 +392,17 @@ inline harness::RunnerOptions runner_options(const BenchArgs& args,
       std::snprintf(hex, sizeof(hex), "0x%016llx",
                     static_cast<unsigned long long>(
                         obs::Registry::global().counter_digest()));
+      return std::string(hex);
+    };
+    // Windowed-metrics fingerprint (hub windows + phase events + flame
+    // edges). Absent when no capture carries metrics (hub off); label-sorted
+    // in the registry, so --jobs-invariant like counter_digest.
+    opt.metrics_digest_fn = [] {
+      std::optional<uint64_t> d = obs::Registry::global().metrics_digest();
+      if (!d) return std::string();
+      char hex[19];
+      std::snprintf(hex, sizeof(hex), "0x%016llx",
+                    static_cast<unsigned long long>(*d));
       return std::string(hex);
     };
     // Per-lock elision counters, aggregated by lock name across the sweep's

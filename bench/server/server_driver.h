@@ -518,6 +518,17 @@ struct CellResult {
 // the service drains it.
 inline constexpr uint64_t kOverloadLagGaps = 64;
 
+// Phase-detection probe for a single cell run: forces the metrics hub on
+// (no registry label needed) and reports the *scripted* phase-transition
+// cycles — the absolute simulated time the first request of each later
+// phase was due, i.e. the ground truth the online detector is judged
+// against — alongside the hub's finalized window/phase series.
+struct PhaseProbe {
+  sim::Cycles window_cycles = 10000;        // hub window for this run
+  std::vector<sim::Cycles> boundaries;      // one per phase transition
+  std::optional<obs::MetricsData> metrics;  // hub output for the run
+};
+
 inline core::RunConfig server_run_cfg(core::Backend b,
                                       const TrafficConfig& traffic,
                                       uint64_t seed) {
@@ -536,9 +547,14 @@ inline core::RunConfig server_run_cfg(core::Backend b,
 inline CellResult run_server_rep(ServiceKind kind, core::Backend backend,
                                  const TrafficConfig& traffic, uint64_t seed,
                                  const std::string& obs_label = "",
-                                 bool verify_history = false) {
+                                 bool verify_history = false,
+                                 PhaseProbe* probe = nullptr) {
   core::RunConfig cfg = server_run_cfg(backend, traffic, seed);
   apply_obs(cfg, obs_label);
+  if (probe) {
+    cfg.obs.enabled = true;
+    cfg.obs.metrics.window_cycles = probe->window_cycles;
+  }
   core::TxRuntime rt(cfg);
   HistoryVerifier hv(rt, verify_history);
   std::unique_ptr<Service> svc = make_service(kind, rt, traffic);
@@ -567,6 +583,7 @@ inline CellResult run_server_rep(ServiceKind kind, core::Backend backend,
     s.lat.resize(nphases);
     s.completed.assign(nphases, 0);
   }
+  std::vector<sim::Cycles> wstart(nw, 0);  // measured-region start per worker
   const sim::Cycles overload_lag = traffic.mean_interarrival * kOverloadLagGaps;
 
   rt.run([&](core::TxCtx& ctx) {
@@ -576,6 +593,7 @@ inline CellResult run_server_rep(ServiceKind kind, core::Backend backend,
     if (w == 0) ctx.runtime().mark_measurement_start();
     ctx.barrier();
     sim::Cycles start = ctx.now();
+    wstart[w] = start;
     WorkerStats& st = ws[w];
     for (const Request& r : sched[w]) {
       sim::Cycles due = start + r.arrival;
@@ -617,6 +635,26 @@ inline CellResult run_server_rep(ServiceKind kind, core::Backend backend,
   res.misses = svc->misses();
   res.ok = svc->ok();
   res.error = svc->error();
+  if (probe) {
+    // Scripted ground truth: the absolute cycle the first request of each
+    // later phase was due (earliest across workers; worker starts are
+    // barrier-aligned to within a few cycles).
+    for (size_t p = 1; p < nphases; ++p) {
+      sim::Cycles b = 0;
+      bool found = false;
+      for (uint32_t w = 0; w < nw; ++w) {
+        for (const Request& r : sched[w]) {
+          if (r.phase != p) continue;
+          sim::Cycles cand = wstart[w] + r.arrival;
+          if (!found || cand < b) b = cand;
+          found = true;
+          break;
+        }
+      }
+      if (found) probe->boundaries.push_back(b);
+    }
+    probe->metrics = rt.metrics_data();
+  }
   return res;
 }
 

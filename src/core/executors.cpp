@@ -119,7 +119,11 @@ class SpinLockExecutor final : public TxExecutor {
 
   void execute(util::FnRef<void()> body, uint32_t site) override {
     CtxId c = env_.machine->current_ctx();
+    if (env_.sink) env_.sink->set_site(c, site);
     lock_.lock();
+    // Section timestamps for the metrics hub's lock-activity signal
+    // (hub-only: no ring event, no PMU counter, no simulated work).
+    Cycles t0 = env_.sink ? env_.machine->now() : 0;
     if (TxObserver* o = obs()) o->on_unit_begin(c, site);
     try {
       body();
@@ -129,6 +133,7 @@ class SpinLockExecutor final : public TxExecutor {
       throw;
     }
     if (TxObserver* o = obs()) o->on_unit_commit(c);
+    if (env_.sink) env_.sink->lock_section(c, t0, env_.machine->now());
     lock_.unlock();
   }
 

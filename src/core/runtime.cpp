@@ -90,6 +90,10 @@ TxRuntime::TxRuntime(RunConfig cfg) : cfg_(std::move(cfg)) {
     pmu_ = std::make_unique<obs::Pmu>(cfg_.threads);
     sink_ = std::make_unique<obs::TraceSink>(cfg_.obs.capacity);
     sink_->set_pmu(pmu_.get());
+    if (cfg_.obs.metrics.window_cycles > 0) {
+      hub_ = std::make_unique<obs::MetricsHub>(cfg_.obs.metrics);
+      sink_->set_hub(hub_.get());
+    }
     obs::TraceSink* s = sink_.get();
     sim::ObsHooks hooks;
     hooks.on_tx_begin = [s](CtxId c, Cycles t) { s->tx_begin(c, t); };
@@ -126,8 +130,14 @@ TxRuntime::~TxRuntime() {
     obs::Capture c = obs::make_capture(*sink_, cfg_.obs.label,
                                        cfg_.machine.freq_ghz, cfg_.threads);
     c.pmu = pmu_data();
+    c.metrics = metrics_data();
     obs::Registry::global().add(std::move(c));
   }
+}
+
+std::optional<obs::MetricsData> TxRuntime::metrics_data() {
+  if (!hub_) return std::nullopt;
+  return hub_->finalize(ran_ ? machine_->wall() : 0);
 }
 
 std::optional<obs::PmuData> TxRuntime::pmu_data() const {

@@ -31,6 +31,7 @@
 #include "core/retry_policy.h"
 #include "core/trace.h"
 #include "mem/sim_heap.h"
+#include "obs/metrics.h"
 #include "obs/pmu.h"
 #include "sim/config.h"
 #include "sim/machine.h"
@@ -61,6 +62,11 @@ struct ObsConfig {
   // path). Formerly named `energy_window`.
   Cycles sample_interval = 0;
   std::string label;  // registry key; sorted at drain time
+  // Windowed live-metrics plane (obs::MetricsHub): metrics.window_cycles > 0
+  // folds the event stream into fixed windows with online phase detection;
+  // 0 (default) leaves the hub off. The other MetricsConfig fields tune the
+  // phase detector.
+  obs::MetricsConfig metrics{};
 };
 
 struct RunConfig {
@@ -179,6 +185,14 @@ class TxRuntime {
   // Finalized PMU data — counters, cycle attribution, energy split,
   // histograms, samples. Empty unless cfg.obs.enabled; valid after run().
   std::optional<obs::PmuData> pmu_data() const;
+  // The windowed metrics hub (null unless cfg.obs.enabled and
+  // cfg.obs.metrics.window_cycles > 0). Subscribe before run() for live
+  // sealed-window callbacks — the AdaptivePolicy seam.
+  obs::MetricsHub* metrics_hub() { return hub_.get(); }
+  // Finalized window series, phase boundaries and flame profile. Empty
+  // unless the hub is on; valid after run(). Non-const: finalizing seals
+  // the hub's remaining windows (idempotent, repeatable).
+  std::optional<obs::MetricsData> metrics_data();
   // The one concurrency-control executor this runtime dispatches through.
   TxExecutor& executor() { return *exec_; }
   const TxExecutor& executor() const { return *exec_; }
@@ -208,6 +222,7 @@ class TxRuntime {
   std::unique_ptr<sim::Machine> machine_;
   std::unique_ptr<mem::SimHeap> heap_;
   std::unique_ptr<obs::Pmu> pmu_;         // before sink_: the sink borrows it
+  std::unique_ptr<obs::MetricsHub> hub_;  // before sink_: the sink borrows it
   std::unique_ptr<obs::TraceSink> sink_;  // before exec_: executors borrow it
   std::unique_ptr<TxExecutor> exec_;
   std::vector<std::unique_ptr<TxCtx>> ctxs_;

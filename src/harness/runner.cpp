@@ -193,6 +193,12 @@ void Runner::emit_manifest(const std::vector<Job>& jobs,
     *os << "  \"counter_digest\": \"" << json_escape(counter_digest)
         << "\",\n";
   }
+  std::string metrics_digest;
+  if (opt_.metrics_digest_fn) metrics_digest = opt_.metrics_digest_fn();
+  if (!metrics_digest.empty()) {
+    *os << "  \"metrics_digest\": \"" << json_escape(metrics_digest)
+        << "\",\n";
+  }
   std::string elide_locks;
   if (opt_.elide_locks_fn) elide_locks = opt_.elide_locks_fn();
   if (!elide_locks.empty()) {

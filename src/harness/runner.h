@@ -93,6 +93,11 @@ struct RunnerOptions {
   // can hash the obs registry's PMU counters); an empty result omits the
   // field. Must be deterministic w.r.t. --jobs — CI diffs it.
   std::function<std::string()> counter_digest_fn;
+  // Optional windowed-metrics fingerprint (obs::Registry::metrics_digest),
+  // recorded in the manifest as "metrics_digest". Same contract as
+  // counter_digest_fn: called once after every job completed, empty result
+  // omits the field, must be deterministic w.r.t. --jobs.
+  std::function<std::string()> metrics_digest_fn;
   // Optional per-lock elision counters, recorded in the manifest as
   // "elide_locks". Called once after every job completed; returns the
   // pre-rendered JSON array value (e.g. `[{"name": "m", ...}]`) or an empty

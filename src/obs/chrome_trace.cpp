@@ -165,6 +165,25 @@ void write_capture(Emitter& em, const Capture& c, int pid) {
              ",\"mem\":" + std::to_string(s.mem_accesses) + "}}");
     }
   }
+
+  // Phase boundaries from the metrics hub: process-scoped instant events, so
+  // the detected steady/flash-crowd/write-burst edges line up against the
+  // span and counter tracks above.
+  if (c.metrics) {
+    static const char* kChannelNames[] = {"activity", "abort-rate",
+                                          "wasted-share"};
+    for (const PhaseEvent& pe : c.metrics->phases) {
+      Event ce;
+      ce.ctx = 0;
+      const char* chan =
+          pe.channel >= 0 && pe.channel < 3 ? kChannelNames[pe.channel] : "?";
+      em.raw(base("i", ce, pe.t) + ",\"s\":\"p\",\"name\":\"phase change\"" +
+             ",\"args\":{\"window\":" + std::to_string(pe.window) +
+             ",\"channel\":\"" + chan + "\",\"direction\":\"" +
+             (pe.direction > 0 ? "rise" : "fall") + "\",\"score\":" +
+             util::json_fixed(pe.score, 2) + "}}");
+    }
+  }
 }
 
 }  // namespace

@@ -108,6 +108,10 @@ void Pmu::sample(sim::Cycles t, const sim::MachineStats& stats) {
   s.tx_starts = stats.tx.started;
   s.tx_commits = stats.tx.committed;
   s.tx_aborts = stats.tx.aborted();
+  for (size_t i = 0; i < s.aborts_misc.size(); ++i) {
+    s.aborts_misc[i] = stats.tx.aborts_by_misc[i];
+  }
+  s.fallbacks = fallbacks_;
   s.committed_cycles = committed_cycles();
   s.wasted_cycles = wasted_cycles();
   samples_.push_back(s);

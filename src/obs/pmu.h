@@ -19,6 +19,7 @@
 // deterministic counters, so every derived report is byte-identical across
 // harness --jobs values.
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -137,6 +138,11 @@ struct PmuSample {
   uint64_t tx_starts = 0;
   uint64_t tx_commits = 0;
   uint64_t tx_aborts = 0;
+  // Per-MISC-bucket abort counts (cumulative, hardware aborts), so the
+  // phase detector's abort-mix inputs are reconstructable from the CSV.
+  std::array<uint64_t, static_cast<size_t>(sim::MiscBucket::kCount)>
+      aborts_misc{};
+  uint64_t fallbacks = 0;  // retry-policy fallback decisions, cumulative
   sim::Cycles committed_cycles = 0;  // PMU-attributed, cumulative
   sim::Cycles wasted_cycles = 0;
 };

@@ -115,6 +115,67 @@ uint64_t Registry::counter_digest() const {
   return f.h;
 }
 
+std::optional<uint64_t> Registry::metrics_digest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Capture*> sorted;
+  sorted.reserve(captures_.size());
+  for (const Capture& c : captures_) {
+    if (c.metrics) sorted.push_back(&c);
+  }
+  if (sorted.empty()) return std::nullopt;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Capture* a, const Capture* b) { return a->label < b->label; });
+  Fnv f;
+  for (const Capture* c : sorted) {
+    f.add(c->label);
+    const MetricsData& m = *c->metrics;
+    f.add(m.window_cycles);
+    f.add(static_cast<uint64_t>(m.windows.size()));
+    for (const MetricsWindow& w : m.windows) {
+      f.add(w.start);
+      f.add(w.hw_starts);
+      f.add(w.hw_commits);
+      f.add(w.hw_aborts);
+      for (uint64_t v : w.aborts_by_misc) f.add(v);
+      for (uint64_t v : w.aborts_by_reason) f.add(v);
+      f.add(w.stm_starts);
+      f.add(w.stm_commits);
+      f.add(w.stm_aborts);
+      f.add(w.fallbacks);
+      f.add(w.lock_sections);
+      f.add(w.lock_section_cycles);
+      f.add(w.committed_cycles);
+      f.add(w.wasted_cycles);
+      f.add(static_cast<uint64_t>(w.elide.size()));
+      for (const auto& [lock, e] : w.elide) {
+        f.add(lock);
+        f.add(e.acquisitions);
+        f.add(e.elided);
+        f.add(e.fallbacks);
+        f.add(e.cycles_elided);
+        f.add(e.cycles_wasted);
+      }
+    }
+    f.add(static_cast<uint64_t>(m.phases.size()));
+    for (const PhaseEvent& e : m.phases) {
+      f.add(e.window);
+      f.add(e.t);
+      f.add(static_cast<uint64_t>(e.channel));
+      f.add(static_cast<uint64_t>(static_cast<int64_t>(e.direction)));
+    }
+    f.add(static_cast<uint64_t>(m.flame.size()));
+    for (const auto& [victim, edges] : m.flame) {
+      f.add(victim);
+      f.add(static_cast<uint64_t>(edges.size()));
+      for (const auto& [key, cycles] : edges) {
+        f.add(key);
+        f.add(cycles);
+      }
+    }
+  }
+  return f.h;
+}
+
 std::vector<ElideLockCounters> Registry::elide_totals() const {
   std::lock_guard<std::mutex> lock(mu_);
   // Keyed by lock name: each sweep cell owns its runtime, so the "same"

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/pmu.h"
 #include "obs/trace_sink.h"
 
@@ -30,6 +31,10 @@ struct Capture {
   // Finalized PMU result (perf-stat counters, cycle/energy attribution,
   // time-series samples); present for every run traced with obs enabled.
   std::optional<PmuData> pmu;
+  // Finalized windowed metrics (window series, phase boundaries, flame
+  // profile); present when the run had a MetricsHub (--metrics /
+  // --flamegraph / an explicit metrics window).
+  std::optional<MetricsData> metrics;
 };
 
 // Builds an immutable capture from a sink's current state.
@@ -58,6 +63,12 @@ class Registry {
   // sorted by name. Non-destructive; used for the harness manifest's
   // `elide_locks` array. Empty when no capture recorded elide locks.
   std::vector<ElideLockCounters> elide_totals() const;
+
+  // FNV-1a digest over every capture's window series, phase events and
+  // flame profile, iterated in label order (hence --jobs-invariant).
+  // Non-destructive; nullopt when no capture carries metrics, so the
+  // manifest field only appears for hub-enabled runs.
+  std::optional<uint64_t> metrics_digest() const;
 
   // Simulated-heap counters summed across all captures (policy from the
   // first capture that carries one — a sweep runs one policy per process

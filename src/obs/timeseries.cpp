@@ -11,15 +11,18 @@ void write_timeseries_csv(std::ostream& os,
                           const std::vector<Capture>& captures) {
   os << "label,t_cycles,ops,loads,stores,l1_hits,l2_hits,l3_hits,"
         "mem_accesses,tx_starts,tx_commits,tx_aborts,"
-        "committed_tx_cycles,wasted_tx_cycles\n";
+        "tx_aborts_misc1,tx_aborts_misc2,tx_aborts_misc3,tx_aborts_misc4,"
+        "tx_aborts_misc5,fallbacks,committed_tx_cycles,wasted_tx_cycles\n";
   for (const Capture& c : captures) {
     if (!c.pmu) continue;
     for (const PmuSample& s : c.pmu->samples) {
       os << util::Table::csv_escape(c.label) << "," << s.t << "," << s.ops << ","
          << s.loads << "," << s.stores << "," << s.l1_hits << "," << s.l2_hits
          << "," << s.l3_hits << "," << s.mem_accesses << "," << s.tx_starts
-         << "," << s.tx_commits << "," << s.tx_aborts << ","
-         << s.committed_cycles << "," << s.wasted_cycles << "\n";
+         << "," << s.tx_commits << "," << s.tx_aborts;
+      for (uint64_t m : s.aborts_misc) os << "," << m;
+      os << "," << s.fallbacks << "," << s.committed_cycles << ","
+         << s.wasted_cycles << "\n";
     }
   }
 }

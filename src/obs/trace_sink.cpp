@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "obs/pmu.h"
 
 namespace tsx::obs {
@@ -51,23 +52,32 @@ void TraceSink::retry_decision(sim::CtxId ctx, sim::Cycles t, bool fallback,
   push(e);
   if (fallback) ++sites_[e.site].fallbacks;
   if (pmu_) pmu_->retry_decision(ctx, fallback);
+  if (hub_) hub_->retry_decision(ctx, t, fallback);
+}
+
+void TraceSink::lock_section(sim::CtxId ctx, sim::Cycles t0, sim::Cycles t1) {
+  if (hub_) hub_->lock_section(ctx, t0, t1);
 }
 
 void TraceSink::elide_lock_name(uint32_t lock, const std::string& name) {
   if (pmu_) pmu_->elide_lock_name(lock, name);
+  if (hub_) hub_->elide_lock_name(lock, name);
 }
 
-void TraceSink::elide_acquire(uint32_t lock, sim::CtxId ctx, ElideAcqKind kind,
-                              uint64_t attempts, sim::Cycles cycles_elided,
+void TraceSink::elide_acquire(uint32_t lock, sim::CtxId ctx, sim::Cycles t,
+                              ElideAcqKind kind, uint64_t attempts,
+                              sim::Cycles cycles_elided,
                               sim::Cycles cycles_wasted, bool self_stopped) {
-  // PMU-only: per-lock counters are exact aggregates, not ring events, so
-  // elision-free traces (and their goldens) are unchanged. `ctx` is part of
-  // the seam for future per-thread attribution; the PMU aggregates per lock.
+  // PMU/hub-only: per-lock counters are exact aggregates, not ring events,
+  // so elision-free traces (and their goldens) are unchanged. `ctx` is part
+  // of the seam for future per-thread attribution; the PMU aggregates per
+  // lock, the hub per lock per window.
   (void)ctx;
   if (pmu_) {
     pmu_->elide_acquire(lock, kind, attempts, cycles_elided, cycles_wasted,
                         self_stopped);
   }
+  if (hub_) hub_->elide_acquire(lock, t, kind, cycles_elided, cycles_wasted);
 }
 
 void TraceSink::tx_begin(sim::CtxId ctx, sim::Cycles t) {
@@ -79,6 +89,7 @@ void TraceSink::tx_begin(sim::CtxId ctx, sim::Cycles t) {
   push(e);
   ++sites_[e.site].attempts;
   if (pmu_) pmu_->tx_begin(ctx, t, false);
+  if (hub_) hub_->hw_begin(ctx, t);
 }
 
 void TraceSink::tx_commit(sim::CtxId ctx, sim::Cycles t) {
@@ -90,6 +101,7 @@ void TraceSink::tx_commit(sim::CtxId ctx, sim::Cycles t) {
   push(e);
   ++sites_[e.site].commits;
   if (pmu_) pmu_->tx_commit(ctx, t, false);
+  if (hub_) hub_->hw_commit(ctx, t);
 }
 
 void TraceSink::tx_abort(sim::CtxId victim, sim::Cycles t,
@@ -112,6 +124,12 @@ void TraceSink::tx_abort(sim::CtxId victim, sim::Cycles t,
     ++agg.attacker_sites[e.attacker_site];
   }
   if (pmu_) pmu_->tx_abort(victim, t, false);
+  if (hub_) {
+    uint32_t attacker_site = e.attacker_site != kNoSite && attacker != victim
+                                 ? e.attacker_site
+                                 : kNoSite;
+    hub_->hw_abort(victim, t, reason, e.site, attacker_site);
+  }
 }
 
 void TraceSink::evict(sim::CtxId by, sim::Cycles t, int level, uint64_t line) {
@@ -146,6 +164,7 @@ void TraceSink::stm_begin(sim::CtxId ctx, sim::Cycles t, uint32_t site) {
   push(e);
   ++sites_[site].attempts;
   if (pmu_) pmu_->tx_begin(ctx, t, true);
+  if (hub_) hub_->stm_begin(ctx, t);
 }
 
 void TraceSink::stm_commit(sim::CtxId ctx, sim::Cycles t) {
@@ -158,6 +177,7 @@ void TraceSink::stm_commit(sim::CtxId ctx, sim::Cycles t) {
   push(e);
   ++sites_[e.site].commits;
   if (pmu_) pmu_->tx_commit(ctx, t, true);
+  if (hub_) hub_->stm_commit(ctx, t);
 }
 
 void TraceSink::stm_abort(sim::CtxId ctx, sim::Cycles t, uint64_t line,
@@ -182,6 +202,12 @@ void TraceSink::stm_abort(sim::CtxId ctx, sim::Cycles t, uint64_t line,
     ++agg.attacker_sites[e.attacker_site];
   }
   if (pmu_) pmu_->tx_abort(ctx, t, true);
+  if (hub_) {
+    uint32_t attacker_site = e.attacker_site != kNoSite && attacker != ctx
+                                 ? e.attacker_site
+                                 : kNoSite;
+    hub_->stm_abort(ctx, t, e.site, attacker_site);
+  }
 }
 
 std::vector<Event> TraceSink::events() const {

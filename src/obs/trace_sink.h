@@ -27,6 +27,7 @@
 namespace tsx::obs {
 
 class Pmu;
+class MetricsHub;                   // obs/metrics.h
 enum class ElideAcqKind : uint8_t;  // obs/pmu.h
 
 // Exact per-site attribution (independent of ring capacity).
@@ -57,6 +58,11 @@ class TraceSink {
   // executor knowing about it. Not owned.
   void set_pmu(Pmu* pmu) { pmu_ = pmu; }
 
+  // Optional windowed-metrics hub (obs/metrics.h): the same forwarding seam
+  // as the PMU, but folded into fixed simulated-time windows with sites
+  // pre-resolved. Not owned.
+  void set_hub(MetricsHub* hub) { hub_ = hub; }
+
   // ---- Engine-side ----
   // Declares `site` as ctx's current static call site (host-side, no
   // event). Engines call this at the top of every execute().
@@ -64,6 +70,10 @@ class TraceSink {
   // Records a retry-policy decision after a failed attempt.
   void retry_decision(sim::CtxId ctx, sim::Cycles t, bool fallback,
                       sim::Cycles backoff);
+  // One completed lock-backend critical section [t0, t1). Hub-only (no ring
+  // event, no PMU counter): it gives kLock/kCas runs a per-window activity
+  // signal while leaving every pre-hub trace, report and digest unchanged.
+  void lock_section(sim::CtxId ctx, sim::Cycles t0, sim::Cycles t1);
 
   // ---- Machine ObsHooks forwarders (hardware transactions) ----
   void tx_begin(sim::CtxId ctx, sim::Cycles t);
@@ -85,9 +95,10 @@ class TraceSink {
   // ---- Elide-lock reporting (src/elide; PMU-only, no ring events, so
   // existing trace goldens are unaffected by elision-free runs) ----
   void elide_lock_name(uint32_t lock, const std::string& name);
-  void elide_acquire(uint32_t lock, sim::CtxId ctx, ElideAcqKind kind,
-                     uint64_t attempts, sim::Cycles cycles_elided,
-                     sim::Cycles cycles_wasted, bool self_stopped);
+  void elide_acquire(uint32_t lock, sim::CtxId ctx, sim::Cycles t,
+                     ElideAcqKind kind, uint64_t attempts,
+                     sim::Cycles cycles_elided, sim::Cycles cycles_wasted,
+                     bool self_stopped);
 
   // ---- Inspection / export ----
   // Events oldest -> newest (at most `capacity`).
@@ -126,6 +137,7 @@ class TraceSink {
   std::map<uint32_t, SiteAgg> sites_;
   std::map<uint32_t, std::string> site_names_;
   Pmu* pmu_ = nullptr;
+  MetricsHub* hub_ = nullptr;
 };
 
 }  // namespace tsx::obs

@@ -375,6 +375,146 @@ TEST(Registry, HeapPolicyChangesTheCounterDigest) {
   EXPECT_NE(r1.counter_digest(), r2.counter_digest());
 }
 
+// ---- Window/total identity: MetricsHub window deltas vs PmuData totals ----
+//
+// The hub's windowing contract: every event lands in the window containing
+// its timestamp, so for EVERY counter the sum of window deltas must equal
+// the finalized PmuData total exactly — for pure-hardware, pure-software,
+// mixed and no-transaction backends, and under interrupt-forced aborts.
+
+core::RunConfig hub_cfg(Backend b, uint32_t threads, bool interrupts) {
+  core::RunConfig cfg = pmu_cfg(b, threads, interrupts);
+  cfg.obs.metrics.window_cycles = 700;  // off-round: exercises boundaries
+  return cfg;
+}
+
+void expect_window_identity(const obs::MetricsData& m, const obs::PmuData& d) {
+  ASSERT_GT(m.window_cycles, 0u);
+  // The series tiles [0, wall): contiguous fixed-stride starts, covering
+  // every cycle of the run.
+  for (size_t i = 0; i < m.windows.size(); ++i) {
+    EXPECT_EQ(m.windows[i].start, i * m.window_cycles);
+  }
+  ASSERT_FALSE(m.windows.empty());
+  EXPECT_GE(m.windows.size() * m.window_cycles, d.wall);
+  EXPECT_LT((m.windows.size() - 1) * m.window_cycles, d.wall);
+
+  obs::MetricsWindow sum;
+  for (const obs::MetricsWindow& w : m.windows) {
+    sum.hw_starts += w.hw_starts;
+    sum.hw_commits += w.hw_commits;
+    sum.hw_aborts += w.hw_aborts;
+    for (size_t i = 0; i < sum.aborts_by_misc.size(); ++i) {
+      sum.aborts_by_misc[i] += w.aborts_by_misc[i];
+    }
+    for (size_t i = 0; i < sum.aborts_by_reason.size(); ++i) {
+      sum.aborts_by_reason[i] += w.aborts_by_reason[i];
+    }
+    sum.stm_starts += w.stm_starts;
+    sum.stm_commits += w.stm_commits;
+    sum.stm_aborts += w.stm_aborts;
+    sum.fallbacks += w.fallbacks;
+    sum.committed_cycles += w.committed_cycles;
+    sum.wasted_cycles += w.wasted_cycles;
+  }
+  const sim::TxStats& tx = d.machine.tx;
+  EXPECT_EQ(sum.hw_starts, tx.started);
+  EXPECT_EQ(sum.hw_commits, tx.committed);
+  EXPECT_EQ(sum.hw_aborts, tx.aborted());
+  for (size_t i = 0; i < sum.aborts_by_misc.size(); ++i) {
+    EXPECT_EQ(sum.aborts_by_misc[i], tx.aborts_by_misc[i]) << "misc " << i + 1;
+  }
+  for (size_t i = 0; i < sum.aborts_by_reason.size(); ++i) {
+    EXPECT_EQ(sum.aborts_by_reason[i], tx.aborts_by_reason[i])
+        << "reason " << i;
+  }
+  EXPECT_EQ(sum.stm_starts, d.stm_starts);
+  EXPECT_EQ(sum.stm_commits, d.stm_commits);
+  EXPECT_EQ(sum.stm_aborts, d.stm_aborts);
+  EXPECT_EQ(sum.fallbacks, d.fallbacks);
+  // Cycle deltas: both the hub and the Pmu attribute an attempt's span to
+  // its closing event, so the sums agree exactly.
+  EXPECT_EQ(sum.committed_cycles, d.split.committed);
+  EXPECT_EQ(sum.wasted_cycles, d.split.wasted);
+}
+
+class MetricsWindowIdentity : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(MetricsWindowIdentity, WindowDeltasSumToPmuTotals) {
+  core::TxRuntime rt(hub_cfg(GetParam(), 2, false));
+  run_counter_workload(rt, 2);
+  auto m = rt.metrics_data();
+  auto d = rt.pmu_data();
+  ASSERT_TRUE(m.has_value());
+  ASSERT_TRUE(d.has_value());
+  expect_window_identity(*m, *d);
+}
+
+TEST_P(MetricsWindowIdentity, HoldsUnderInterruptForcedAborts) {
+  core::RunConfig cfg = hub_cfg(GetParam(), 2, true);
+  cfg.machine.interrupt_mean_cycles = 3000;  // frequent: forced aborts
+  core::TxRuntime rt(cfg);
+  run_counter_workload(rt, 2);
+  auto m = rt.metrics_data();
+  auto d = rt.pmu_data();
+  ASSERT_TRUE(m.has_value());
+  ASSERT_TRUE(d.has_value());
+  expect_window_identity(*m, *d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MetricsWindowIdentity,
+                         ::testing::Values(Backend::kRtm, Backend::kTinyStm,
+                                           Backend::kHybrid, Backend::kLock),
+                         [](const auto& info) {
+                           return std::string(core::backend_name(info.param));
+                         });
+
+TEST(MetricsWindowIdentity, LockBackendWindowsCarryLockSections) {
+  core::TxRuntime rt(hub_cfg(Backend::kLock, 2, false));
+  run_counter_workload(rt, 2);
+  auto m = rt.metrics_data();
+  ASSERT_TRUE(m.has_value());
+  uint64_t sections = 0;
+  Cycles section_cycles = 0;
+  for (const obs::MetricsWindow& w : m->windows) {
+    sections += w.lock_sections;
+    section_cycles += w.lock_section_cycles;
+  }
+  // Every critical section of the workload is visible: 120 iterations x 2
+  // threads, each with a non-zero simulated duration.
+  EXPECT_EQ(sections, 240u);
+  EXPECT_GT(section_cycles, 0u);
+}
+
+TEST(Registry, MetricsDigestIsOrderInvariantAndPresentOnlyWithHub) {
+  auto captured_hub_run = [](const std::string& label, Backend b) {
+    core::TxRuntime rt(hub_cfg(b, 2, false));
+    run_counter_workload(rt, 2);
+    obs::Capture c = obs::make_capture(*rt.trace_sink(), label, 3.3, 2);
+    c.pmu = rt.pmu_data();
+    c.metrics = rt.metrics_data();
+    return c;
+  };
+  obs::Capture a = captured_hub_run("hub:a", Backend::kRtm);
+  obs::Capture b = captured_hub_run("hub:b", Backend::kTinyStm);
+
+  obs::Registry serial, shuffled;  // jobs=1 vs jobs=N completion orders
+  serial.add(a);
+  serial.add(b);
+  shuffled.add(b);
+  shuffled.add(a);
+  auto d1 = serial.metrics_digest();
+  auto d2 = shuffled.metrics_digest();
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_EQ(*d1, *d2);
+
+  // Without hub-carrying captures the digest is absent (and the manifest
+  // field omitted), not zero.
+  obs::Registry off;
+  off.add(captured_run(Backend::kRtm));
+  EXPECT_FALSE(off.metrics_digest().has_value());
+}
+
 TEST(Registry, CounterDigestIsStableAndNonDestructive) {
   obs::Registry reg;
   reg.add(captured_run(Backend::kRtm));
